@@ -1,0 +1,434 @@
+package lagalyzer
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (Section IV), an end-to-end study benchmark
+// matching the paper's "7.5 hours of sessions analyzed in 15 minutes"
+// claim, trace-codec throughput benchmarks, and ablation benchmarks
+// for the design decisions DESIGN.md calls out.
+//
+// Figure/table benchmarks measure the *analysis* cost on a fixed,
+// pre-simulated workload; workload generation itself is measured by
+// BenchmarkSimulateSession and the end-to-end benchmark.
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/stream"
+	"lagalyzer/internal/trace"
+	"lagalyzer/internal/treebuild"
+	"lagalyzer/internal/viz"
+)
+
+// benchSuite simulates a fixed GanttProject suite once; all per-figure
+// benchmarks analyze it.
+var benchSuite = sync.OnceValue(func() *trace.Suite {
+	suite := &trace.Suite{App: "GanttProject"}
+	for i := 0; i < 2; i++ {
+		s, err := sim.Run(sim.Config{Profile: apps.GanttProject(), SessionID: i, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		suite.Sessions = append(suite.Sessions, s)
+	}
+	return suite
+})
+
+// benchStudy runs a scaled-down full study once for figure benchmarks
+// that need all 14 applications.
+var benchStudy = sync.OnceValue(func() *report.StudyResult {
+	res, err := report.RunStudy(report.StudyConfig{Seed: 7, SessionsPerApp: 1, SessionSeconds: 60})
+	if err != nil {
+		panic(err)
+	}
+	return res
+})
+
+func BenchmarkTableII_Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(apps.Catalog()) != 14 {
+			b.Fatal("catalog incomplete")
+		}
+	}
+}
+
+func BenchmarkTableIII_Overview(b *testing.B) {
+	suite := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := analysis.OverviewOf(suite, trace.DefaultPerceptibleThreshold)
+		if o.Traced == 0 {
+			b.Fatal("empty overview")
+		}
+	}
+	b.ReportMetric(benchEpisodes(suite), "episodes")
+}
+
+func benchEpisodes(suite *trace.Suite) float64 {
+	n := 0
+	for _, s := range suite.Sessions {
+		n += len(s.Episodes)
+	}
+	return float64(n)
+}
+
+func BenchmarkFigure1_Sketch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(report.Figure1SVG()) == 0 {
+			b.Fatal("empty sketch")
+		}
+	}
+}
+
+func BenchmarkFigure2_DeepSketch(b *testing.B) {
+	suite := benchSuite()
+	s := suite.Sessions[0]
+	var deepest *trace.Episode
+	best := -1
+	for _, e := range s.Episodes {
+		if d := e.Root.Descendants(); d > best {
+			deepest, best = e, d
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(viz.Sketch(s, deepest, viz.SketchOptions{})) == 0 {
+			b.Fatal("empty sketch")
+		}
+	}
+	b.ReportMetric(float64(best), "descendants")
+}
+
+func BenchmarkFigure3_PatternCDF(b *testing.B) {
+	suite := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := patterns.Classify(suite.Sessions, patterns.Options{})
+		if len(set.CDF()) == 0 {
+			b.Fatal("empty CDF")
+		}
+	}
+}
+
+func BenchmarkFigure4_Occurrence(b *testing.B) {
+	set := patterns.Classify(benchSuite().Sessions, patterns.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(set.OccurrenceCounts()) == 0 {
+			b.Fatal("no occurrence classes")
+		}
+	}
+	b.ReportMetric(float64(len(set.Patterns)), "patterns")
+}
+
+func BenchmarkFigure5_Triggers(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := analysis.TriggerAnalysis(sessions, trace.DefaultPerceptibleThreshold, true, analysis.TriggerOptions{})
+		if ts.Total == 0 {
+			b.Fatal("no perceptible episodes")
+		}
+	}
+}
+
+func BenchmarkFigure6_Location(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc := analysis.LocationAnalysis(sessions, trace.DefaultPerceptibleThreshold, true, nil)
+		if loc.EpisodeTime == 0 {
+			b.Fatal("no episode time")
+		}
+	}
+}
+
+func BenchmarkFigure7_Concurrency(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, n := analysis.Concurrency(sessions, trace.DefaultPerceptibleThreshold, false); n == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+func BenchmarkFigure8_Causes(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c := analysis.CauseAnalysis(sessions, trace.DefaultPerceptibleThreshold, true); c.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+// BenchmarkStudy_EndToEnd simulates and analyzes a scaled-down full
+// study per iteration. The paper's reference point: ~250'000 episodes
+// from 7.5 h of sessions, fully analyzed in 15 minutes (including
+// MATLAB chart generation).
+func BenchmarkStudy_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := report.RunStudy(report.StudyConfig{Seed: uint64(i), SessionsPerApp: 1, SessionSeconds: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalEpisodes()), "episodes")
+	}
+}
+
+func BenchmarkSimulateSession(b *testing.B) {
+	profile := apps.NetBeans()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.Run(sim.Config{Profile: profile, Seed: uint64(i), SessionSeconds: 60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Episodes) == 0 {
+			b.Fatal("no episodes")
+		}
+	}
+}
+
+func benchRecords(b *testing.B) ([]*lila.Record, lila.Header) {
+	b.Helper()
+	recs, h, err := sim.Records(sim.Config{Profile: apps.SwingSet(), Seed: 3, SessionSeconds: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs, h
+}
+
+func benchEncode(b *testing.B, f lila.Format) {
+	recs, h := benchRecords(b)
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := lila.NewWriter(&buf, f, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := w.WriteRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+	}
+	b.ReportMetric(float64(len(recs)), "records")
+	b.ReportMetric(float64(size)/float64(len(recs)), "bytes/record")
+}
+
+func BenchmarkTraceEncode_Text(b *testing.B)   { benchEncode(b, lila.FormatText) }
+func BenchmarkTraceEncode_Binary(b *testing.B) { benchEncode(b, lila.FormatBinary) }
+
+func benchDecode(b *testing.B, f lila.Format) {
+	recs, h := benchRecords(b)
+	var buf bytes.Buffer
+	w, err := lila.NewWriter(&buf, f, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := lila.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			_, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("decoded %d of %d records", n, len(recs))
+		}
+	}
+}
+
+func BenchmarkTraceDecode_Text(b *testing.B)   { benchDecode(b, lila.FormatText) }
+func BenchmarkTraceDecode_Binary(b *testing.B) { benchDecode(b, lila.FormatBinary) }
+
+// --- Ablations (design decisions of Section II) ---
+
+// BenchmarkAblation_FingerprintGC compares pattern counts with and
+// without GC exclusion. Including GC nodes splits classes that differ
+// only by an incidental collection (the paper's §II-D rationale for
+// excluding them).
+func BenchmarkAblation_FingerprintGC(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	var withGC, withoutGC int
+	for i := 0; i < b.N; i++ {
+		withoutGC = len(patterns.Classify(sessions, patterns.Options{}).Patterns)
+		withGC = len(patterns.Classify(sessions, patterns.Options{IncludeGC: true}).Patterns)
+	}
+	b.ReportMetric(float64(withoutGC), "patterns(paper)")
+	b.ReportMetric(float64(withGC), "patterns(include-gc)")
+	if withGC < withoutGC {
+		b.Fatal("including GC nodes cannot merge patterns")
+	}
+}
+
+// BenchmarkAblation_FingerprintSymbols compares pattern counts with
+// and without symbolic information. Kind-only trees collapse distinct
+// behaviours into one class, losing the browser's diagnostic value.
+func BenchmarkAblation_FingerprintSymbols(b *testing.B) {
+	sessions := benchSuite().Sessions
+	b.ResetTimer()
+	var full, kindOnly int
+	for i := 0; i < b.N; i++ {
+		full = len(patterns.Classify(sessions, patterns.Options{}).Patterns)
+		kindOnly = len(patterns.Classify(sessions, patterns.Options{KindOnly: true}).Patterns)
+	}
+	b.ReportMetric(float64(full), "patterns(symbols)")
+	b.ReportMetric(float64(kindOnly), "patterns(kind-only)")
+	if kindOnly > full {
+		b.Fatal("dropping symbols cannot split patterns")
+	}
+}
+
+// BenchmarkAblation_AsyncReclassify measures the repaint-manager
+// special case (§IV-C footnote) on Jmol: with the reclassification
+// the animation's episodes are output; without it they count as
+// asynchronous.
+func BenchmarkAblation_AsyncReclassify(b *testing.B) {
+	res := benchStudy()
+	jmol, ok := res.AppByName("Jmol")
+	if !ok {
+		b.Fatal("no Jmol in study")
+	}
+	sessions := jmol.Suite.Sessions
+	b.ResetTimer()
+	var with, without analysis.TriggerShares
+	for i := 0; i < b.N; i++ {
+		with = analysis.TriggerAnalysis(sessions, trace.DefaultPerceptibleThreshold, true, analysis.TriggerOptions{})
+		without = analysis.TriggerAnalysis(sessions, trace.DefaultPerceptibleThreshold, true, analysis.TriggerOptions{NoAsyncReclassify: true})
+	}
+	b.ReportMetric(with.Frac(analysis.TriggerOutput)*100, "output%(paper)")
+	b.ReportMetric(without.Frac(analysis.TriggerAsync)*100, "async%(ablated)")
+	if with.Frac(analysis.TriggerOutput) <= without.Frac(analysis.TriggerOutput) {
+		b.Fatal("reclassification had no effect on Jmol")
+	}
+}
+
+// BenchmarkAblation_Perturbation quantifies measurement overhead (the
+// paper's §V future work): the same session with and without a
+// LiLa-like profiler perturbation (10 % instrumentation slowdown plus
+// profiler allocations), reporting the perceptible-episode inflation.
+func BenchmarkAblation_Perturbation(b *testing.B) {
+	profile := apps.ArgoUML()
+	frac := func(s *trace.Session) float64 {
+		if len(s.Episodes) == 0 {
+			return 0
+		}
+		return float64(len(s.PerceptibleEpisodes(trace.DefaultPerceptibleThreshold))) /
+			float64(len(s.Episodes)) * 100
+	}
+	var clean, perturbed float64
+	for i := 0; i < b.N; i++ {
+		c, err := sim.Run(sim.Config{Profile: profile, Seed: 5, SessionSeconds: 120})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := sim.Run(sim.Config{Profile: profile, Seed: 5, SessionSeconds: 120,
+			Perturbation: &sim.Perturbation{SlowdownFactor: 1.1, ExtraAllocMBPerSec: 20}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clean, perturbed = frac(c), frac(p)
+	}
+	b.ReportMetric(clean, "perceptible%(clean)")
+	b.ReportMetric(perturbed, "perceptible%(perturbed)")
+	if perturbed <= clean {
+		b.Log("note: perturbation did not inflate the perceptible fraction this run")
+	}
+}
+
+// BenchmarkThresholdSweep measures the perceptibility-threshold
+// sensitivity analysis and reports how the perceptible count moves
+// across the literature's thresholds.
+func BenchmarkThresholdSweep(b *testing.B) {
+	sessions := benchSuite().Sessions
+	var points []analysis.ThresholdPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points = analysis.ThresholdSweep(sessions, nil)
+	}
+	b.ReportMetric(float64(points[0].Episodes), "episodes@100ms")
+	b.ReportMetric(float64(points[len(points)-1].Episodes), "episodes@225ms")
+}
+
+// BenchmarkStreamingAnalysis compares the single-pass analyzer's
+// throughput against full session reconstruction on the same records.
+func BenchmarkStreamingAnalysis(b *testing.B) {
+	recs, h := benchRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := stream.AnalyzeRecords(h, recs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Episodes == 0 {
+			b.Fatal("no episodes")
+		}
+	}
+	b.ReportMetric(float64(len(recs)), "records")
+}
+
+// BenchmarkFullRebuild is the baseline for BenchmarkStreamingAnalysis:
+// treebuild plus the equivalent full analyses.
+func BenchmarkFullRebuild(b *testing.B) {
+	recs, h := benchRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _, err := treebuild.BuildRecords(h, recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions := []*trace.Session{s}
+		analysis.TriggerAnalysis(sessions, trace.DefaultPerceptibleThreshold, false, analysis.TriggerOptions{})
+		analysis.LocationAnalysis(sessions, trace.DefaultPerceptibleThreshold, false, nil)
+		analysis.CauseAnalysis(sessions, trace.DefaultPerceptibleThreshold, false)
+	}
+}
+
+// BenchmarkSessionTimeline renders the whole-session timeline.
+func BenchmarkSessionTimeline(b *testing.B) {
+	s := benchSuite().Sessions[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(viz.Timeline(s, viz.TimelineOptions{})) == 0 {
+			b.Fatal("empty timeline")
+		}
+	}
+	b.ReportMetric(float64(len(s.Episodes)), "episodes")
+}

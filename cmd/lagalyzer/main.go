@@ -1,0 +1,387 @@
+// Command lagalyzer analyzes LiLa latency traces: it reconstructs
+// sessions, mines episode patterns, characterizes perceptible lag, and
+// renders episode sketches. It is the command-line face of the
+// LagAlyzer core.
+//
+// Usage:
+//
+//	lagalyzer stats    <trace>...          per-session overview + characterization
+//	lagalyzer patterns [-n 30] <trace>...  pattern table (the paper's §II-E browser table)
+//	lagalyzer sketch   [-episode N] [-svg out.svg] <trace>
+//	lagalyzer browse   <trace>...          interactive pattern browser
+//
+// Traces in either encoding are accepted (sniffed). Generate synthetic
+// traces with lilasim.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/browser"
+	"lagalyzer/internal/diff"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/stream"
+	"lagalyzer/internal/trace"
+	"lagalyzer/internal/treebuild"
+	"lagalyzer/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stats":
+		err = runStats(args)
+	case "patterns":
+		err = runPatterns(args)
+	case "sketch":
+		err = runSketch(args)
+	case "timeline":
+		err = runTimeline(args)
+	case "stream":
+		err = runStream(args)
+	case "browse":
+		err = runBrowse(args)
+	case "diff":
+		err = runDiff(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lagalyzer: unknown command %q\n", cmd)
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lagalyzer:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  lagalyzer stats    <trace>...            full characterization + threshold sweep
+  lagalyzer patterns [-n rows] [-sort count|total|max|avg] [-perceptible] <trace>...
+  lagalyzer sketch   [-episode N] [-svg file] <trace>
+  lagalyzer timeline [-svg file] <trace>   whole-session trace timeline
+  lagalyzer stream   <trace>...            single-pass statistics (O(1) memory)
+  lagalyzer browse   <trace>...            interactive pattern browser
+  lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns`)
+	os.Exit(2)
+}
+
+func loadSessions(paths []string) ([]*trace.Session, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no trace files given")
+	}
+	var sessions []*trace.Session
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := treebuild.ReadSession(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		sessions = append(sessions, s)
+	}
+	return sessions, nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	threshold := fs.Duration("threshold", 100e6, "perceptibility threshold")
+	fs.Parse(args)
+	sessions, err := loadSessions(fs.Args())
+	if err != nil {
+		return err
+	}
+	th := trace.Dur(*threshold)
+
+	for _, s := range sessions {
+		long := len(s.PerceptibleEpisodes(th))
+		fmt.Printf("%s/%d: E2E %v, in-episode %.1f%%, episodes <%v: %d, traced: %d, >=%v: %d, GCs: %d, samples: %d\n",
+			s.App, s.ID, s.E2E(), s.InEpisodeFrac()*100, s.FilterThreshold, s.ShortCount,
+			len(s.Episodes), th, long, len(s.GCs), len(s.Ticks))
+	}
+
+	opts := analysis.TriggerOptions{}
+	trigAll := analysis.TriggerAnalysis(sessions, th, false, opts)
+	trigLong := analysis.TriggerAnalysis(sessions, th, true, opts)
+	fmt.Printf("\ntriggers (all):          input %.1f%%  output %.1f%%  async %.1f%%  unspecified %.1f%%\n",
+		trigAll.Frac(analysis.TriggerInput)*100, trigAll.Frac(analysis.TriggerOutput)*100,
+		trigAll.Frac(analysis.TriggerAsync)*100, trigAll.Frac(analysis.TriggerUnspecified)*100)
+	fmt.Printf("triggers (perceptible):  input %.1f%%  output %.1f%%  async %.1f%%  unspecified %.1f%%\n",
+		trigLong.Frac(analysis.TriggerInput)*100, trigLong.Frac(analysis.TriggerOutput)*100,
+		trigLong.Frac(analysis.TriggerAsync)*100, trigLong.Frac(analysis.TriggerUnspecified)*100)
+
+	locAll := analysis.LocationAnalysis(sessions, th, false, nil)
+	locLong := analysis.LocationAnalysis(sessions, th, true, nil)
+	fmt.Printf("location (all):          library %.1f%%  app %.1f%%  |  gc %.1f%%  native %.1f%%\n",
+		locAll.Library*100, locAll.App*100, locAll.GC*100, locAll.Native*100)
+	fmt.Printf("location (perceptible):  library %.1f%%  app %.1f%%  |  gc %.1f%%  native %.1f%%\n",
+		locLong.Library*100, locLong.App*100, locLong.GC*100, locLong.Native*100)
+
+	concAll, _ := analysis.Concurrency(sessions, th, false)
+	concLong, _ := analysis.Concurrency(sessions, th, true)
+	fmt.Printf("concurrency:             all %.2f  perceptible %.2f runnable threads\n", concAll, concLong)
+
+	cAll := analysis.CauseAnalysis(sessions, th, false)
+	cLong := analysis.CauseAnalysis(sessions, th, true)
+	fmt.Printf("causes (all):            blocked %.1f%%  wait %.1f%%  sleep %.1f%%  runnable %.1f%%\n",
+		cAll.Blocked*100, cAll.Waiting*100, cAll.Sleeping*100, cAll.Runnable*100)
+	fmt.Printf("causes (perceptible):    blocked %.1f%%  wait %.1f%%  sleep %.1f%%  runnable %.1f%%\n",
+		cLong.Blocked*100, cLong.Waiting*100, cLong.Sleeping*100, cLong.Runnable*100)
+
+	// The HCI literature disagrees on where "perceptible" begins;
+	// show the sensitivity.
+	fmt.Println("\nthreshold sensitivity (Shneiderman 100ms; Dabrowski/Munson 150/195ms; MacKenzie/Ware 225ms):")
+	for _, p := range analysis.ThresholdSweep(sessions, nil) {
+		fmt.Printf("  >=%-8v %6d episodes (%5.2f%%)  %6.1f per minute of in-episode time\n",
+			p.Threshold, p.Episodes, p.Frac*100, p.PerMin)
+	}
+	return nil
+}
+
+func runTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	svgOut := fs.String("svg", "", "write SVG to this file (default: text timeline to stdout)")
+	columns := fs.Int("columns", 100, "text timeline width")
+	fs.Parse(args)
+	sessions, err := loadSessions(fs.Args())
+	if err != nil {
+		return err
+	}
+	for _, s := range sessions {
+		if *svgOut != "" {
+			if err := os.WriteFile(*svgOut, []byte(viz.Timeline(s, viz.TimelineOptions{})), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *svgOut)
+			continue
+		}
+		fmt.Print(viz.TimelineText(s, *columns))
+	}
+	return nil
+}
+
+func runStream(args []string) error {
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		r, err := lila.NewReader(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		st, err := stream.Analyze(r, 0)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s/%d: E2E %v, %d episodes (+%d short), %d perceptible, mean %.1fms max %.1fms\n",
+			st.App, st.SessionID, st.E2E, st.Episodes, st.ShortCount, st.Perceptible,
+			st.Durations.Mean(), st.Durations.Max)
+		fmt.Printf("  triggers: input %.0f%% output %.0f%% async %.0f%% unspecified %.0f%%  |  gc %.1f%% native %.1f%%  |  %.2f runnable threads\n",
+			st.Triggers.Frac(analysis.TriggerInput)*100, st.Triggers.Frac(analysis.TriggerOutput)*100,
+			st.Triggers.Frac(analysis.TriggerAsync)*100, st.Triggers.Frac(analysis.TriggerUnspecified)*100,
+			st.GCFrac()*100, st.NativeFrac()*100, st.Concurrency())
+	}
+	if len(args) == 0 {
+		return fmt.Errorf("no trace files given")
+	}
+	return nil
+}
+
+func runPatterns(args []string) error {
+	fs := flag.NewFlagSet("patterns", flag.ExitOnError)
+	rows := fs.Int("n", 30, "rows to show (0 = all)")
+	sortKey := fs.String("sort", "count", "sort key: count, total, max, or avg")
+	perceptibleOnly := fs.Bool("perceptible", false, "elide patterns without perceptible episodes")
+	fs.Parse(args)
+	sessions, err := loadSessions(fs.Args())
+	if err != nil {
+		return err
+	}
+	key, err := browser.ParseSortKey(*sortKey)
+	if err != nil {
+		return err
+	}
+	set := patterns.Classify(sessions, patterns.Options{})
+	b := browser.New(set, 0)
+	b.SetSort(key)
+	b.SetPerceptibleOnly(*perceptibleOnly)
+	fmt.Print(b.Table(*rows))
+	fmt.Printf("unstructured episodes (not classified): %d\n", len(set.Unstructured))
+	return nil
+}
+
+func runSketch(args []string) error {
+	fs := flag.NewFlagSet("sketch", flag.ExitOnError)
+	episode := fs.Int("episode", -1, "episode index (default: longest episode)")
+	svgOut := fs.String("svg", "", "write SVG to this file (default: text sketch to stdout)")
+	fs.Parse(args)
+	sessions, err := loadSessions(fs.Args())
+	if err != nil {
+		return err
+	}
+	s := sessions[0]
+	if len(s.Episodes) == 0 {
+		return fmt.Errorf("session has no traced episodes")
+	}
+	var e *trace.Episode
+	if *episode >= 0 {
+		if *episode >= len(s.Episodes) {
+			return fmt.Errorf("episode %d out of range (session has %d)", *episode, len(s.Episodes))
+		}
+		e = s.Episodes[*episode]
+	} else {
+		e = s.Episodes[0]
+		for _, cand := range s.Episodes {
+			if cand.Dur() > e.Dur() {
+				e = cand
+			}
+		}
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(viz.Sketch(s, e, viz.SketchOptions{})), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (episode %d, %v)\n", *svgOut, e.Index, e.Dur())
+		return nil
+	}
+	fmt.Print(viz.SketchText(s, e))
+	return nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	rows := fs.Int("n", 40, "entries to show (0 = all changed)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two traces (old, new)")
+	}
+	oldSessions, err := loadSessions(fs.Args()[:1])
+	if err != nil {
+		return err
+	}
+	newSessions, err := loadSessions(fs.Args()[1:])
+	if err != nil {
+		return err
+	}
+	oldSet := patterns.Classify(oldSessions, patterns.Options{})
+	newSet := patterns.Classify(newSessions, patterns.Options{})
+	res, err := diff.Compare(oldSet, newSet, diff.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format(*rows))
+	return nil
+}
+
+func runBrowse(args []string) error {
+	sessions, err := loadSessions(args)
+	if err != nil {
+		return err
+	}
+	set := patterns.Classify(sessions, patterns.Options{})
+	b := browser.New(set, 0)
+	fmt.Print(b.Table(20))
+	fmt.Println(`commands: list [n] | sort count|total|max|avg | filter on|off | sel <i> | eps | next | prev | sketch | svg <file> | quit`)
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			fmt.Println()
+			return in.Err()
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		arg := ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		switch fields[0] {
+		case "quit", "q", "exit":
+			return nil
+		case "list":
+			n := 20
+			if arg != "" {
+				n, _ = strconv.Atoi(arg)
+			}
+			fmt.Print(b.Table(n))
+		case "sort":
+			key, err := browser.ParseSortKey(arg)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			b.SetSort(key)
+			fmt.Print(b.Table(20))
+		case "filter":
+			b.SetPerceptibleOnly(arg == "on")
+			fmt.Print(b.Table(20))
+		case "sel":
+			i, convErr := strconv.Atoi(arg)
+			if convErr != nil {
+				fmt.Println("sel needs a pattern index")
+				continue
+			}
+			if err := b.Select(i); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Print(b.EpisodeList())
+		case "eps":
+			fmt.Print(b.EpisodeList())
+		case "next":
+			b.NextEpisode()
+			if txt, ok := b.SketchText(); ok {
+				fmt.Print(txt)
+			}
+		case "prev":
+			b.PrevEpisode()
+			if txt, ok := b.SketchText(); ok {
+				fmt.Print(txt)
+			}
+		case "sketch":
+			if txt, ok := b.SketchText(); ok {
+				fmt.Print(txt)
+			} else {
+				fmt.Println("select a pattern first (sel <i>)")
+			}
+		case "svg":
+			svg, ok := b.SketchSVG()
+			if !ok {
+				fmt.Println("select a pattern first (sel <i>)")
+				continue
+			}
+			if arg == "" {
+				fmt.Println("svg needs a file name")
+				continue
+			}
+			if err := os.WriteFile(arg, []byte(svg), 0o644); err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Println("wrote", arg)
+		default:
+			fmt.Printf("unknown command %q\n", fields[0])
+		}
+	}
+}

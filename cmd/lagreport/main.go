@@ -1,0 +1,122 @@
+// Command lagreport reproduces the paper's full characterization
+// study (Section IV): it simulates the 14 applications × 4 sessions,
+// runs every analysis, prints the tables and figure data as text, and
+// optionally writes the figures as SVG plus an EXPERIMENTS.md
+// comparison against the paper's published numbers.
+//
+// Usage:
+//
+//	lagreport                         # full study, text output
+//	lagreport -sessions 2 -seed 7     # scaled down
+//	lagreport -out results/           # also write SVGs + experiments.md + report.html
+//	lagreport -traces dir/            # analyze recorded traces instead
+//	lagreport -only table3,fig5      # subset of sections
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/trace"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 4, "sessions per application")
+		seed     = flag.Uint64("seed", 42, "base random seed")
+		seconds  = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
+		traces   = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
+		outDir   = flag.String("out", "", "directory for SVG figures and experiments.md (empty = text only)")
+		only     = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	var res *report.StudyResult
+	var err error
+	if *traces != "" {
+		var suites []*trace.Suite
+		suites, err = report.LoadTraceDir(*traces)
+		if err == nil {
+			res = report.AnalyzeSuites(suites, 0)
+		}
+	} else {
+		res, err = report.RunStudy(report.StudyConfig{
+			Seed:           *seed,
+			SessionsPerApp: *sessions,
+			SessionSeconds: *seconds,
+		})
+	}
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	sections := map[string]func() string{
+		"table2": func() string { return "== Table II: applications ==\n" + report.FormatTable2() },
+		"table3": func() string { return "== Table III (paper vs ours) ==\n" + report.FormatTable3Comparison(res.Rows) },
+		"fig3":   func() string { return "== Figure 3 ==\n" + report.FormatFigure3(res) },
+		"fig4":   func() string { return "== Figure 4 ==\n" + report.FormatFigure4(res) },
+		"fig5":   func() string { return "== Figure 5 ==\n" + report.FormatFigure5(res) },
+		"fig6":   func() string { return "== Figure 6 ==\n" + report.FormatFigure6(res) },
+		"fig7":   func() string { return "== Figure 7 ==\n" + report.FormatFigure7(res) },
+		"fig8":   func() string { return "== Figure 8 ==\n" + report.FormatFigure8(res) },
+		"findings": func() string {
+			return "== Section IV findings (paper vs ours) ==\n" + report.FormatFindings(report.Findings(res))
+		},
+	}
+	order := []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "findings"}
+
+	selected := map[string]bool{}
+	if *only == "" {
+		for _, s := range order {
+			selected[s] = true
+		}
+	} else {
+		for _, s := range strings.Split(*only, ",") {
+			s = strings.TrimSpace(s)
+			if _, ok := sections[s]; !ok {
+				fail(fmt.Errorf("unknown section %q (want one of %s)", s, strings.Join(order, ",")))
+			}
+			selected[s] = true
+		}
+	}
+	for _, s := range order {
+		if selected[s] {
+			fmt.Println(sections[s]())
+		}
+	}
+	fmt.Printf("analyzed %d traced episodes across %d applications in %v\n",
+		res.TotalEpisodes(), len(res.Apps), elapsed.Round(time.Millisecond))
+	fmt.Println("(the paper: ~250'000 episodes from 7.5 h of sessions analyzed in 15 minutes)")
+
+	if *outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	for name, svg := range report.Figures(res) {
+		if err := os.WriteFile(filepath.Join(*outDir, name), []byte(svg), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	md := report.FormatExperimentsMarkdown(res)
+	if err := os.WriteFile(filepath.Join(*outDir, "experiments.md"), []byte(md), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(filepath.Join(*outDir, "report.html"), []byte(report.FormatHTML(res)), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d figures, experiments.md, and report.html to %s\n", len(report.Figures(res)), *outDir)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lagreport:", err)
+	os.Exit(1)
+}

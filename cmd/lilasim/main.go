@@ -1,0 +1,98 @@
+// Command lilasim generates synthetic LiLa latency traces by
+// simulating interactive sessions of the study's 14 applications. It
+// stands in for the LiLa profiler + real-application + human-driver
+// combination of the paper (see DESIGN.md).
+//
+// Usage:
+//
+//	lilasim -list
+//	lilasim -app Jmol -seconds 60 -seed 7 -format binary -o jmol.lila
+//	lilasim -app GanttProject -session 2 > gantt.lila.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/sim"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available application profiles and exit")
+		app     = flag.String("app", "", "application profile to simulate (see -list)")
+		session = flag.Int("session", 0, "session id (varies the random stream)")
+		seed    = flag.Uint64("seed", 42, "base random seed")
+		seconds = flag.Float64("seconds", 0, "session length override in seconds (0 = profile default)")
+		format  = flag.String("format", "text", "trace encoding: text or binary")
+		out     = flag.String("o", "", "output file (default stdout)")
+		short   = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available application profiles (Table II of the paper):")
+		for _, p := range apps.Catalog() {
+			fmt.Printf("  %-14s v%-9s %6d classes  %s\n", p.Name, p.Version, p.Classes, p.Description)
+		}
+		return
+	}
+	if *app == "" {
+		fmt.Fprintln(os.Stderr, "lilasim: -app is required (use -list to see profiles)")
+		os.Exit(2)
+	}
+	profile, err := apps.ByName(*app)
+	if err != nil {
+		fail(err)
+	}
+	f, err := lila.ParseFormat(*format)
+	if err != nil {
+		fail(err)
+	}
+
+	recs, header, err := sim.Records(sim.Config{
+		Profile:          profile,
+		SessionID:        *session,
+		Seed:             *seed,
+		SessionSeconds:   *seconds,
+		MaterializeShort: *short,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = file
+	}
+	lw, err := lila.NewWriter(w, f, header)
+	if err != nil {
+		fail(err)
+	}
+	for _, rec := range recs {
+		if err := lw.WriteRecord(rec); err != nil {
+			fail(err)
+		}
+	}
+	if err := lw.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "lilasim: wrote %d records (%s/%d, %s format)\n", len(recs), profile.Name, *session, f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lilasim:", err)
+	os.Exit(1)
+}

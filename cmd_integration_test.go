@@ -1,0 +1,229 @@
+package lagalyzer
+
+// End-to-end tests of the command-line tools: build the real binaries
+// and drive the lilasim → lagalyzer → lagreport workflow through their
+// public interfaces.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTools compiles the three commands once per test binary run.
+var buildTools = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "lagalyzer-tools")
+	if err != nil {
+		return nil, err
+	}
+	tools := map[string]string{}
+	for _, name := range []string{"lilasim", "lagalyzer", "lagreport"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return nil, &buildError{name: name, out: string(out), err: err}
+		}
+		tools[name] = bin
+	}
+	return tools, nil
+})
+
+type buildError struct {
+	name string
+	out  string
+	err  error
+}
+
+func (e *buildError) Error() string { return e.name + ": " + e.err.Error() + "\n" + e.out }
+
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	tools, err := buildTools()
+	if err != nil {
+		t.Fatalf("building tools: %v", err)
+	}
+	return tools[name]
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "cs.lila")
+
+	// lilasim: list profiles, then generate a binary trace.
+	list := run(t, tool(t, "lilasim"), "", "-list")
+	if !strings.Contains(list, "NetBeans") || !strings.Contains(list, "45367") {
+		t.Errorf("lilasim -list output:\n%s", list)
+	}
+	gen := run(t, tool(t, "lilasim"), "",
+		"-app", "CrosswordSage", "-seconds", "20", "-seed", "3", "-format", "binary", "-o", traceFile)
+	if !strings.Contains(gen, "wrote") {
+		t.Errorf("lilasim output: %s", gen)
+	}
+	if fi, err := os.Stat(traceFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	// lagalyzer stats includes the threshold sweep.
+	stats := run(t, tool(t, "lagalyzer"), "", "stats", traceFile)
+	for _, want := range []string{"CrosswordSage/0", "triggers (all)", "threshold sensitivity", ">=225.0ms"} {
+		if !strings.Contains(stats, want) {
+			t.Errorf("stats output missing %q:\n%s", want, stats)
+		}
+	}
+
+	// patterns table with GC column.
+	pats := run(t, tool(t, "lagalyzer"), "", "patterns", "-n", "5", "-sort", "total", traceFile)
+	for _, want := range []string{"patterns:", "gc%", "dispatch("} {
+		if !strings.Contains(pats, want) {
+			t.Errorf("patterns output missing %q:\n%s", want, pats)
+		}
+	}
+
+	// sketch to SVG.
+	svgFile := filepath.Join(dir, "ep.svg")
+	run(t, tool(t, "lagalyzer"), "", "sketch", "-svg", svgFile, traceFile)
+	svg, err := os.ReadFile(svgFile)
+	if err != nil || !strings.Contains(string(svg), "<svg") {
+		t.Errorf("sketch SVG: %v", err)
+	}
+
+	// timeline (text form).
+	tl := run(t, tool(t, "lagalyzer"), "", "timeline", traceFile)
+	if !strings.Contains(tl, "CrosswordSage/0") || !strings.Contains(tl, "gc") {
+		t.Errorf("timeline output:\n%s", tl)
+	}
+
+	// streaming statistics.
+	st := run(t, tool(t, "lagalyzer"), "", "stream", traceFile)
+	if !strings.Contains(st, "episodes") || !strings.Contains(st, "runnable threads") {
+		t.Errorf("stream output:\n%s", st)
+	}
+
+	// interactive browser driven by a scripted session.
+	script := "list 3\nsel 0\neps\nsketch\nnext\nquit\n"
+	br := run(t, tool(t, "lagalyzer"), script, "browse", traceFile)
+	for _, want := range []string{"patterns:", "episode(s)", "dispatch"} {
+		if !strings.Contains(br, want) {
+			t.Errorf("browse output missing %q", want)
+		}
+	}
+
+	// diff between two seeds.
+	trace2 := filepath.Join(dir, "cs2.lila")
+	run(t, tool(t, "lilasim"), "", "-app", "CrosswordSage", "-seconds", "20", "-seed", "8", "-o", trace2)
+	df := run(t, tool(t, "lagalyzer"), "", "diff", traceFile, trace2)
+	if !strings.Contains(df, "patterns:") || !strings.Contains(df, "perceptible episodes:") {
+		t.Errorf("diff output:\n%s", df)
+	}
+}
+
+func TestCLILagreport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	// Scaled-down simulated study with figure output.
+	out := run(t, tool(t, "lagreport"), "",
+		"-sessions", "1", "-seconds", "20", "-only", "table3,findings", "-out", dir)
+	for _, want := range []string{"Table III", "fig5.jmol.output", "report.html"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lagreport output missing %q", want)
+		}
+	}
+	for _, name := range []string{"figure3_pattern_cdf.svg", "experiments.md", "report.html"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+
+	// Trace-directory mode.
+	traceDir := t.TempDir()
+	run(t, tool(t, "lilasim"), "", "-app", "JEdit", "-seconds", "15", "-o", filepath.Join(traceDir, "a.lila"))
+	out = run(t, tool(t, "lagreport"), "", "-traces", traceDir, "-only", "table3")
+	if !strings.Contains(out, "JEdit") {
+		t.Errorf("trace-dir lagreport output:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	// Unknown app fails with a useful message and nonzero status.
+	cmd := exec.Command(tool(t, "lilasim"), "-app", "Photoshop")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if !strings.Contains(string(out), "unknown application") {
+		t.Errorf("error output: %s", out)
+	}
+	// lagalyzer with a missing file.
+	cmd = exec.Command(tool(t, "lagalyzer"), "stats", "/nonexistent/trace.lila")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	// lagalyzer with an unknown subcommand exits 2.
+	cmd = exec.Command(tool(t, "lagalyzer"), "frobnicate")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// TestExamples runs every example program end to end; each must exit
+// zero and print its headline output.
+func TestExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"quickstart", "patterns:"},
+		{"animation", "achieved frame rate"},
+		{"backgroundload", "avg runnable threads"},
+		{"gcpressure", "perceptible lag"},
+		{"customanalysis", "paint nesting depth"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), tc.dir)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+tc.dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			cmd.Dir = t.TempDir() // quickstart writes an SVG into its cwd
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

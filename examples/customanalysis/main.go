@@ -1,0 +1,162 @@
+// Customanalysis: writing a new analysis against LagAlyzer's core API.
+//
+// The paper: "Developers who want to write their own analysis can
+// implement it using the straightforward API provided by the core."
+// This example implements two analyses the paper does not ship:
+//
+//  1. a paint-depth profile — how deeply nested do rendering calls
+//     get, and how does lag grow with nesting depth (the GanttProject
+//     pathology of Figure 2, quantified); and
+//
+//  2. a lag histogram by trigger — what does the episode-duration
+//     distribution look like for input vs output episodes.
+//
+//     go run ./examples/customanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lagalyzer"
+)
+
+func main() {
+	profile, err := lagalyzer.ProfileByName("GanttProject")
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := lagalyzer.Simulate(lagalyzer.SimConfig{Profile: profile, Seed: 21, SessionSeconds: 180})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d traced episodes\n\n", session.App, len(session.Episodes))
+
+	// --- Analysis 1: paint nesting depth vs lag ---------------------
+	// For every episode, find the deepest chain of nested paint
+	// intervals, then bucket episodes by that depth.
+	type bucket struct {
+		episodes int
+		totalLag lagalyzer.Dur
+		long     int
+	}
+	buckets := map[int]*bucket{}
+	maxDepth := 0
+	for _, e := range session.Episodes {
+		depth := maxPaintDepth(e.Root)
+		b := buckets[depth]
+		if b == nil {
+			b = &bucket{}
+			buckets[depth] = b
+		}
+		b.episodes++
+		b.totalLag += e.Dur()
+		if e.Perceptible(lagalyzer.PerceptibleThreshold) {
+			b.long++
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	fmt.Println("paint nesting depth vs lag:")
+	fmt.Printf("  %5s %9s %10s %13s\n", "depth", "episodes", "avg lag", "perceptible")
+	for d := 0; d <= maxDepth; d++ {
+		b := buckets[d]
+		if b == nil {
+			continue
+		}
+		avg := lagalyzer.Dur(int64(b.totalLag) / int64(b.episodes))
+		fmt.Printf("  %5d %9d %10v %12.1f%%\n", d, b.episodes, avg, float64(b.long)/float64(b.episodes)*100)
+	}
+
+	// --- Analysis 2: lag histogram by trigger -----------------------
+	edges := []float64{3, 10, 30, 100, 300, 1000, 1e12} // ms
+	hist := map[lagalyzer.Trigger][]int{}
+	for _, e := range session.Episodes {
+		tr := lagalyzer.TriggerOf(e)
+		if hist[tr] == nil {
+			hist[tr] = make([]int, len(edges))
+		}
+		ms := e.Dur().Ms()
+		for i, hi := range edges {
+			if ms < hi {
+				hist[tr][i]++
+				break
+			}
+		}
+	}
+	fmt.Println("\nlag histogram by trigger (episode counts):")
+	fmt.Printf("  %-12s", "trigger")
+	labels := []string{"<10ms", "<30ms", "<100ms", "<300ms", "<1s", ">=1s"}
+	for _, l := range labels {
+		fmt.Printf(" %8s", l)
+	}
+	fmt.Println()
+	for _, tr := range []lagalyzer.Trigger{lagalyzer.TriggerInput, lagalyzer.TriggerOutput, lagalyzer.TriggerAsync, lagalyzer.TriggerUnspecified} {
+		counts := hist[tr]
+		if counts == nil {
+			continue
+		}
+		fmt.Printf("  %-12s", tr)
+		for i := 1; i < len(edges); i++ {
+			fmt.Printf(" %8d", counts[i])
+		}
+		fmt.Println()
+	}
+
+	// --- Bonus: which component classes appear in the deepest
+	// episodes' paint chains? ---------------------------------------
+	deepest := session.Episodes[0]
+	for _, e := range session.Episodes {
+		if maxPaintDepth(e.Root) > maxPaintDepth(deepest.Root) {
+			deepest = e
+		}
+	}
+	var chain []string
+	cur := deepest.Root
+	for cur != nil {
+		if cur.Kind == lagalyzer.KindPaint {
+			chain = append(chain, shortName(cur.Class))
+		}
+		cur = deepestPaintChild(cur)
+	}
+	fmt.Printf("\ndeepest paint chain (episode #%d, %v):\n  %s\n",
+		deepest.Index, deepest.Dur(), strings.Join(chain, " -> "))
+}
+
+// maxPaintDepth returns the length of the longest chain of nested
+// paint intervals in the tree.
+func maxPaintDepth(iv *lagalyzer.Interval) int {
+	best := 0
+	for _, c := range iv.Children {
+		d := maxPaintDepth(c)
+		if c.Kind == lagalyzer.KindPaint {
+			d++
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// deepestPaintChild returns the child whose subtree has the deepest
+// paint chain, or nil for leaves.
+func deepestPaintChild(iv *lagalyzer.Interval) *lagalyzer.Interval {
+	var best *lagalyzer.Interval
+	bestDepth := -1
+	for _, c := range iv.Children {
+		if d := maxPaintDepth(c); d > bestDepth {
+			best, bestDepth = c, d
+		}
+	}
+	return best
+}
+
+func shortName(class string) string {
+	if i := strings.LastIndexByte(class, '.'); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

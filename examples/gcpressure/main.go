@@ -1,0 +1,96 @@
+// Gcpressure: the Arabeske and ArgoUML findings of the paper (§IV-C,
+// §IV-D) — garbage collection as a cause of perceptible lag.
+//
+// Arabeske explicitly calls System.gc() during interactive episodes:
+// the resulting episodes are structurally empty (their only content is
+// a long major collection), classify as "unspecified" in the trigger
+// analysis, and put GC at ~60 % of the application's perceptible lag.
+// ArgoUML never calls System.gc() but allocates so fast that minor
+// collections pepper all of its episodes.
+//
+//	go run ./examples/gcpressure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lagalyzer"
+)
+
+func main() {
+	for _, name := range []string{"Arabeske", "ArgoUML"} {
+		profile, err := lagalyzer.ProfileByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		session, err := lagalyzer.Simulate(lagalyzer.SimConfig{Profile: profile, Seed: 8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sessions := []*lagalyzer.Session{session}
+
+		locAll := lagalyzer.Location(sessions, lagalyzer.PerceptibleThreshold, false)
+		locLong := lagalyzer.Location(sessions, lagalyzer.PerceptibleThreshold, true)
+		fmt.Printf("%s: %d collections; GC is %.0f%% of all episode time, %.0f%% of perceptible lag\n",
+			name, len(session.GCs), locAll.GC*100, locLong.GC*100)
+
+		majors := 0
+		for _, gc := range session.GCs {
+			if gc.Major {
+				majors++
+			}
+		}
+		fmt.Printf("  %d major / %d minor collections\n", majors, len(session.GCs)-majors)
+
+		if name == "Arabeske" {
+			// Find a System.gc() episode: perceptible, unstructured,
+			// holding one big GC interval.
+			trig := lagalyzer.Triggers(sessions, lagalyzer.PerceptibleThreshold, true)
+			fmt.Printf("  perceptible episodes with unspecified trigger: %.0f%%\n",
+				trig.Frac(lagalyzer.TriggerUnspecified)*100)
+			for _, e := range session.PerceptibleEpisodes(lagalyzer.PerceptibleThreshold) {
+				if lagalyzer.TriggerOf(e) == lagalyzer.TriggerUnspecified && e.Root.HasKind(lagalyzer.KindGC) {
+					gc := e.Root.FindKind(lagalyzer.KindGC)
+					fmt.Printf("  example: episode #%d lasts %v, of which the explicit collection takes %v:\n",
+						e.Index, e.Dur(), gc.Dur())
+					fmt.Print(indent(lagalyzer.SketchText(session, e)))
+					break
+				}
+			}
+		} else {
+			// ArgoUML: collections spread through ordinary episodes.
+			withGC := 0
+			for _, e := range session.Episodes {
+				if e.Root.HasKind(lagalyzer.KindGC) {
+					withGC++
+				}
+			}
+			fmt.Printf("  %d of %d traced episodes contain a collection\n", withGC, len(session.Episodes))
+		}
+		fmt.Println()
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

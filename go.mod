@@ -1,0 +1,3 @@
+module lagalyzer
+
+go 1.22

@@ -1,0 +1,132 @@
+// Package analysis implements LagAlyzer's characterization analyses
+// (Section IV of the paper): overview statistics (Table III), episode
+// trigger classification (Figure 5), location of time (Figure 6),
+// concurrency (Figure 7), and the causes of lag — synchronization,
+// sleep, and work (Figure 8).
+//
+// All analyses operate on trace.Session values and are pure functions:
+// they never mutate their inputs and carry no global state, so callers
+// can run them concurrently over different suites.
+package analysis
+
+import "lagalyzer/internal/trace"
+
+// Trigger classifies what initiated an episode (Section IV-C).
+type Trigger int
+
+const (
+	// TriggerInput: the episode was triggered by user input — its
+	// first significant interval is a listener notification.
+	TriggerInput Trigger = iota
+	// TriggerOutput: the episode renders to the screen — its first
+	// significant interval is a paint (or a repaint-manager async
+	// wrapping a paint; see Options.NoAsyncReclassify).
+	TriggerOutput
+	// TriggerAsync: the episode handles an event posted by a
+	// background thread.
+	TriggerAsync
+	// TriggerUnspecified: the episode has no listener, paint, or
+	// async interval long enough to have passed the trace filter.
+	TriggerUnspecified
+
+	numTriggers = iota
+)
+
+var triggerNames = [numTriggers]string{
+	TriggerInput:       "input",
+	TriggerOutput:      "output",
+	TriggerAsync:       "async",
+	TriggerUnspecified: "unspecified",
+}
+
+// String returns the trigger's lowercase name as used in Figure 5.
+func (t Trigger) String() string {
+	if int(t) >= numTriggers {
+		return "trigger(?)"
+	}
+	return triggerNames[t]
+}
+
+// Triggers returns all trigger classes in Figure 5's stacking order.
+func Triggers() []Trigger {
+	ts := make([]Trigger, numTriggers)
+	for i := range ts {
+		ts[i] = Trigger(i)
+	}
+	return ts
+}
+
+// TriggerOptions tune the trigger classification; the zero value is
+// the paper's configuration.
+type TriggerOptions struct {
+	// NoAsyncReclassify disables the Swing repaint-manager special
+	// case. The paper observes that the toolkit's repaint manager
+	// enqueues paint requests through the event queue even on the GUI
+	// thread, producing episodes with an "async" interval containing
+	// a "paint" interval; those are really output episodes and are
+	// reclassified as such. Setting this flag keeps them async — the
+	// ablation measured by BenchmarkAblation_AsyncReclassify.
+	NoAsyncReclassify bool
+}
+
+// TriggerOf determines an episode's trigger with the paper's rules: a
+// preorder traversal of the interval tree finds the first listener,
+// paint, or async interval, whose type decides the class. An async
+// interval that contains a paint interval is reclassified as output
+// (repaint-manager episodes), unless opts disables that.
+func TriggerOf(e *trace.Episode, opts TriggerOptions) Trigger {
+	deciding := e.Root.Find(func(n *trace.Interval) bool {
+		switch n.Kind {
+		case trace.KindListener, trace.KindPaint, trace.KindAsync:
+			return true
+		}
+		return false
+	})
+	if deciding == nil {
+		return TriggerUnspecified
+	}
+	switch deciding.Kind {
+	case trace.KindListener:
+		return TriggerInput
+	case trace.KindPaint:
+		return TriggerOutput
+	default: // async
+		if !opts.NoAsyncReclassify && deciding.HasKind(trace.KindPaint) {
+			return TriggerOutput
+		}
+		return TriggerAsync
+	}
+}
+
+// TriggerShares is the per-class episode fraction for one population
+// of episodes (one bar of Figure 5). Fractions sum to 1 unless the
+// population was empty.
+type TriggerShares struct {
+	Counts [numTriggers]int
+	Total  int
+}
+
+// Frac returns the fraction of episodes with the given trigger.
+func (ts TriggerShares) Frac(t Trigger) float64 {
+	if ts.Total == 0 {
+		return 0
+	}
+	return float64(ts.Counts[t]) / float64(ts.Total)
+}
+
+// TriggerAnalysis tallies the triggers of the sessions' episodes;
+// onlyPerceptible restricts the population to episodes at or above
+// the threshold (the lower panel of Figure 5).
+func TriggerAnalysis(sessions []*trace.Session, threshold trace.Dur, onlyPerceptible bool, opts TriggerOptions) TriggerShares {
+	var ts TriggerShares
+	for _, s := range sessions {
+		for _, e := range s.Episodes {
+			if onlyPerceptible && !e.Perceptible(threshold) {
+				continue
+			}
+			ts.Counts[TriggerOf(e, opts)]++
+			ts.Total++
+		}
+	}
+	return ts
+}

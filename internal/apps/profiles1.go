@@ -1,0 +1,566 @@
+package apps
+
+import (
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// Arabeske is the texture editor. Targets: E2E 461 s, In-Eps 25 %,
+// 324k/6278/177 episodes, Long/min 95, 427 patterns (62 % singleton).
+// Standouts (§IV-C, §IV-D): 57 % of perceptible episodes are
+// *unspecified* — the program calls System.gc() during interactive
+// episodes, producing empty episodes holding one long major
+// collection — and GC accounts for ~60 % of perceptible lag.
+// Concurrency slightly above 1 (texture-generation background thread).
+func Arabeske() *sim.Profile {
+	ui := []string{
+		"org.arabeske.ui.TextureView", "org.arabeske.ui.PalettePanel",
+		"org.arabeske.ui.PreviewPane", "org.arabeske.ui.SymmetryChooser",
+		"org.arabeske.ui.LayerList", "org.arabeske.ui.RulerPane",
+		"org.arabeske.ui.StatusBar",
+	}
+	tiles := []string{
+		"org.arabeske.render.TileRenderer", "org.arabeske.render.EdgeRenderer",
+		"org.arabeske.render.MotifRenderer", "org.arabeske.render.BorderRenderer",
+		"org.arabeske.render.GridOverlay",
+	}
+	return &sim.Profile{
+		Name: "Arabeske", Version: "2.0.1", Classes: 222,
+		Description: "Arabeske texture editor",
+		AppPackage:  "org.arabeske",
+
+		SessionSeconds: 461,
+		ThinkTimeMs:    stats.Exp{MeanV: 55},
+		ShortPerSecond: 702,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "drag-draw", Weight: 40,
+				DurMs: dur(5.2, 1.17),
+				Nodes: []sim.Node{
+					listener("org.arabeske.ui.ToolController", "mouseDragged", 0.5,
+						pooledPaints(ui, 0.12, 3,
+							optional(pooledPaints(tiles, 0.07, 2), 0.6)),
+						optional(native("sun.java2d.loops.Blit", "Blit", 0.07), 0.3),
+					),
+				},
+			},
+			{
+				Name: "palette-edit", Weight: 28,
+				DurMs: dur(5.2, 1.17),
+				Nodes: []sim.Node{
+					listener("org.arabeske.ui.PaletteHandler", "actionPerformed", 0.55,
+						pooledPaints(ui, 0.13, 3,
+							optional(pooledPaints(tiles, 0.07, 1), 0.4)),
+					),
+				},
+			},
+			{
+				Name: "repaint", Weight: 30,
+				DurMs: dur(5.2, 1.35),
+				Nodes: []sim.Node{
+					paintChain(0.45, swingPaintClasses("org.arabeske.ui.TextureView"),
+						pooledPaints(tiles, 0.11, 3),
+						optional(native("sun.java2d.loops.DrawLine", "DrawLine", 0.08), 0.3)),
+				},
+			},
+			{
+				// The System.gc() behaviour: the tiny listener falls
+				// below the trace filter, so the episode's only
+				// visible content is the collection — unspecified
+				// trigger, almost fully GC.
+				Name: "system-gc", Weight: 1.4,
+				DurMs: slowDur(160, 0.45),
+				Nodes: []sim.Node{
+					{Kind: trace.KindListener, Class: "org.arabeske.ui.CleanupAction", Method: "actionPerformed",
+						Weight: 0.0001, ExplicitGC: true},
+				},
+			},
+		},
+
+		Heap: sim.HeapConfig{
+			CapacityMB:        24,
+			AllocMBPerSec:     45,
+			IdleAllocMBPerSec: 0.4,
+			MinorPauseMs:      stats.Uniform{Lo: 8, Hi: 25},
+			MajorEvery:        0, // majors come from System.gc()
+			MajorPauseMs:      stats.Uniform{Lo: 150, Hi: 550},
+			RampMs:            stats.Uniform{Lo: 0.2, Hi: 3},
+			PostDelayMs:       stats.Uniform{Lo: 0.5, Hi: 8},
+		},
+		Background: []*sim.BackgroundThread{
+			{Name: "texture-generator", ActiveFrom: 30, ActiveTo: 340, Duty: 0.45, AllocMBPerSec: 2,
+				Stack: []trace.Frame{
+					{Class: "org.arabeske.render.Generator", Method: "generateTile"},
+					{Class: "org.arabeske.render.Generator", Method: "run"},
+					{Class: "java.lang.Thread", Method: "run"},
+				}},
+		},
+	}
+}
+
+// ArgoUML is the UML CASE tool. Targets: E2E 630 s, In-Eps 35 %,
+// 196k/9066/265 episodes, and the most patterns of the suite (1292,
+// 66 % singleton — "these episodes belong to many different patterns,
+// representing the complexity of the application", §IV-C). Standouts:
+// 78 % of perceptible episodes are input (model updates with
+// expensive checks); GC takes 26 % of perceptible and 16 % of all
+// episode time — a generally high allocation rate (§IV-D).
+func ArgoUML() *sim.Profile {
+	figs := []string{
+		"org.argouml.uml.diagram.ui.FigClass", "org.argouml.uml.diagram.ui.FigInterface",
+		"org.argouml.uml.diagram.ui.FigEdgeAssociation", "org.argouml.uml.diagram.ui.FigPackage",
+		"org.argouml.uml.diagram.ui.FigActor", "org.argouml.uml.diagram.ui.FigUseCase",
+		"org.argouml.uml.diagram.ui.FigStateVertex", "org.argouml.uml.diagram.ui.FigTransition",
+	}
+	panels := []string{
+		"org.argouml.ui.TabProps", "org.argouml.ui.TabDocumentation",
+		"org.argouml.ui.TabStyle", "org.argouml.ui.TabSource",
+		"org.argouml.ui.explorer.ExplorerTree", "org.argouml.ui.TabToDo",
+	}
+	return &sim.Profile{
+		Name: "ArgoUML", Version: "0.28", Classes: 5349,
+		Description: "UML CASE tool",
+		AppPackage:  "org.argouml",
+
+		SessionSeconds: 630,
+		ThinkTimeMs:    stats.Exp{MeanV: 45},
+		ShortPerSecond: 311,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "diagram-edit", Weight: 62,
+				DurMs: dur(11.0, 1.0),
+				Nodes: []sim.Node{
+					listener("org.argouml.uml.diagram.DiagramMouseListener", "mouseClicked", 0.4,
+						pooledPaints(figs, 0.08, 4,
+							optional(pooledPaints(figs, 0.05, 1), 0.35)),
+						optional(pooledPaints(panels, 0.07, 2), 0.6),
+						optional(native("sun.java2d.pipe.SpanShapeRenderer", "renderPath", 0.05), 0.2),
+					),
+				},
+			},
+			{
+				Name: "property-panel", Weight: 22,
+				DurMs: dur(11.0, 1.0),
+				Nodes: []sim.Node{
+					listener("org.argouml.ui.PropPanel", "actionPerformed", 0.45,
+						pooledPaints(panels, 0.1, 3),
+					),
+				},
+			},
+			{
+				Name: "canvas-repaint", Weight: 12,
+				DurMs: dur(11.0, 1.0),
+				Nodes: []sim.Node{
+					paintChain(0.4, swingPaintClasses("org.argouml.uml.diagram.DiagramCanvas"),
+						pooledPaints(figs, 0.07, 3)),
+				},
+			},
+			{
+				Name: "explorer-update", Weight: 4,
+				DurMs: dur(14, 0.95),
+				Nodes: []sim.Node{
+					async("org.argouml.ui.explorer.ExplorerUpdateEvent", 0.35,
+						optional(pooledPaints(panels, 0.08, 1), 0.35)),
+				},
+			},
+		},
+
+		Heap: sim.HeapConfig{
+			CapacityMB:        20,
+			AllocMBPerSec:     110, // high allocation rate (§IV-D)
+			IdleAllocMBPerSec: 1.2,
+			MinorPauseMs:      stats.Uniform{Lo: 18, Hi: 42},
+			MajorEvery:        25,
+			MajorPauseMs:      stats.Uniform{Lo: 90, Hi: 220},
+			RampMs:            stats.Uniform{Lo: 0.2, Hi: 3},
+			PostDelayMs:       stats.Uniform{Lo: 0.5, Hi: 8},
+		},
+	}
+}
+
+// CrosswordSage is the crossword puzzle editor — the suite's smallest
+// application. Targets: E2E 367 s, In-Eps 8 %, 110k/1173/36 episodes,
+// 119 patterns with the suite's lowest singleton fraction (46 %).
+func CrosswordSage() *sim.Profile {
+	ui := []string{
+		"crosswordsage.CrosswordGrid", "crosswordsage.CluePanel",
+		"crosswordsage.WordList", "crosswordsage.GridSquare",
+		"crosswordsage.ScoreBar",
+	}
+	return &sim.Profile{
+		Name: "CrosswordSage", Version: "0.3.5", Classes: 34,
+		Description: "Crossword puzzle editor",
+		AppPackage:  "crosswordsage",
+
+		SessionSeconds: 367,
+		ThinkTimeMs:    stats.Exp{MeanV: 265},
+		ShortPerSecond: 298,
+		LibraryFrac:    0.55,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "type-letter", Weight: 35,
+				DurMs: dur(14.9, 0.87),
+				Nodes: []sim.Node{
+					listener("crosswordsage.CrosswordGrid", "keyTyped", 0.55,
+						pooledPaints(ui, 0.15, 3)),
+				},
+			},
+			{
+				Name: "suggest-word", Weight: 20,
+				DurMs: dur(14.9, 0.87),
+				Nodes: []sim.Node{
+					listener("crosswordsage.SolveMenu", "actionPerformed", 0.5,
+						pooledPaints(ui, 0.15, 3)),
+				},
+			},
+			{
+				Name: "grid-repaint", Weight: 45,
+				DurMs: dur(14.9, 1.03),
+				Nodes: []sim.Node{
+					paintChain(0.5, swingPaintClasses("crosswordsage.CrosswordGrid"),
+						pooledPaints(ui[1:], 0.13, 2)),
+				},
+			},
+		},
+
+		Heap: gentleHeap(),
+	}
+}
+
+// Euclide is the geometry construction kit. Targets: E2E 614 s,
+// In-Eps 35 %, 110k/9676/96 episodes — a low perceptible rate — and
+// the lowest singleton fraction after CrosswordSage (35 %). Standouts
+// (§IV-D, §IV-E): 73 % of perceptible lag in the runtime library, and
+// over 60 % of perceptible lag is voluntary sleep inside Apple's
+// combo-box blink animation.
+func Euclide() *sim.Profile {
+	ui := []string{
+		"org.euclide.ui.GeometryCanvas", "org.euclide.draw.FigureLayer",
+		"org.euclide.ui.ToolPalette", "org.euclide.ui.CoordinatePane",
+		"org.euclide.draw.PointFigure", "org.euclide.draw.SegmentFigure",
+		"org.euclide.draw.CircleFigure",
+	}
+	comboBlink := []trace.Frame{
+		{Class: "com.apple.laf.AquaComboBoxUI", Method: "blinkSelection"},
+		{Class: "com.apple.laf.AquaComboBoxPopup", Method: "fireActionEvent"},
+	}
+	return &sim.Profile{
+		Name: "Euclide", Version: "0.5.2", Classes: 398,
+		Description: "Geometry construction kit",
+		AppPackage:  "org.euclide",
+
+		SessionSeconds: 614,
+		ThinkTimeMs:    stats.Exp{MeanV: 41},
+		ShortPerSecond: 178,
+		LibraryFrac:    0.6,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "construct", Weight: 35,
+				DurMs: dur(14.5, 0.6),
+				Nodes: []sim.Node{
+					listener("org.euclide.ui.GeometryCanvas", "mousePressed", 0.5,
+						pooledPaints(ui, 0.16, 2)),
+				},
+			},
+			{
+				Name: "toolbar", Weight: 24,
+				DurMs: dur(14.5, 0.6),
+				Nodes: []sim.Node{
+					listener("org.euclide.ui.ToolPalette", "actionPerformed", 0.55,
+						pooledPaints(ui, 0.17, 2)),
+				},
+			},
+			{
+				Name: "repaint", Weight: 40,
+				DurMs: dur(14.5, 0.6),
+				Nodes: []sim.Node{
+					paintChain(0.45, swingPaintClasses("org.euclide.ui.GeometryCanvas"),
+						pooledPaints(ui[1:], 0.15, 2)),
+				},
+			},
+			{
+				// The combo-box behaviour: Apple's toolkit blinks the
+				// selection with Thread.sleep on the EDT (§IV-E).
+				Name: "combobox-select", Weight: 0.85,
+				DurMs: slowDur(330, 0.5),
+				Nodes: []sim.Node{
+					{
+						Kind: trace.KindListener, Class: "javax.swing.JComboBox", Method: "actionPerformed",
+						Weight: 0.9, States: sim.StateMix{Sleeping: 0.68},
+						LibFrac: 0.78, ExtraFrames: comboBlink,
+					},
+				},
+			},
+		},
+
+		Heap: gentleHeap(),
+	}
+}
+
+// FindBugs is the bug browser. Targets: E2E 599 s, In-Eps 21 %,
+// 39k/6336/120 episodes (the lowest short-episode rate). Standouts:
+// the largest asynchronous share (42 % of perceptible episodes — a
+// background thread periodically updates the progress bar, often with
+// a GC in the middle, §IV-C) and concurrency above 1 (a project-load
+// thread competing with the EDT for roughly three minutes, §IV-E).
+func FindBugs() *sim.Profile {
+	ui := []string{
+		"edu.umd.cs.findbugs.gui2.BugTreePanel", "edu.umd.cs.findbugs.gui2.BugDetailsPanel",
+		"edu.umd.cs.findbugs.gui2.SourceCodeDisplay", "edu.umd.cs.findbugs.gui2.SummaryPanel",
+		"edu.umd.cs.findbugs.gui2.NavigationTree", "edu.umd.cs.findbugs.gui2.PriorityBadge",
+	}
+	progressStack := []trace.Frame{
+		{Class: "javax.swing.plaf.basic.BasicProgressBarUI", Method: "paintIndeterminate"},
+		{Class: "javax.swing.JProgressBar", Method: "setValue"},
+	}
+	return &sim.Profile{
+		Name: "FindBugs", Version: "1.3.8", Classes: 3698,
+		Description: "Bug browser",
+		AppPackage:  "edu.umd.cs.findbugs",
+
+		SessionSeconds: 599,
+		ThinkTimeMs:    stats.Exp{MeanV: 85},
+		ShortPerSecond: 65.5,
+		LibraryFrac:    0.55,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "browse-bugs", Weight: 50,
+				DurMs: dur(11.7, 0.88),
+				Nodes: []sim.Node{
+					listener("edu.umd.cs.findbugs.gui2.MainFrame", "valueChanged", 0.5,
+						pooledPaints(ui, 0.13, 2,
+							optional(pooledPaints(ui, 0.06, 1), 0.35))),
+				},
+			},
+			{
+				Name: "filter", Weight: 20,
+				DurMs: dur(11.7, 0.88),
+				Nodes: []sim.Node{
+					listener("edu.umd.cs.findbugs.gui2.FilterAction", "actionPerformed", 0.5,
+						pooledPaints(ui, 0.13, 2)),
+				},
+			},
+			{
+				Name: "detail-repaint", Weight: 30,
+				DurMs: dur(11.7, 1.02),
+				Nodes: []sim.Node{
+					paintChain(0.45, swingPaintClasses("edu.umd.cs.findbugs.gui2.BugDetailsPanel"),
+						pooledPaints(ui, 0.12, 3)),
+				},
+			},
+		},
+
+		Timers: []*sim.Timer{
+			{
+				// Progress-bar updates posted by the analysis thread
+				// while the project loads. The async interval holds
+				// toolkit animation self time (no traced paint child,
+				// so the episodes stay asynchronous in Figure 5) and
+				// allocates enough that collections regularly land
+				// inside (§IV-C).
+				Behavior: &sim.Behavior{
+					Name:  "progress-update",
+					DurMs: dur(26, 1.05),
+					Nodes: []sim.Node{
+						{
+							Kind: trace.KindAsync, Class: "edu.umd.cs.findbugs.gui2.ProgressUpdateEvent", Method: "dispatch",
+							Weight: 0.9, LibFrac: 0.85, AllocFactor: 3, ExtraFrames: progressStack,
+							Children: []sim.Node{{Kind: trace.KindListener, Class: "javax.swing.JProgressBar", Method: "fireStateChanged", Weight: 0.032}},
+						},
+					},
+				},
+				PeriodMs:   stats.Uniform{Lo: 300, Hi: 500},
+				ActiveFrom: 20, ActiveTo: 200,
+			},
+		},
+
+		Heap: sim.HeapConfig{
+			CapacityMB:        24,
+			AllocMBPerSec:     50,
+			IdleAllocMBPerSec: 0.8,
+			MinorPauseMs:      stats.Uniform{Lo: 10, Hi: 30},
+			MajorEvery:        16,
+			MajorPauseMs:      stats.Uniform{Lo: 70, Hi: 180},
+			RampMs:            stats.Uniform{Lo: 0.2, Hi: 3},
+			PostDelayMs:       stats.Uniform{Lo: 0.5, Hi: 8},
+		},
+		Background: []*sim.BackgroundThread{
+			{Name: "project-loader", ActiveFrom: 20, ActiveTo: 200, Duty: 0.92, AllocMBPerSec: 14,
+				Stack: []trace.Frame{
+					{Class: "edu.umd.cs.findbugs.ba.ClassContext", Method: "analyze"},
+					{Class: "edu.umd.cs.findbugs.FindBugsWorker", Method: "run"},
+					{Class: "java.lang.Thread", Method: "run"},
+				}},
+		},
+	}
+}
+
+// FreeMind is the mind-mapping editor. Targets: E2E 524 s, In-Eps
+// 11 %, 325k/3462/26 episodes — only 26 perceptible episodes per
+// session, so 92 % of its patterns are never slow (Figure 4's "never"
+// extreme). Standout: 12 % of perceptible lag is monitor contention in
+// the runtime library's display-configuration code (§IV-E).
+func FreeMind() *sim.Profile {
+	ui := []string{
+		"freemind.view.MapView", "freemind.view.NodeView",
+		"freemind.view.EdgeView", "freemind.view.CloudView",
+		"freemind.view.RootNodeView", "freemind.view.ArrowLinkView",
+	}
+	displayConfig := []trace.Frame{
+		{Class: "sun.awt.CGraphicsDevice", Method: "getDisplayMode"},
+		{Class: "java.awt.GraphicsEnvironment", Method: "getDefaultScreenDevice"},
+	}
+	return &sim.Profile{
+		Name: "FreeMind", Version: "0.8.1", Classes: 1909,
+		Description: "Mind mapping editor",
+		AppPackage:  "freemind",
+
+		SessionSeconds: 524,
+		ThinkTimeMs:    stats.Exp{MeanV: 135},
+		ShortPerSecond: 620,
+		LibraryFrac:    0.55,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "fold-node", Weight: 32,
+				DurMs: dur(11.7, 0.69),
+				Nodes: []sim.Node{
+					listener("freemind.controller.NodeMouseMotionListener", "mouseClicked", 0.5,
+						pooledPaints(ui, 0.15, 3,
+							optional(pooledPaints(ui, 0.07, 1), 0.3))),
+				},
+			},
+			{
+				Name: "edit-node", Weight: 28,
+				DurMs: dur(11.7, 0.69),
+				Nodes: []sim.Node{
+					listener("freemind.modes.EditNodeAction", "actionPerformed", 0.55,
+						pooledPaints(ui, 0.15, 3)),
+				},
+			},
+			{
+				Name: "map-repaint", Weight: 40,
+				DurMs: dur(11.7, 0.85),
+				Nodes: []sim.Node{
+					paintChain(0.5, swingPaintClasses("freemind.view.MapView"),
+						pooledPaints(ui[1:], 0.14, 3)),
+				},
+			},
+			{
+				// Rare display-configuration lookups that block on a
+				// toolkit-internal monitor.
+				Name: "display-config", Weight: 0.45,
+				DurMs: slowDur(170, 0.4),
+				Nodes: []sim.Node{
+					{
+						Kind: trace.KindListener, Class: "freemind.view.MapView", Method: "componentResized",
+						Weight: 0.9, States: sim.StateMix{Blocked: 0.2},
+						LibFrac: 0.9, ExtraFrames: displayConfig,
+					},
+				},
+			},
+		},
+
+		Heap: gentleHeap(),
+	}
+}
+
+// GanttProject is the Gantt chart editor — the suite's pathological
+// case. Targets: E2E 523 s, In-Eps 47 %, 127k/2564/706 episodes,
+// Long/min 168, and the richest trees (18 descendants, depth 12 —
+// Figure 2 shows a paint request recursing through a deeply nested
+// component tree). 57 % of its patterns are always slow, largely
+// because structural diversity produces many perceptible singletons
+// (§IV-B); One-Ep is the highest at 70 %.
+func GanttProject() *sim.Profile {
+	chartChain := []string{
+		"net.sourceforge.ganttproject.GanttGraphicArea",
+		"net.sourceforge.ganttproject.chart.ChartModelImpl",
+		"net.sourceforge.ganttproject.chart.TimelineSheet",
+		"net.sourceforge.ganttproject.chart.TaskRendererImpl",
+		"net.sourceforge.ganttproject.chart.GridRenderer",
+		"net.sourceforge.ganttproject.chart.DayGridRenderer",
+		"net.sourceforge.ganttproject.chart.BarChartRenderer",
+	}
+	bars := []string{
+		"net.sourceforge.ganttproject.chart.TaskBar",
+		"net.sourceforge.ganttproject.chart.MilestoneBar",
+		"net.sourceforge.ganttproject.chart.SummaryBar",
+		"net.sourceforge.ganttproject.chart.DependencyArrow",
+		"net.sourceforge.ganttproject.chart.ProgressBar",
+	}
+	taskBars := sim.Node{
+		Kind: trace.KindPaint, ClassPool: bars, Method: "paint",
+		Weight: 0.035, Repeat: stats.UniformInt{Lo: 1, Hi: 6},
+		Children: []sim.Node{
+			optional(native("sun.java2d.loops.FillRect", "FillRect", 0.012), 0.3),
+		},
+	}
+	return &sim.Profile{
+		Name: "GanttProject", Version: "2.0.9", Classes: 5288,
+		Description: "Gantt chart editor",
+		AppPackage:  "net.sourceforge.ganttproject",
+
+		SessionSeconds: 523,
+		ThinkTimeMs:    stats.Exp{MeanV: 108},
+		ShortPerSecond: 243,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				// The signature deep repaint: the whole Swing cascade
+				// down into the chart's renderer stack with variable
+				// numbers of pooled bar paints.
+				Name: "chart-repaint", Weight: 45,
+				DurMs: dur(51.4, 1.12),
+				Nodes: []sim.Node{
+					paintChain(0.5,
+						append(swingPaintClasses(), chartChain...),
+						repeated(taskBars, 1, 4),
+					),
+				},
+			},
+			{
+				Name: "scroll-chart", Weight: 35,
+				DurMs: dur(51.4, 1.12),
+				Nodes: []sim.Node{
+					listener("net.sourceforge.ganttproject.ScrollingManager", "scrollObtained", 0.15,
+						paintChain(0.45, append([]string{"javax.swing.JViewport"}, chartChain...),
+							repeated(taskBars, 1, 6)),
+					),
+				},
+			},
+			{
+				Name: "edit-task", Weight: 20,
+				DurMs: dur(45, 1.0),
+				Nodes: []sim.Node{
+					listener("net.sourceforge.ganttproject.task.TaskPropertiesAction", "actionPerformed", 0.35,
+						optional(paintChain(0.3, append([]string{"net.sourceforge.ganttproject.GanttTree2"}, chartChain[:4]...)), 0.7),
+						pooledPaints(bars, 0.05, 3),
+					),
+				},
+			},
+		},
+
+		Heap: defaultHeap(),
+	}
+}
+
+// gentleHeap is defaultHeap with a quarter of the allocation pressure,
+// for applications whose perceptible-episode budget is tiny (FreeMind,
+// JEdit, Euclide, CrosswordSage, Laoe): frequent collections would
+// otherwise push their borderline episodes over the threshold.
+func gentleHeap() sim.HeapConfig {
+	h := defaultHeap()
+	h.AllocMBPerSec = 10
+	h.IdleAllocMBPerSec = 0.2
+	return h
+}

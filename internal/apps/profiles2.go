@@ -1,0 +1,481 @@
+package apps
+
+import (
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// JEdit is the programmer's text editor. Targets: E2E 502 s, In-Eps
+// 9 %, 118k/2271/24 episodes — with FreeMind the least perceptible
+// lag. Standout (§IV-E): over 25 % of perceptible lag is time waiting
+// in Object.wait(), caused by event processing inside modal dialogs.
+func JEdit() *sim.Profile {
+	ui := []string{
+		"org.gjt.sp.jedit.textarea.TextAreaPainter", "org.gjt.sp.jedit.textarea.Gutter",
+		"org.gjt.sp.jedit.gui.StatusBar", "org.gjt.sp.jedit.gui.DockablePanel",
+		"org.gjt.sp.jedit.textarea.StructureMatcher",
+	}
+	modalWait := []trace.Frame{
+		{Class: "java.awt.Dialog", Method: "show"},
+		{Class: "org.gjt.sp.jedit.gui.CompleteWord", Method: "processKeyEvent"},
+	}
+	return &sim.Profile{
+		Name: "JEdit", Version: "4.3pre16", Classes: 1150,
+		Description: "Programmer's text editor",
+		AppPackage:  "org.gjt.sp.jedit",
+
+		SessionSeconds: 502,
+		ThinkTimeMs:    stats.Exp{MeanV: 201},
+		ShortPerSecond: 234,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "keystroke", Weight: 50,
+				DurMs: dur(14.0, 0.72),
+				Nodes: []sim.Node{
+					listener("org.gjt.sp.jedit.textarea.TextArea", "userInput", 0.55,
+						pooledPaints(ui, 0.14, 3)),
+				},
+			},
+			{
+				Name: "buffer-switch", Weight: 22,
+				DurMs: dur(14.0, 0.72),
+				Nodes: []sim.Node{
+					listener("org.gjt.sp.jedit.EditPane", "bufferChanged", 0.45,
+						pooledPaints(ui, 0.1, 3)),
+				},
+			},
+			{
+				Name: "repaint", Weight: 27,
+				DurMs: dur(14.0, 0.89),
+				Nodes: []sim.Node{
+					paintChain(0.5, swingPaintClasses("org.gjt.sp.jedit.textarea.TextAreaPainter"),
+						pooledPaints(ui[1:], 0.13, 2)),
+				},
+			},
+			{
+				// Modal dialogs pump their own events; the EDT waits.
+				Name: "modal-dialog", Weight: 0.45,
+				DurMs: slowDur(300, 0.55),
+				Nodes: []sim.Node{
+					{
+						Kind: trace.KindListener, Class: "org.gjt.sp.jedit.gui.DockableWindowManager", Method: "showDialog",
+						Weight: 0.9, States: sim.StateMix{Waiting: 0.42},
+						LibFrac: 0.6, ExtraFrames: modalWait,
+					},
+				},
+			},
+		},
+
+		Heap: gentleHeap(),
+	}
+}
+
+// JFreeChart (time-series demo) is the chart library. Targets: E2E
+// 250 s (the shortest sessions — limited functionality), In-Eps 26 %,
+// 78k/1658/175 episodes, Long/min 164. Standout (§IV-D): 24 % of
+// perceptible lag in native code — many individually quick native
+// rendering calls that add up.
+func JFreeChart() *sim.Profile {
+	renderDur := stats.Clamped{
+		D: stats.NewMixture(
+			[]float64{0.88, 0.12},
+			[]stats.Dist{
+				stats.LogNormal{Median: 15, Sigma: 0.7},
+				stats.LogNormal{Median: 150, Sigma: 0.5},
+			}),
+		Lo: 3.3, Hi: 20000,
+	}
+	plots := []string{
+		"org.jfree.chart.plot.XYPlot", "org.jfree.chart.axis.DateAxis",
+		"org.jfree.chart.renderer.xy.XYLineAndShapeRenderer",
+	}
+	nativePool := sim.Node{
+		Kind: trace.KindNative, Class: "sun.java2d.loops.DrawGlyphListAA", Method: "DrawGlyphListAA",
+		Weight: 0.09, Repeat: stats.UniformInt{Lo: 1, Hi: 2},
+	}
+	return &sim.Profile{
+		Name: "JFreeChart", Version: "1.0.13", Classes: 1667,
+		Description: "Chart library (time data)",
+		AppPackage:  "org.jfree.chart",
+
+		SessionSeconds: 250,
+		ThinkTimeMs:    stats.Exp{MeanV: 112},
+		ShortPerSecond: 311,
+		LibraryFrac:    0.55,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "render-chart", Weight: 55,
+				DurMs: renderDur,
+				Nodes: []sim.Node{
+					paintChain(0.3, swingPaintClasses("org.jfree.chart.ChartPanel"),
+						pooledPaints(plots, 0.08, 2),
+						nativePool,
+						optional(native("sun.java2d.loops.DrawLine", "DrawLine", 0.08), 0.6),
+					),
+				},
+			},
+			{
+				Name: "zoom-pan", Weight: 45,
+				DurMs: renderDur,
+				Nodes: []sim.Node{
+					listener("org.jfree.chart.ChartPanel", "mouseDragged", 0.3,
+						pooledPaints(plots, 0.09, 2),
+						nativePool,
+						optional(native("sun.java2d.loops.FillRect", "FillRect", 0.07), 0.5),
+					),
+				},
+			},
+		},
+
+		Heap: defaultHeap(),
+	}
+}
+
+// JHotDraw (drawing demo) is the vector graphics editor. Targets: E2E
+// 421 s, In-Eps 41 %, 247k/5980/338 episodes, One-Ep 70 %. Standout
+// (§IV-D): 96 % of perceptible lag in *application* code — drawing
+// handles and outlines of complex bezier curves does not scale.
+func JHotDraw() *sim.Profile {
+	figures := []string{
+		"org.jhotdraw.draw.BezierFigure", "org.jhotdraw.draw.RectangleFigure",
+		"org.jhotdraw.draw.TextFigure", "org.jhotdraw.draw.LineConnectionFigure",
+		"org.jhotdraw.draw.EllipseFigure", "org.jhotdraw.draw.GroupFigure",
+	}
+	handles := []string{
+		"org.jhotdraw.draw.BezierControlPointHandle", "org.jhotdraw.draw.BezierNodeHandle",
+		"org.jhotdraw.draw.ResizeHandleKit", "org.jhotdraw.draw.RotateHandle",
+	}
+	return &sim.Profile{
+		Name: "JHotDraw", Version: "7.1", Classes: 1146,
+		Description: "Vector graphics editor",
+		AppPackage:  "org.jhotdraw",
+
+		SessionSeconds: 421,
+		ThinkTimeMs:    stats.Exp{MeanV: 41.5},
+		ShortPerSecond: 586,
+		LibraryFrac:    0.04, // §IV-D: 96 % application code
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "drag-bezier", Weight: 30,
+				DurMs: dur(10.7, 1.31),
+				Nodes: []sim.Node{
+					listener("org.jhotdraw.draw.BezierTool", "mouseDragged", 0.45,
+						pooledPaints(figures, 0.09, 3)),
+				},
+			},
+			{
+				Name: "handles", Weight: 25,
+				DurMs: dur(10.7, 1.31),
+				Nodes: []sim.Node{
+					listener("org.jhotdraw.draw.SelectionTool", "mouseMoved", 0.5,
+						pooledPaints(handles, 0.1, 3)),
+				},
+			},
+			{
+				Name: "view-repaint", Weight: 45,
+				DurMs: dur(10.7, 1.46),
+				Nodes: []sim.Node{
+					paintChain(0.4, swingPaintClasses("org.jhotdraw.draw.DefaultDrawingView"),
+						pooledPaints(figures, 0.08, 3),
+						optional(native("sun.java2d.pipe.AAShapePipe", "renderPath", 0.05), 0.35)),
+				},
+			},
+		},
+
+		Heap: defaultHeap(),
+	}
+}
+
+// Jmol is the chemical structure viewer — the worst perceptible
+// performance of the suite (Long/min 180). Targets: E2E 449 s, In-Eps
+// 46 %, 111k/3197/604 episodes. Standouts (§IV-C): 98 % of perceptible
+// episodes are output; the timer-based molecule animation repaints
+// roughly every 40 ms, saturating the EDT during animation phases, and
+// those episodes arrive as repaint-manager "async containing paint"
+// trees that Figure 5's classification folds into output.
+func Jmol() *sim.Profile {
+	shapes := []string{
+		"org.jmol.shape.Balls", "org.jmol.shape.Sticks",
+		"org.jmol.shape.Labels", "org.jmol.shape.Isosurface",
+	}
+	animationDur := stats.Clamped{
+		D: stats.NewMixture(
+			[]float64{0.66, 0.34},
+			[]stats.Dist{
+				stats.LogNormal{Median: 30, Sigma: 0.6},
+				stats.LogNormal{Median: 118, Sigma: 0.42},
+			}),
+		Lo: 3.3, Hi: 20000,
+	}
+	renderTree := []sim.Node{
+		async("javax.swing.Timer$DoPostEvent", 0.06,
+			revealed("javax.swing.RepaintManager"),
+			// A finer-grained reveal: frames beyond ~100 ms also show
+			// the double-buffer flush as a separate interval.
+			sim.Node{Kind: trace.KindPaint, Class: "java.awt.image.BufferStrategy", Method: "paint", Weight: 0.022},
+			sim.Node{Kind: trace.KindPaint, Class: "org.jmol.viewer.DisplayPanel", Method: "paint",
+				Weight: 0.2, Children: []sim.Node{
+					{Kind: trace.KindPaint, Class: "org.jmol.g3d.Graphics3D", Method: "paint",
+						Weight: 0.3, Children: []sim.Node{
+							pooledPaints(shapes, 0.055, 2),
+							optional(native("sun.awt.image.BufImgSurfaceData", "setRGB", 0.12), 0.6),
+						}},
+				}},
+		),
+	}
+	return &sim.Profile{
+		Name: "Jmol", Version: "11.6.21", Classes: 1422,
+		Description: "Chemical structure viewer",
+		AppPackage:  "org.jmol",
+
+		SessionSeconds: 449,
+		ThinkTimeMs:    stats.Exp{MeanV: 700},
+		ShortPerSecond: 247,
+		LibraryFrac:    0.45,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				// Occasional direct manipulation between animations.
+				Name: "rotate-molecule", Weight: 1,
+				DurMs: dur(35, 0.8),
+				Nodes: []sim.Node{
+					listener("org.jmol.viewer.MouseManager", "mouseDragged", 0.3,
+						paint("org.jmol.viewer.DisplayPanel", 0.3,
+							pooledPaints(shapes, 0.08, 2))),
+				},
+			},
+		},
+
+		Timers: []*sim.Timer{
+			{
+				// The 3D animation: a Swing timer fires every ~40 ms;
+				// rendering usually takes longer, so the EDT is
+				// saturated and the frame rate drops (§IV-A).
+				Behavior:   &sim.Behavior{Name: "animation-frame", DurMs: animationDur, Nodes: renderTree},
+				PeriodMs:   stats.Const{V: 40},
+				ActiveFrom: 45, ActiveTo: 145,
+			},
+			{
+				Behavior:   &sim.Behavior{Name: "animation-frame-2", DurMs: animationDur, Nodes: renderTree},
+				PeriodMs:   stats.Const{V: 40},
+				ActiveFrom: 220, ActiveTo: 315,
+			},
+		},
+
+		Heap: defaultHeap(),
+	}
+}
+
+// Laoe is the audio sample editor. Targets: E2E 460 s, In-Eps 47 %,
+// 1.24M/3174/61 episodes — by far the most sub-filter episodes (the
+// waveform display refreshes constantly) and the lowest Long/min (18):
+// busy but consistent. Episode durations are narrow (sigma 0.20).
+func Laoe() *sim.Profile {
+	ui := []string{
+		"ch.laoe.ui.GClipLayerChooser", "ch.laoe.ui.GClipPanel",
+		"ch.laoe.ui.GScrollSignal", "ch.laoe.ui.GToolbar",
+	}
+	return &sim.Profile{
+		Name: "Laoe", Version: "0.6.03", Classes: 688,
+		Description: "Audio sample editor",
+		AppPackage:  "ch.laoe",
+
+		SessionSeconds: 460,
+		ThinkTimeMs:    stats.Exp{MeanV: 77},
+		ShortPerSecond: 2698,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "waveform-paint", Weight: 50,
+				DurMs: dur(66, 0.19),
+				Nodes: []sim.Node{
+					paintChain(0.45, swingPaintClasses("ch.laoe.ui.GClipLayerChooser"),
+						pooledPaints(ui[1:], 0.08, 2),
+						optional(native("sun.java2d.loops.DrawLine", "DrawLine", 0.08), 0.5)),
+				},
+			},
+			{
+				Name: "audio-operation", Weight: 50,
+				DurMs: dur(66, 0.19),
+				Nodes: []sim.Node{
+					listener("ch.laoe.operation.AOperationUI", "actionPerformed", 0.4,
+						optional(native("ch.laoe.audio.AudioConverter", "convert", 0.15), 0.55),
+						pooledPaints(ui, 0.08, 2)),
+				},
+			},
+		},
+
+		Heap: gentleHeap(),
+	}
+}
+
+// NetBeans (Java SE) is the IDE — the largest application at 45k
+// classes. Targets: E2E 398 s, In-Eps 27 %, 305k/3120/149 episodes,
+// 642 patterns (second only to ArgoUML — a framework produces
+// enormous structural diversity, One-Ep 66 %). Concurrency above 1
+// (§IV-E): background scanning threads compete with the EDT.
+func NetBeans() *sim.Profile {
+	editor := []string{
+		"org.netbeans.editor.EditorUI", "org.netbeans.editor.DrawEngine",
+		"org.netbeans.editor.GlyphGutter", "org.netbeans.editor.StatusBar",
+		"org.netbeans.modules.editor.errorstripe.AnnotationView",
+		"org.netbeans.editor.CodeFoldingSideBar",
+	}
+	windows := []string{
+		"org.openide.explorer.view.TreeView", "org.netbeans.core.windows.view.ui.MultiSplitPane",
+		"org.netbeans.core.output2.OutputPane", "org.openide.explorer.propertysheet.PropertySheet",
+		"org.netbeans.modules.palette.ui.PalettePanel", "org.netbeans.swing.tabcontrol.TabbedContainer",
+	}
+	return &sim.Profile{
+		Name: "NetBeans", Version: "6.7", Classes: 45367,
+		Description: "Development environment",
+		AppPackage:  "org.netbeans",
+
+		SessionSeconds: 398,
+		ThinkTimeMs:    stats.Exp{MeanV: 93},
+		ShortPerSecond: 767,
+		LibraryFrac:    0.5,
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "edit-source", Weight: 24,
+				DurMs: dur(22.5, 0.75),
+				Nodes: []sim.Node{
+					listener("org.netbeans.editor.BaseKit$DefaultKeyTypedAction", "actionPerformed", 0.4,
+						pooledPaints(editor, 0.08, 4,
+							optional(pooledPaints(editor, 0.05, 1), 0.35)),
+						optional(native("sun.font.StrikeCache", "getGlyphImage", 0.04), 0.25)),
+				},
+			},
+			{
+				Name: "navigate", Weight: 20,
+				DurMs: dur(22.5, 0.75),
+				Nodes: []sim.Node{
+					listener("org.openide.explorer.view.TreeView", "mouseClicked", 0.4,
+						pooledPaints(windows, 0.08, 4,
+							optional(pooledPaints(windows, 0.05, 1), 0.35))),
+				},
+			},
+			{
+				Name: "code-completion", Weight: 15,
+				DurMs: dur(30, 0.9),
+				Nodes: []sim.Node{
+					listener("org.netbeans.modules.editor.completion.CompletionImpl", "keyTyped", 0.45,
+						pooledPaints(editor, 0.08, 2),
+						optional(paint("org.netbeans.modules.editor.completion.CompletionScrollPane", 0.1), 0.6)),
+				},
+			},
+			{
+				Name: "window-repaint", Weight: 36,
+				DurMs: dur(22.5, 0.90),
+				Nodes: []sim.Node{
+					paintChain(0.4, swingPaintClasses("org.netbeans.core.windows.view.ui.MainWindow"),
+						pooledPaints(windows, 0.08, 3)),
+				},
+			},
+			{
+				Name: "status-update", Weight: 5,
+				DurMs: dur(20, 0.9),
+				Nodes: []sim.Node{
+					async("org.openide.util.RequestProcessor$Task", 0.4,
+						optional(pooledPaints(windows, 0.09, 1), 0.3)),
+				},
+			},
+		},
+
+		Heap: sim.HeapConfig{
+			CapacityMB:        32,
+			AllocMBPerSec:     60,
+			IdleAllocMBPerSec: 1.5,
+			MinorPauseMs:      stats.Uniform{Lo: 10, Hi: 28},
+			MajorEvery:        18,
+			MajorPauseMs:      stats.Uniform{Lo: 80, Hi: 200},
+			RampMs:            stats.Uniform{Lo: 0.2, Hi: 3},
+			PostDelayMs:       stats.Uniform{Lo: 0.5, Hi: 8},
+		},
+		Background: []*sim.BackgroundThread{
+			{Name: "parsing-and-scanning", ActiveFrom: 5, ActiveTo: 120, Duty: 0.7, AllocMBPerSec: 8,
+				Stack: []trace.Frame{
+					{Class: "org.netbeans.modules.java.source.indexing.JavaCustomIndexer", Method: "index"},
+					{Class: "org.openide.util.RequestProcessor$Processor", Method: "run"},
+					{Class: "java.lang.Thread", Method: "run"},
+				}},
+			{Name: "module-system", Duty: 0.05, PeriodMs: 5000, AllocMBPerSec: 1,
+				Stack: []trace.Frame{
+					{Class: "org.netbeans.core.startup.ModuleSystem", Method: "refresh"},
+					{Class: "java.lang.Thread", Method: "run"},
+				}},
+		},
+	}
+}
+
+// SwingSet is Sun's Swing component demo. Targets: E2E 384 s, In-Eps
+// 20 %, 220k/4310/70 episodes, 444 patterns. A widget playground:
+// many distinct interaction patterns of moderate depth (Descs 9,
+// Depth 6).
+func SwingSet() *sim.Profile {
+	widgets := []string{
+		"javax.swing.JButton", "javax.swing.JSlider", "javax.swing.JTable",
+		"javax.swing.JTree", "javax.swing.JComboBox", "javax.swing.JProgressBar",
+		"javax.swing.JTabbedPane", "javax.swing.JToolTip",
+	}
+	renderers := []string{
+		"javax.swing.table.DefaultTableCellRenderer", "javax.swing.tree.DefaultTreeCellRenderer",
+		"javax.swing.plaf.metal.MetalButtonUI", "javax.swing.plaf.metal.MetalSliderUI",
+	}
+	return &sim.Profile{
+		Name: "SwingSet", Version: "2", Classes: 131,
+		Description: "Swing component demo",
+		AppPackage:  "swingset",
+
+		SessionSeconds: 384,
+		ThinkTimeMs:    stats.Exp{MeanV: 71},
+		ShortPerSecond: 572,
+		LibraryFrac:    0.75, // a demo of library widgets runs library code
+
+		UserBehaviors: []*sim.Behavior{
+			{
+				Name: "switch-tab", Weight: 25,
+				DurMs: dur(9.95, 0.97),
+				Nodes: []sim.Node{
+					listener("javax.swing.JTabbedPane", "stateChanged", 0.35,
+						paintChain(0.25, swingPaintClasses("swingset.DemoPanel"),
+							pooledPaints(widgets, 0.06, 3))),
+				},
+			},
+			{
+				Name: "widget-click", Weight: 22,
+				DurMs: dur(9.95, 0.97),
+				Nodes: []sim.Node{
+					listener("swingset.ButtonDemo", "actionPerformed", 0.5,
+						pooledPaints(widgets, 0.1, 3,
+							optional(pooledPaints(renderers, 0.05, 1), 0.3))),
+				},
+			},
+			{
+				Name: "slider-drag", Weight: 20,
+				DurMs: dur(9.95, 0.97),
+				Nodes: []sim.Node{
+					listener("javax.swing.JSlider", "stateChanged", 0.5,
+						pooledPaints(renderers, 0.1, 3)),
+				},
+			},
+			{
+				Name: "table-repaint", Weight: 38,
+				DurMs: dur(9.95, 1.13),
+				Nodes: []sim.Node{
+					paintChain(0.35, swingPaintClasses("javax.swing.JTable"),
+						pooledPaints(renderers, 0.07, 4)),
+				},
+			},
+		},
+
+		Heap: defaultHeap(),
+	}
+}

@@ -1,0 +1,221 @@
+package lila
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lagalyzer/internal/trace"
+)
+
+// Flatten converts an in-memory session back into the record stream a
+// profiler would have emitted: thread declarations, then calls,
+// returns, GC brackets, and samples in time order, terminated by the
+// end record. It is the inverse of treebuild and the basis for
+// serializing simulated sessions.
+//
+// GC intervals embedded in episode trees are per-thread *copies* of
+// the global collections (Section II-A of the paper); Flatten skips
+// them and emits the global brackets from Session.GCs instead, so the
+// round trip through treebuild reconstructs the copies.
+func Flatten(s *trace.Session) []*Record {
+	var recs []*Record
+	for _, t := range s.Threads {
+		recs = append(recs, &Record{Type: RecThread, Thread: t.ID, Name: t.Name, Daemon: t.Daemon})
+	}
+
+	// Ordered stream events: collect, then sort with tie-breaking
+	// rules that preserve proper nesting at equal time stamps:
+	// returns close before anything opens (deepest first), samples in
+	// between, calls open after (shallowest first), and GC brackets
+	// sit innermost (end first, start last).
+	type event struct {
+		rec   *Record
+		prio  int // see ordering above
+		depth int
+		seq   int
+	}
+	var events []event
+	seq := 0
+	add := func(rec *Record, prio, depth int) {
+		events = append(events, event{rec, prio, depth, seq})
+		seq++
+	}
+
+	const (
+		prioGCEnd = iota
+		prioReturn
+		prioSample
+		prioCall
+		prioGCStart
+	)
+
+	for _, e := range s.Episodes {
+		e.Root.Walk(func(n *trace.Interval, depth int) bool {
+			if n.Kind == trace.KindGC {
+				return false // global brackets come from s.GCs
+			}
+			add(&Record{Type: RecCall, Time: n.Start, Thread: e.Thread, Kind: n.Kind, Class: n.Class, Method: n.Method}, prioCall, depth)
+			add(&Record{Type: RecReturn, Time: n.End, Thread: e.Thread}, prioReturn, depth)
+			return true
+		})
+	}
+	for _, gc := range s.GCs {
+		add(&Record{Type: RecGCStart, Time: gc.Start, Major: gc.Major}, prioGCStart, 0)
+		add(&Record{Type: RecGCEnd, Time: gc.End}, prioGCEnd, 0)
+	}
+	for _, tick := range s.Ticks {
+		for _, th := range tick.Threads {
+			add(&Record{Type: RecSample, Time: tick.Time, Thread: th.Thread, State: th.State, Stack: th.Stack}, prioSample, 0)
+		}
+	}
+
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.rec.Time != b.rec.Time {
+			return a.rec.Time < b.rec.Time
+		}
+		if a.prio != b.prio {
+			return a.prio < b.prio
+		}
+		switch a.prio {
+		case prioReturn:
+			// Deeper intervals close first.
+			if a.depth != b.depth {
+				return a.depth > b.depth
+			}
+		case prioCall:
+			// Shallower intervals open first.
+			if a.depth != b.depth {
+				return a.depth < b.depth
+			}
+		}
+		return a.seq < b.seq
+	})
+
+	for _, ev := range events {
+		recs = append(recs, ev.rec)
+	}
+	recs = append(recs, &Record{Type: RecEnd, Time: s.End, Count: s.ShortCount})
+	return recs
+}
+
+// HeaderOf derives the trace header for a session.
+func HeaderOf(s *trace.Session) Header {
+	return Header{
+		App:             s.App,
+		SessionID:       s.ID,
+		GUIThread:       s.GUIThread,
+		FilterThreshold: s.FilterThreshold,
+		SamplePeriod:    s.SamplePeriod,
+		Start:           s.Start,
+	}
+}
+
+// Format selects a trace encoding.
+type Format int
+
+const (
+	// FormatText is the line-oriented, human-readable encoding.
+	FormatText Format = iota
+	// FormatBinary is the compact varint encoding.
+	FormatBinary
+)
+
+// String returns "text" or "binary".
+func (f Format) String() string {
+	switch f {
+	case FormatText:
+		return "text"
+	case FormatBinary:
+		return "binary"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// ParseFormat recognises "text" and "binary".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text":
+		return FormatText, nil
+	case "binary":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("lila: unknown format %q (want text or binary)", s)
+}
+
+// NewWriter returns a Writer for the chosen format, with the header
+// already emitted.
+func NewWriter(w io.Writer, f Format, h Header) (Writer, error) {
+	switch f {
+	case FormatText:
+		return NewTextWriter(w, h)
+	case FormatBinary:
+		return NewBinaryWriter(w, h)
+	default:
+		return nil, fmt.Errorf("lila: unknown format %d", f)
+	}
+}
+
+// WriteSession flattens s and writes it to w in the chosen format.
+func WriteSession(w io.Writer, f Format, s *trace.Session) error {
+	lw, err := NewWriter(w, f, HeaderOf(s))
+	if err != nil {
+		return err
+	}
+	for _, rec := range Flatten(s) {
+		if err := lw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return lw.Close()
+}
+
+// NewReader sniffs the encoding of r (by its first bytes) and returns
+// the matching Reader. The stream must support nothing beyond
+// io.Reader; sniffing is done with a one-byte lookahead wrapper.
+func NewReader(r io.Reader) (Reader, error) {
+	br := &sniffReader{r: r}
+	first, err := br.peek()
+	if err != nil {
+		return nil, fmt.Errorf("lila: sniffing trace format: %w", err)
+	}
+	if first == '#' {
+		return NewTextReader(br)
+	}
+	return NewBinaryReader(br)
+}
+
+// sniffReader is an io.Reader with one byte of lookahead.
+type sniffReader struct {
+	r      io.Reader
+	buf    [1]byte
+	have   bool
+	peeked byte
+}
+
+func (s *sniffReader) peek() (byte, error) {
+	if s.have {
+		return s.peeked, nil
+	}
+	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
+		return 0, err
+	}
+	s.have = true
+	s.peeked = s.buf[0]
+	return s.peeked, nil
+}
+
+func (s *sniffReader) Read(p []byte) (int, error) {
+	if s.have {
+		if len(p) == 0 {
+			return 0, nil
+		}
+		p[0] = s.peeked
+		s.have = false
+		n, err := s.r.Read(p[1:])
+		return n + 1, err
+	}
+	return s.r.Read(p)
+}

@@ -1,0 +1,112 @@
+package lila_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/stream"
+	"lagalyzer/internal/trace"
+	"lagalyzer/internal/treebuild"
+)
+
+// corpus returns seed inputs for the parser fuzzers: one valid trace
+// per format plus a handful of near-valid mutations.
+func corpus(t testing.TB) [][]byte {
+	var out [][]byte
+	h := lila.Header{App: "fuzz", GUIThread: 1, FilterThreshold: trace.Ms(3), SamplePeriod: trace.Ms(10)}
+	for _, f := range []lila.Format{lila.FormatText, lila.FormatBinary} {
+		var buf bytes.Buffer
+		w, err := lila.NewWriter(&buf, f, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := []*lila.Record{
+			{Type: lila.RecThread, Thread: 1, Name: "edt"},
+			{Type: lila.RecCall, Time: 10, Thread: 1, Kind: trace.KindDispatch},
+			{Type: lila.RecCall, Time: 12, Thread: 1, Kind: trace.KindListener, Class: "a.B", Method: "on"},
+			{Type: lila.RecGCStart, Time: 15, Major: true},
+			{Type: lila.RecGCEnd, Time: 20},
+			{Type: lila.RecSample, Time: 25, Thread: 1, State: trace.StateRunnable,
+				Stack: []trace.Frame{{Class: "a.B", Method: "on"}}},
+			{Type: lila.RecReturn, Time: 30, Thread: 1},
+			{Type: lila.RecReturn, Time: 31, Thread: 1},
+			{Type: lila.RecEnd, Time: 100, Count: 3},
+		}
+		for _, rec := range recs {
+			if err := w.WriteRecord(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+	out = append(out,
+		[]byte(""),
+		[]byte("#lila text 1\n"),
+		[]byte("#lila text 1\n#app \"x\"\n#session 0\n#gui 1\n#filter 0\n#sampleperiod 0\n#start 0\nZ bogus\n"),
+		[]byte("LILA\x01"),
+		[]byte("LILA\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"),
+		[]byte("LILA\x02junk"),
+	)
+	return out
+}
+
+// drain reads everything the parser will give, feeding both downstream
+// consumers; the property under test is "no panic, no hang" on
+// arbitrary input.
+func drain(data []byte) {
+	r, err := lila.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return
+	}
+	a := stream.NewAnalyzer(r.Header(), 0)
+	var recs []*lila.Record
+	for i := 0; i < 1<<17; i++ { // hard cap: fuzz inputs must terminate
+		rec, err := r.Read()
+		if err == io.EOF || err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		_ = a.Add(rec) // errors fine; panics not
+	}
+	_, _, _ = treebuild.BuildRecords(r.Header(), recs)
+	_ = a.Stats()
+}
+
+// FuzzReader throws arbitrary bytes at the format sniffer, both
+// codecs, the session rebuilder, and the streaming analyzer. Run with
+// `go test -fuzz=FuzzReader ./internal/lila` for continuous fuzzing;
+// under plain `go test` the seed corpus acts as a robustness test.
+func FuzzReader(f *testing.F) {
+	for _, seed := range corpus(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drain(data)
+	})
+}
+
+// TestParsersSurviveMutations flips bytes of valid traces and checks
+// nothing panics — a deterministic slice of what FuzzReader explores.
+func TestParsersSurviveMutations(t *testing.T) {
+	for _, seed := range corpus(t) {
+		if len(seed) == 0 {
+			continue
+		}
+		for stride := 1; stride < 17; stride += 3 {
+			mutated := bytes.Clone(seed)
+			for i := stride; i < len(mutated); i += 13 {
+				mutated[i] ^= byte(0x5a + stride)
+			}
+			drain(mutated)
+		}
+		// Truncations at every eighth offset.
+		for cut := 0; cut < len(seed); cut += 8 {
+			drain(seed[:cut])
+		}
+	}
+}

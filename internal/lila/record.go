@@ -1,0 +1,151 @@
+// Package lila implements the trace format contract between the LiLa
+// listener-latency profiler and LagAlyzer.
+//
+// A trace is a header followed by a time-ordered stream of records:
+// thread declarations, interval call/return pairs, global GC start/end
+// brackets, call-stack samples of all threads, and a final end record
+// carrying the session end time and the count of episodes the profiler
+// filtered out (shorter than the filter threshold).
+//
+// Two interchangeable encodings are provided: a line-oriented text
+// format that is easy to inspect and diff, and a compact binary format
+// with string interning for realistic multi-hundred-thousand-record
+// sessions. Both round-trip exactly.
+//
+// The package deliberately knows nothing about interval trees or
+// episodes; reconstructing those from the record stream is the job of
+// package treebuild, mirroring how the real LagAlyzer parses LiLa
+// output into its in-memory core.
+package lila
+
+import (
+	"fmt"
+
+	"lagalyzer/internal/trace"
+)
+
+// FormatVersion is the trace format version written by this package.
+const FormatVersion = 1
+
+// Header carries the per-session metadata recorded at trace start.
+type Header struct {
+	// App is the application's display name.
+	App string
+	// SessionID distinguishes multiple sessions with the same app.
+	SessionID int
+	// GUIThread is the event dispatch thread whose dispatch intervals
+	// delimit episodes.
+	GUIThread trace.ThreadID
+	// FilterThreshold is the minimum episode duration the profiler
+	// traces; shorter episodes are only counted.
+	FilterThreshold trace.Dur
+	// SamplePeriod is the nominal call-stack sampling interval.
+	SamplePeriod trace.Dur
+	// Start is the session start time stamp.
+	Start trace.Time
+}
+
+// RecType enumerates the record kinds of the trace stream.
+type RecType uint8
+
+const (
+	// RecThread declares a thread (ID, name, daemon flag). Thread
+	// records appear before any record referring to the thread.
+	RecThread RecType = iota
+	// RecCall opens an interval (dispatch, listener, paint, native,
+	// or async — never GC) on a thread.
+	RecCall
+	// RecReturn closes the innermost open interval on a thread.
+	RecReturn
+	// RecGCStart opens a stop-the-world collection. GC brackets are
+	// global: they apply to every thread simultaneously.
+	RecGCStart
+	// RecGCEnd closes the current collection.
+	RecGCEnd
+	// RecSample is the call-stack sample of one thread at one
+	// sampling tick. All samples of a tick share a time stamp.
+	RecSample
+	// RecEnd terminates the stream, carrying the session end time and
+	// the short-episode count.
+	RecEnd
+
+	numRecTypes = iota
+)
+
+var recTypeNames = [numRecTypes]string{
+	RecThread:  "thread",
+	RecCall:    "call",
+	RecReturn:  "return",
+	RecGCStart: "gcstart",
+	RecGCEnd:   "gcend",
+	RecSample:  "sample",
+	RecEnd:     "end",
+}
+
+// String returns the record type's name.
+func (t RecType) String() string {
+	if int(t) >= numRecTypes {
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+	return recTypeNames[t]
+}
+
+// Record is one entry of the trace stream. Which fields are meaningful
+// depends on Type; unused fields are zero.
+type Record struct {
+	Type   RecType
+	Time   trace.Time        // all except RecThread
+	Thread trace.ThreadID    // RecThread, RecCall, RecReturn, RecSample
+	Kind   trace.Kind        // RecCall
+	Class  string            // RecCall
+	Method string            // RecCall
+	Name   string            // RecThread: thread name
+	Daemon bool              // RecThread
+	Major  bool              // RecGCStart: major (full) collection
+	State  trace.ThreadState // RecSample
+	Stack  []trace.Frame     // RecSample, leaf first
+	Count  int               // RecEnd: short-episode count
+}
+
+// Validate checks that the record is internally consistent for its
+// type (e.g. a call carries a valid non-GC kind).
+func (r *Record) Validate() error {
+	switch r.Type {
+	case RecThread:
+		if r.Name == "" {
+			return fmt.Errorf("lila: thread record for %d without a name", r.Thread)
+		}
+	case RecCall:
+		if !r.Kind.Valid() {
+			return fmt.Errorf("lila: call record with invalid kind %d", r.Kind)
+		}
+		if r.Kind == trace.KindGC {
+			return fmt.Errorf("lila: GC intervals use gcstart/gcend records, not calls")
+		}
+	case RecReturn, RecGCStart, RecGCEnd, RecEnd:
+		// No per-type constraints beyond field zero-ness.
+	case RecSample:
+		if !r.State.Valid() {
+			return fmt.Errorf("lila: sample record with invalid state %d", r.State)
+		}
+	default:
+		return fmt.Errorf("lila: unknown record type %d", r.Type)
+	}
+	return nil
+}
+
+// Writer emits trace records. Implementations write the header at
+// construction time; Close flushes any buffered output. Records must
+// be written in stream order (the order Validate-checked producers
+// emit them); writers do not reorder.
+type Writer interface {
+	WriteRecord(r *Record) error
+	Close() error
+}
+
+// Reader yields trace records. Read returns io.EOF after the RecEnd
+// record has been delivered.
+type Reader interface {
+	Header() Header
+	Read() (*Record, error)
+}

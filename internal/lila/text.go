@@ -1,0 +1,399 @@
+package lila
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lagalyzer/internal/trace"
+)
+
+// The text format is line-oriented. A trace starts with a header block
+// of "#key value" lines terminated by the first record line. Record
+// lines are space-separated fields:
+//
+//	T <tid> <name-quoted> <daemon 0|1>
+//	C <ns> <tid> <kind> <class> <method>
+//	R <ns> <tid>
+//	G <ns> <major 0|1>
+//	H <ns>
+//	S <ns> <tid> <state> <stack>
+//	E <ns> <shortcount>
+//
+// Stack frames are leaf-first, ';'-separated, each "class#method" with
+// a '*' prefix marking native frames; "-" denotes an empty stack.
+// Class and method names must not contain whitespace, ';', or '#'
+// (true of JVM symbols).
+
+// TextWriter writes a trace in the text format.
+type TextWriter struct {
+	w      *bufio.Writer
+	closed bool
+	err    error
+}
+
+// NewTextWriter writes the header for h to w and returns a writer for
+// the record stream.
+func NewTextWriter(w io.Writer, h Header) (*TextWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "#lila text %d\n", FormatVersion)
+	fmt.Fprintf(bw, "#app %s\n", strconv.Quote(h.App))
+	fmt.Fprintf(bw, "#session %d\n", h.SessionID)
+	fmt.Fprintf(bw, "#gui %d\n", h.GUIThread)
+	fmt.Fprintf(bw, "#filter %d\n", int64(h.FilterThreshold))
+	fmt.Fprintf(bw, "#sampleperiod %d\n", int64(h.SamplePeriod))
+	fmt.Fprintf(bw, "#start %d\n", int64(h.Start))
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("lila: writing text header: %w", err)
+	}
+	return &TextWriter{w: bw}, nil
+}
+
+func checkSymbol(role, s string) error {
+	if strings.ContainsAny(s, " \t\n;#") {
+		return fmt.Errorf("lila: %s %q contains reserved characters", role, s)
+	}
+	return nil
+}
+
+// WriteRecord implements Writer.
+func (tw *TextWriter) WriteRecord(r *Record) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.closed {
+		return fmt.Errorf("lila: write after Close")
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	switch r.Type {
+	case RecThread:
+		fmt.Fprintf(tw.w, "T %d %s %d\n", r.Thread, strconv.Quote(r.Name), b2i(r.Daemon))
+	case RecCall:
+		if err := checkSymbol("class", r.Class); err != nil {
+			return err
+		}
+		if err := checkSymbol("method", r.Method); err != nil {
+			return err
+		}
+		fmt.Fprintf(tw.w, "C %d %d %s %s %s\n", int64(r.Time), r.Thread, r.Kind, emptyDash(r.Class), emptyDash(r.Method))
+	case RecReturn:
+		fmt.Fprintf(tw.w, "R %d %d\n", int64(r.Time), r.Thread)
+	case RecGCStart:
+		fmt.Fprintf(tw.w, "G %d %d\n", int64(r.Time), b2i(r.Major))
+	case RecGCEnd:
+		fmt.Fprintf(tw.w, "H %d\n", int64(r.Time))
+	case RecSample:
+		stack, err := formatStack(r.Stack)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw.w, "S %d %d %s %s\n", int64(r.Time), r.Thread, r.State, stack)
+	case RecEnd:
+		fmt.Fprintf(tw.w, "E %d %d\n", int64(r.Time), r.Count)
+	}
+	return nil
+}
+
+// Close flushes buffered output. It does not write an end record; the
+// producer is responsible for emitting RecEnd.
+func (tw *TextWriter) Close() error {
+	if tw.closed {
+		return nil
+	}
+	tw.closed = true
+	if err := tw.w.Flush(); err != nil {
+		tw.err = err
+		return fmt.Errorf("lila: flushing text trace: %w", err)
+	}
+	return nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func emptyDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+func formatStack(stack []trace.Frame) (string, error) {
+	if len(stack) == 0 {
+		return "-", nil
+	}
+	var b strings.Builder
+	for i, f := range stack {
+		if err := checkSymbol("frame class", f.Class); err != nil {
+			return "", err
+		}
+		if err := checkSymbol("frame method", f.Method); err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		if f.Native {
+			b.WriteByte('*')
+		}
+		b.WriteString(f.Class)
+		b.WriteByte('#')
+		b.WriteString(f.Method)
+	}
+	return b.String(), nil
+}
+
+func parseStack(s string) ([]trace.Frame, error) {
+	if s == "-" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	stack := make([]trace.Frame, len(parts))
+	for i, p := range parts {
+		f := trace.Frame{}
+		if strings.HasPrefix(p, "*") {
+			f.Native = true
+			p = p[1:]
+		}
+		class, method, ok := strings.Cut(p, "#")
+		if !ok || class == "" || method == "" {
+			return nil, fmt.Errorf("lila: malformed stack frame %q", p)
+		}
+		f.Class, f.Method = class, method
+		stack[i] = f
+	}
+	return stack, nil
+}
+
+// TextReader reads a trace in the text format.
+type TextReader struct {
+	s      *bufio.Scanner
+	h      Header
+	line   int
+	done   bool
+	sawEnd bool
+}
+
+// NewTextReader parses the header from r and returns a reader for the
+// record stream.
+func NewTextReader(r io.Reader) (*TextReader, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	tr := &TextReader{s: s}
+	if err := tr.readHeader(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func (tr *TextReader) readHeader() error {
+	want := []string{"#lila", "#app", "#session", "#gui", "#filter", "#sampleperiod", "#start"}
+	for _, key := range want {
+		if !tr.s.Scan() {
+			return fmt.Errorf("lila: truncated text header (missing %s): %v", key, tr.s.Err())
+		}
+		tr.line++
+		line := tr.s.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 2 || fields[0] != key {
+			return fmt.Errorf("lila: text header line %d: got %q, want %s", tr.line, line, key)
+		}
+		var err error
+		switch key {
+		case "#lila":
+			if len(fields) != 3 || fields[1] != "text" {
+				return fmt.Errorf("lila: not a text trace: %q", line)
+			}
+			v, convErr := strconv.Atoi(fields[2])
+			if convErr != nil || v != FormatVersion {
+				return fmt.Errorf("lila: unsupported text format version %q", fields[2])
+			}
+		case "#app":
+			tr.h.App, err = strconv.Unquote(strings.TrimSpace(line[len("#app "):]))
+		case "#session":
+			tr.h.SessionID, err = strconv.Atoi(fields[1])
+		case "#gui":
+			var v int64
+			v, err = strconv.ParseInt(fields[1], 10, 32)
+			tr.h.GUIThread = trace.ThreadID(v)
+		case "#filter":
+			var v int64
+			v, err = strconv.ParseInt(fields[1], 10, 64)
+			tr.h.FilterThreshold = trace.Dur(v)
+		case "#sampleperiod":
+			var v int64
+			v, err = strconv.ParseInt(fields[1], 10, 64)
+			tr.h.SamplePeriod = trace.Dur(v)
+		case "#start":
+			var v int64
+			v, err = strconv.ParseInt(fields[1], 10, 64)
+			tr.h.Start = trace.Time(v)
+		}
+		if err != nil {
+			return fmt.Errorf("lila: text header line %d (%q): %w", tr.line, line, err)
+		}
+	}
+	return nil
+}
+
+// Header implements Reader.
+func (tr *TextReader) Header() Header { return tr.h }
+
+// Read implements Reader. It returns io.EOF after the end record.
+func (tr *TextReader) Read() (*Record, error) {
+	if tr.done {
+		return nil, io.EOF
+	}
+	for tr.s.Scan() {
+		tr.line++
+		line := strings.TrimSpace(tr.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := tr.parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("lila: text line %d: %w", tr.line, err)
+		}
+		if rec.Type == RecEnd {
+			tr.done = true
+			tr.sawEnd = true
+		}
+		return rec, nil
+	}
+	if err := tr.s.Err(); err != nil {
+		return nil, fmt.Errorf("lila: reading text trace: %w", err)
+	}
+	tr.done = true
+	return nil, fmt.Errorf("lila: truncated trace: no end record")
+}
+
+func (tr *TextReader) parseLine(line string) (*Record, error) {
+	fields := strings.Fields(line)
+	op, args := fields[0], fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("record %q has %d fields, want %d", op, len(args), n)
+		}
+		return nil
+	}
+	parseTime := func(s string) (trace.Time, error) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		return trace.Time(v), err
+	}
+	parseTID := func(s string) (trace.ThreadID, error) {
+		v, err := strconv.ParseInt(s, 10, 32)
+		return trace.ThreadID(v), err
+	}
+
+	rec := &Record{}
+	var err error
+	switch op {
+	case "T":
+		// The quoted name may contain spaces; re-split carefully.
+		if len(args) < 3 {
+			return nil, fmt.Errorf("thread record has %d fields, want 3", len(args))
+		}
+		rec.Type = RecThread
+		if rec.Thread, err = parseTID(args[0]); err != nil {
+			return nil, err
+		}
+		quoted := strings.Join(args[1:len(args)-1], " ")
+		if rec.Name, err = strconv.Unquote(quoted); err != nil {
+			return nil, fmt.Errorf("thread name %q: %w", quoted, err)
+		}
+		rec.Daemon = args[len(args)-1] == "1"
+	case "C":
+		if err = need(5); err != nil {
+			return nil, err
+		}
+		rec.Type = RecCall
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+		if rec.Thread, err = parseTID(args[1]); err != nil {
+			return nil, err
+		}
+		if rec.Kind, err = trace.ParseKind(args[2]); err != nil {
+			return nil, err
+		}
+		rec.Class = dashEmpty(args[3])
+		rec.Method = dashEmpty(args[4])
+	case "R":
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		rec.Type = RecReturn
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+		if rec.Thread, err = parseTID(args[1]); err != nil {
+			return nil, err
+		}
+	case "G":
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		rec.Type = RecGCStart
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+		rec.Major = args[1] == "1"
+	case "H":
+		if err = need(1); err != nil {
+			return nil, err
+		}
+		rec.Type = RecGCEnd
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+	case "S":
+		if err = need(4); err != nil {
+			return nil, err
+		}
+		rec.Type = RecSample
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+		if rec.Thread, err = parseTID(args[1]); err != nil {
+			return nil, err
+		}
+		if rec.State, err = trace.ParseThreadState(args[2]); err != nil {
+			return nil, err
+		}
+		if rec.Stack, err = parseStack(args[3]); err != nil {
+			return nil, err
+		}
+	case "E":
+		if err = need(2); err != nil {
+			return nil, err
+		}
+		rec.Type = RecEnd
+		if rec.Time, err = parseTime(args[0]); err != nil {
+			return nil, err
+		}
+		if rec.Count, err = strconv.Atoi(args[1]); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("unknown record %q", op)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

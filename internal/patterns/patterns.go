@@ -1,0 +1,409 @@
+// Package patterns implements LagAlyzer's episode classification
+// (Sections II-C to II-E of the paper): episodes are grouped into
+// equivalence classes ("patterns") according to the structure of their
+// interval trees — the interval kinds and their symbolic information —
+// while excluding both timing and GC intervals from the comparison.
+//
+// Excluding timing lets a pattern mix perceptible and imperceptible
+// episodes, which is exactly what makes the always/sometimes/once/never
+// occurrence classification (Figure 4) informative. Excluding GC nodes
+// keeps episodes that differ only by an incidental collection in the
+// same class, so a developer can ask whether a class always or rarely
+// suffers GCs.
+//
+// Episodes whose dispatch interval has no non-GC children carry no
+// structure to classify and are excluded from pattern mining (they
+// remain visible to the trigger analysis as "unspecified" episodes).
+package patterns
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// Options control the classification.
+type Options struct {
+	// IncludeGC also fingerprints GC intervals. The paper excludes
+	// them; including them is an ablation that splits classes which
+	// differ only by incidental collections.
+	IncludeGC bool
+	// KindOnly drops symbolic information (class and method names)
+	// from fingerprints, comparing trees by interval kind alone. An
+	// ablation: it collapses distinct behaviours into one pattern.
+	KindOnly bool
+	// Threshold is the perceptibility threshold used by the
+	// occurrence classification; 0 means
+	// trace.DefaultPerceptibleThreshold.
+	Threshold trace.Dur
+}
+
+func (o Options) threshold() trace.Dur {
+	if o.Threshold == 0 {
+		return trace.DefaultPerceptibleThreshold
+	}
+	return o.Threshold
+}
+
+// EpisodeRef ties an episode to the session it came from, so analyses
+// spanning multiple sessions (the study integrates four per
+// application) can locate samples and context.
+type EpisodeRef struct {
+	Session *trace.Session
+	Episode *trace.Episode
+}
+
+// Occurrence classifies how often a pattern's episodes were
+// perceptible (Section IV-B, Figure 4).
+type Occurrence int
+
+const (
+	// OccNever means none of the pattern's episodes were perceptible.
+	OccNever Occurrence = iota
+	// OccOnce means exactly one of several episodes was perceptible —
+	// often the first, pointing at initialization activity.
+	OccOnce
+	// OccSometimes means some but not all episodes were perceptible:
+	// a potentially non-deterministic phenomenon.
+	OccSometimes
+	// OccAlways means every episode was perceptible — a deterministic
+	// problem. A singleton pattern whose only episode was perceptible
+	// is classified as always.
+	OccAlways
+
+	numOccurrences = iota
+)
+
+var occNames = [numOccurrences]string{
+	OccNever:     "never",
+	OccOnce:      "once",
+	OccSometimes: "sometimes",
+	OccAlways:    "always",
+}
+
+// String returns the lowercase occurrence name used in Figure 4.
+func (o Occurrence) String() string {
+	if int(o) >= numOccurrences {
+		return fmt.Sprintf("occurrence(%d)", int(o))
+	}
+	return occNames[o]
+}
+
+// Occurrences returns all occurrence classes in severity order
+// (never, once, sometimes, always).
+func Occurrences() []Occurrence {
+	os := make([]Occurrence, numOccurrences)
+	for i := range os {
+		os[i] = Occurrence(i)
+	}
+	return os
+}
+
+// Pattern is one equivalence class of structurally identical episodes.
+type Pattern struct {
+	// Canon is the canonical text form of the class's tree structure,
+	// e.g. "dispatch(listener[app.B.on](paint[x.P.paint]))". Patterns
+	// are equal iff their canonical forms are equal.
+	Canon string
+	// Hash is a 64-bit FNV-1a hash of Canon, for cheap map keys and
+	// stable display identifiers.
+	Hash uint64
+	// Episodes lists the member episodes in encounter order (session
+	// order within a session, sessions in input order).
+	Episodes []EpisodeRef
+	// Descendants and Depth describe the fingerprinted structure
+	// (excluding whatever Options excluded): the number of
+	// descendants of the dispatch interval and the height of the
+	// tree. Table III reports their averages over patterns.
+	Descendants int
+	Depth       int
+
+	lag stats.Summary // durations in milliseconds
+}
+
+// Count returns the number of member episodes.
+func (p *Pattern) Count() int { return len(p.Episodes) }
+
+// MinLag, AvgLag, MaxLag, and TotalLag are the lag statistics the
+// pattern browser shows per pattern.
+func (p *Pattern) MinLag() trace.Dur   { return trace.Ms(p.lag.Min) }
+func (p *Pattern) AvgLag() trace.Dur   { return trace.Ms(p.lag.Mean()) }
+func (p *Pattern) MaxLag() trace.Dur   { return trace.Ms(p.lag.Max) }
+func (p *Pattern) TotalLag() trace.Dur { return trace.Ms(p.lag.Total) }
+
+// PerceptibleCount returns how many member episodes meet the
+// threshold.
+func (p *Pattern) PerceptibleCount(threshold trace.Dur) int {
+	n := 0
+	for _, ref := range p.Episodes {
+		if ref.Episode.Perceptible(threshold) {
+			n++
+		}
+	}
+	return n
+}
+
+// Occurrence classifies the pattern per Section IV-B: never (no
+// perceptible episode), always (all perceptible, including perceptible
+// singletons), once (exactly one of several), sometimes (the rest).
+func (p *Pattern) Occurrence(threshold trace.Dur) Occurrence {
+	k, n := p.PerceptibleCount(threshold), p.Count()
+	switch {
+	case k == 0:
+		return OccNever
+	case k == n:
+		return OccAlways
+	case k == 1:
+		return OccOnce
+	default:
+		return OccSometimes
+	}
+}
+
+// GCCount returns how many member episodes contain at least one GC
+// interval. Because fingerprints exclude GC nodes, a pattern mixes
+// episodes with and without collections; this is the measure behind
+// the paper's §II-D guidance — "a developer can determine whether a
+// given equivalence class always or rarely contains GC intervals. If
+// it always contains GC intervals, then the developer may want to
+// investigate the cause of the GC."
+func (p *Pattern) GCCount() int {
+	n := 0
+	for _, ref := range p.Episodes {
+		if ref.Episode.Root.HasKind(trace.KindGC) {
+			n++
+		}
+	}
+	return n
+}
+
+// GCFrac returns GCCount as a fraction of the pattern's episodes.
+func (p *Pattern) GCFrac() float64 {
+	if len(p.Episodes) == 0 {
+		return 0
+	}
+	return float64(p.GCCount()) / float64(len(p.Episodes))
+}
+
+// Singleton reports whether the pattern has exactly one episode.
+// Table III's "One-Ep" column is the fraction of singleton patterns.
+func (p *Pattern) Singleton() bool { return len(p.Episodes) == 1 }
+
+// First returns the pattern's first episode (the browser shows its
+// sketch when the pattern is selected).
+func (p *Pattern) First() EpisodeRef { return p.Episodes[0] }
+
+// ID returns a short stable identifier derived from the hash, used in
+// browser displays and file names.
+func (p *Pattern) ID() string { return fmt.Sprintf("p%012x", p.Hash&0xffffffffffff) }
+
+// Set is the result of classifying a group of sessions.
+type Set struct {
+	// Patterns holds the equivalence classes, ordered by descending
+	// episode count, ties broken by canonical form (deterministic).
+	Patterns []*Pattern
+	// Unstructured lists the episodes excluded from classification
+	// because their dispatch interval has no non-GC children.
+	Unstructured []EpisodeRef
+	// Options echoes the classification options used.
+	Options Options
+
+	byCanon map[string]*Pattern
+}
+
+// Fingerprint returns the canonical structural form of an episode's
+// tree under the given options. Two episodes belong to the same
+// pattern iff their fingerprints are equal.
+func Fingerprint(e *trace.Episode, opt Options) string {
+	var b strings.Builder
+	writeCanon(&b, e.Root, opt)
+	return b.String()
+}
+
+func writeCanon(b *strings.Builder, iv *trace.Interval, opt Options) {
+	b.WriteString(iv.Kind.String())
+	if !opt.KindOnly && (iv.Class != "" || iv.Method != "") {
+		b.WriteByte('[')
+		b.WriteString(iv.Class)
+		b.WriteByte('.')
+		b.WriteString(iv.Method)
+		b.WriteByte(']')
+	}
+	wrote := false
+	for _, c := range iv.Children {
+		if c.Kind == trace.KindGC && !opt.IncludeGC {
+			continue
+		}
+		if !wrote {
+			b.WriteByte('(')
+			wrote = true
+		} else {
+			b.WriteByte(',')
+		}
+		writeCanon(b, c, opt)
+	}
+	if wrote {
+		b.WriteByte(')')
+	}
+}
+
+// structureOf computes descendant count and depth of the fingerprinted
+// structure (honoring GC exclusion).
+func structureOf(iv *trace.Interval, opt Options) (descs, depth int) {
+	maxChild := 0
+	for _, c := range iv.Children {
+		if c.Kind == trace.KindGC && !opt.IncludeGC {
+			continue
+		}
+		d, dep := structureOf(c, opt)
+		descs += 1 + d
+		if dep > maxChild {
+			maxChild = dep
+		}
+	}
+	return descs, maxChild + 1
+}
+
+// Classify groups the episodes of the given sessions into patterns.
+func Classify(sessions []*trace.Session, opt Options) *Set {
+	set := &Set{Options: opt, byCanon: make(map[string]*Pattern)}
+	for _, s := range sessions {
+		for _, e := range s.Episodes {
+			ref := EpisodeRef{Session: s, Episode: e}
+			if !structured(e, opt) {
+				set.Unstructured = append(set.Unstructured, ref)
+				continue
+			}
+			canon := Fingerprint(e, opt)
+			p := set.byCanon[canon]
+			if p == nil {
+				h := fnv.New64a()
+				h.Write([]byte(canon))
+				p = &Pattern{Canon: canon, Hash: h.Sum64()}
+				// Depth is the height of the fingerprinted tree
+				// including the dispatch root (a bare dispatch
+				// would have depth 1, but bare dispatches are
+				// unstructured and never get here).
+				p.Descendants, p.Depth = structureOf(e.Root, opt)
+				set.byCanon[canon] = p
+				set.Patterns = append(set.Patterns, p)
+			}
+			p.Episodes = append(p.Episodes, ref)
+			p.lag.Add(e.Dur().Ms())
+		}
+	}
+	sort.SliceStable(set.Patterns, func(i, j int) bool {
+		a, b := set.Patterns[i], set.Patterns[j]
+		if len(a.Episodes) != len(b.Episodes) {
+			return len(a.Episodes) > len(b.Episodes)
+		}
+		return a.Canon < b.Canon
+	})
+	return set
+}
+
+// structured reports whether the episode participates in
+// classification under opt: it must have at least one child that the
+// fingerprint would retain.
+func structured(e *trace.Episode, opt Options) bool {
+	if opt.IncludeGC {
+		return len(e.Root.Children) > 0
+	}
+	return e.Structured()
+}
+
+// Lookup returns the pattern an episode belongs to within this set, if
+// the episode was classified.
+func (s *Set) Lookup(e *trace.Episode) (*Pattern, bool) {
+	p, ok := s.byCanon[Fingerprint(e, s.Options)]
+	return p, ok
+}
+
+// Covered returns the total number of episodes covered by patterns
+// (Table III's "#Eps").
+func (s *Set) Covered() int {
+	n := 0
+	for _, p := range s.Patterns {
+		n += len(p.Episodes)
+	}
+	return n
+}
+
+// SingletonFrac returns the fraction of patterns with exactly one
+// episode (Table III's "One-Ep").
+func (s *Set) SingletonFrac() float64 {
+	if len(s.Patterns) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range s.Patterns {
+		if p.Singleton() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(s.Patterns))
+}
+
+// OccurrenceCounts tallies patterns per occurrence class at the set's
+// threshold (the per-application bars of Figure 4).
+func (s *Set) OccurrenceCounts() map[Occurrence]int {
+	counts := make(map[Occurrence]int, numOccurrences)
+	th := s.Options.threshold()
+	for _, p := range s.Patterns {
+		counts[p.Occurrence(th)]++
+	}
+	return counts
+}
+
+// CDF returns the cumulative distribution of episodes into patterns
+// (Figure 3): x is the fraction of patterns (largest first), y the
+// fraction of covered episodes they hold.
+func (s *Set) CDF() []stats.CDFPoint {
+	weights := make([]float64, len(s.Patterns))
+	for i, p := range s.Patterns {
+		weights[i] = float64(len(p.Episodes))
+	}
+	return stats.CumulativeShare(weights)
+}
+
+// MeanDescendants and MeanDepth average the structural metrics over
+// patterns (Table III's "Descs" and "Depth" columns).
+func (s *Set) MeanDescendants() float64 {
+	if len(s.Patterns) == 0 {
+		return 0
+	}
+	t := 0
+	for _, p := range s.Patterns {
+		t += p.Descendants
+	}
+	return float64(t) / float64(len(s.Patterns))
+}
+
+// MeanDepth averages pattern tree depth; see MeanDescendants.
+func (s *Set) MeanDepth() float64 {
+	if len(s.Patterns) == 0 {
+		return 0
+	}
+	t := 0
+	for _, p := range s.Patterns {
+		t += p.Depth
+	}
+	return float64(t) / float64(len(s.Patterns))
+}
+
+// Perceptible returns the patterns that have at least one perceptible
+// episode — the browser's "elide never-perceptible patterns" filter.
+func (s *Set) Perceptible() []*Pattern {
+	th := s.Options.threshold()
+	var out []*Pattern
+	for _, p := range s.Patterns {
+		if p.PerceptibleCount(th) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}

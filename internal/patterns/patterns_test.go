@@ -1,0 +1,435 @@
+package patterns
+
+import (
+	"strings"
+	"testing"
+
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+func ms(v float64) trace.Time { return trace.Time(trace.Ms(v)) }
+
+// ep builds a dispatch episode with the given start, duration, and
+// children.
+func ep(start trace.Time, dur trace.Dur, children ...*trace.Interval) *trace.Episode {
+	root := trace.NewInterval(trace.KindDispatch, "", "", start, dur)
+	for _, c := range children {
+		root.AddChild(c)
+	}
+	return &trace.Episode{Thread: 1, Root: root}
+}
+
+// sessionWith wraps episodes into a session (indices fixed up).
+func sessionWith(eps ...*trace.Episode) *trace.Session {
+	s := &trace.Session{App: "t", GUIThread: 1, Start: 0, End: ms(1e6), FilterThreshold: trace.DefaultFilterThreshold}
+	var end trace.Time
+	for i, e := range eps {
+		e.Index = i
+		if e.End() > end {
+			end = e.End()
+		}
+	}
+	s.Episodes = eps
+	s.End = end.Add(trace.Second)
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func TestFingerprintShapes(t *testing.T) {
+	e := ep(0, trace.Ms(100),
+		trace.NewInterval(trace.KindListener, "app.B", "on", 0, trace.Ms(60),
+			trace.NewInterval(trace.KindPaint, "x.P", "paint", ms(10), trace.Ms(20))),
+		trace.NewInterval(trace.KindPaint, "x.Q", "paint", ms(70), trace.Ms(20)))
+
+	got := Fingerprint(e, Options{})
+	want := "dispatch(listener[app.B.on](paint[x.P.paint]),paint[x.Q.paint])"
+	if got != want {
+		t.Errorf("Fingerprint = %q, want %q", got, want)
+	}
+
+	kindOnly := Fingerprint(e, Options{KindOnly: true})
+	if kindOnly != "dispatch(listener(paint),paint)" {
+		t.Errorf("kind-only fingerprint = %q", kindOnly)
+	}
+}
+
+func TestFingerprintExcludesTiming(t *testing.T) {
+	fast := ep(0, trace.Ms(10),
+		trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(5)))
+	slow := ep(ms(1000), trace.Ms(900),
+		trace.NewInterval(trace.KindListener, "a.B", "on", ms(1000), trace.Ms(900)))
+	if Fingerprint(fast, Options{}) != Fingerprint(slow, Options{}) {
+		t.Error("episodes differing only in timing must share a fingerprint")
+	}
+}
+
+func TestFingerprintExcludesGCByDefault(t *testing.T) {
+	withGC := ep(0, trace.Ms(100),
+		trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(50),
+			trace.NewGC(ms(10), trace.Ms(20), false)))
+	withoutGC := ep(ms(1000), trace.Ms(100),
+		trace.NewInterval(trace.KindListener, "a.B", "on", ms(1000), trace.Ms(50)))
+
+	if Fingerprint(withGC, Options{}) != Fingerprint(withoutGC, Options{}) {
+		t.Error("GC intervals must not affect default fingerprints")
+	}
+	if Fingerprint(withGC, Options{IncludeGC: true}) == Fingerprint(withoutGC, Options{IncludeGC: true}) {
+		t.Error("IncludeGC ablation must distinguish the trees")
+	}
+	if !strings.Contains(Fingerprint(withGC, Options{IncludeGC: true}), "gc") {
+		t.Error("IncludeGC fingerprint should mention gc")
+	}
+}
+
+func TestClassifyGroupsAndSorts(t *testing.T) {
+	listener := func(start trace.Time, dur trace.Dur) *trace.Interval {
+		return trace.NewInterval(trace.KindListener, "a.B", "on", start, dur)
+	}
+	paint := func(start trace.Time, dur trace.Dur) *trace.Interval {
+		return trace.NewInterval(trace.KindPaint, "x.P", "paint", start, dur)
+	}
+	s := sessionWith(
+		ep(ms(0), trace.Ms(10), listener(ms(0), trace.Ms(5))),
+		ep(ms(100), trace.Ms(20), listener(ms(100), trace.Ms(5))),
+		ep(ms(200), trace.Ms(30), listener(ms(200), trace.Ms(5))),
+		ep(ms(300), trace.Ms(40), paint(ms(300), trace.Ms(5))),
+		ep(ms(400), trace.Ms(50)), // unstructured
+	)
+	set := Classify([]*trace.Session{s}, Options{})
+	if len(set.Patterns) != 2 {
+		t.Fatalf("patterns = %d, want 2", len(set.Patterns))
+	}
+	// Largest pattern first.
+	if set.Patterns[0].Count() != 3 || set.Patterns[1].Count() != 1 {
+		t.Errorf("pattern sizes = %d,%d; want 3,1", set.Patterns[0].Count(), set.Patterns[1].Count())
+	}
+	if len(set.Unstructured) != 1 {
+		t.Errorf("unstructured = %d, want 1", len(set.Unstructured))
+	}
+	if set.Covered() != 4 {
+		t.Errorf("Covered = %d, want 4", set.Covered())
+	}
+	if got := set.SingletonFrac(); got != 0.5 {
+		t.Errorf("SingletonFrac = %v, want 0.5", got)
+	}
+
+	p := set.Patterns[0]
+	if p.MinLag() != trace.Ms(10) || p.MaxLag() != trace.Ms(30) || p.AvgLag() != trace.Ms(20) || p.TotalLag() != trace.Ms(60) {
+		t.Errorf("lag stats: min=%v avg=%v max=%v total=%v", p.MinLag(), p.AvgLag(), p.MaxLag(), p.TotalLag())
+	}
+	if p.Descendants != 1 || p.Depth != 2 {
+		t.Errorf("structure: descs=%d depth=%d, want 1,2", p.Descendants, p.Depth)
+	}
+
+	// Lookup maps an equivalent episode back to its pattern.
+	probe := ep(ms(999), trace.Ms(1), listener(ms(999), trace.Ms(1)))
+	found, ok := set.Lookup(probe)
+	if !ok || found != p {
+		t.Error("Lookup failed to find the listener pattern")
+	}
+}
+
+func TestGCOnlyEpisodeIsUnstructured(t *testing.T) {
+	s := sessionWith(
+		ep(ms(0), trace.Ms(500), trace.NewGC(ms(10), trace.Ms(400), true)),
+	)
+	set := Classify([]*trace.Session{s}, Options{})
+	if len(set.Patterns) != 0 || len(set.Unstructured) != 1 {
+		t.Errorf("GC-only episode should be unstructured: %d patterns, %d unstructured",
+			len(set.Patterns), len(set.Unstructured))
+	}
+	// Under the IncludeGC ablation it becomes classifiable.
+	set = Classify([]*trace.Session{s}, Options{IncludeGC: true})
+	if len(set.Patterns) != 1 || len(set.Unstructured) != 0 {
+		t.Errorf("IncludeGC should classify the GC-only episode")
+	}
+}
+
+func TestOccurrenceClassification(t *testing.T) {
+	mk := func(durs ...float64) *Pattern {
+		p := &Pattern{}
+		var start trace.Time
+		for _, d := range durs {
+			e := ep(start, trace.Ms(d), trace.NewInterval(trace.KindListener, "a.B", "on", start, trace.Ms(d/2)))
+			p.Episodes = append(p.Episodes, EpisodeRef{Episode: e})
+			start = start.Add(trace.Ms(d) + trace.Second)
+		}
+		return p
+	}
+	th := trace.DefaultPerceptibleThreshold
+	cases := []struct {
+		name string
+		p    *Pattern
+		want Occurrence
+	}{
+		{"all fast", mk(10, 20, 30), OccNever},
+		{"all slow", mk(200, 300), OccAlways},
+		{"perceptible singleton", mk(150), OccAlways},
+		{"fast singleton", mk(50), OccNever},
+		{"one of many", mk(500, 10, 10), OccOnce},
+		{"some", mk(500, 400, 10), OccSometimes},
+		{"exactly at threshold", mk(100), OccAlways},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Occurrence(th); got != tc.want {
+				t.Errorf("Occurrence = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOccurrenceCounts(t *testing.T) {
+	listener := func(start trace.Time, dur trace.Dur, cls string) *trace.Interval {
+		return trace.NewInterval(trace.KindListener, cls, "on", start, dur)
+	}
+	// Pattern A: two slow episodes (always). Pattern B: one fast
+	// (never). Pattern C: slow then fast (once).
+	s := sessionWith(
+		ep(ms(0), trace.Ms(200), listener(ms(0), trace.Ms(100), "a.A")),
+		ep(ms(1000), trace.Ms(300), listener(ms(1000), trace.Ms(100), "a.A")),
+		ep(ms(2000), trace.Ms(10), listener(ms(2000), trace.Ms(5), "b.B")),
+		ep(ms(3000), trace.Ms(400), listener(ms(3000), trace.Ms(100), "c.C")),
+		ep(ms(4000), trace.Ms(10), listener(ms(4000), trace.Ms(5), "c.C")),
+	)
+	set := Classify([]*trace.Session{s}, Options{})
+	counts := set.OccurrenceCounts()
+	if counts[OccAlways] != 1 || counts[OccNever] != 1 || counts[OccOnce] != 1 || counts[OccSometimes] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+	perceptible := set.Perceptible()
+	if len(perceptible) != 2 {
+		t.Errorf("Perceptible = %d patterns, want 2", len(perceptible))
+	}
+}
+
+func TestCDFEndpointsAndMonotonicity(t *testing.T) {
+	listener := func(start trace.Time, dur trace.Dur, cls string) *trace.Interval {
+		return trace.NewInterval(trace.KindListener, cls, "on", start, dur)
+	}
+	var eps []*trace.Episode
+	var start trace.Time
+	add := func(cls string, n int) {
+		for i := 0; i < n; i++ {
+			eps = append(eps, ep(start, trace.Ms(10), listener(start, trace.Ms(5), cls)))
+			start = start.Add(trace.Second)
+		}
+	}
+	add("a.A", 8)
+	add("b.B", 1)
+	add("c.C", 1)
+	set := Classify([]*trace.Session{sessionWith(eps...)}, Options{})
+	curve := set.CDF()
+	if curve[0].X != 0 || curve[0].Y != 0 {
+		t.Errorf("curve starts at %+v", curve[0])
+	}
+	last := curve[len(curve)-1]
+	if last.X != 1 || last.Y != 1 {
+		t.Errorf("curve ends at %+v", last)
+	}
+	// One third of the patterns (the big one) covers 80% of episodes.
+	if got := curve[1].Y; got != 0.8 {
+		t.Errorf("first pattern covers %v, want 0.8", got)
+	}
+}
+
+func TestMeanStructureMetrics(t *testing.T) {
+	deep := ep(ms(0), trace.Ms(50),
+		trace.NewInterval(trace.KindPaint, "a.A", "paint", ms(0), trace.Ms(40),
+			trace.NewInterval(trace.KindPaint, "b.B", "paint", ms(1), trace.Ms(30),
+				trace.NewInterval(trace.KindPaint, "c.C", "paint", ms(2), trace.Ms(20)))))
+	flat := ep(ms(1000), trace.Ms(50),
+		trace.NewInterval(trace.KindListener, "l.L", "on", ms(1000), trace.Ms(40)))
+	set := Classify([]*trace.Session{sessionWith(deep, flat)}, Options{})
+	if got := set.MeanDescendants(); got != 2 { // (3+1)/2
+		t.Errorf("MeanDescendants = %v, want 2", got)
+	}
+	if got := set.MeanDepth(); got != 3 { // (4+2)/2
+		t.Errorf("MeanDepth = %v, want 3", got)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	set := Classify(nil, Options{})
+	if set.SingletonFrac() != 0 || set.MeanDepth() != 0 || set.MeanDescendants() != 0 || set.Covered() != 0 {
+		t.Error("empty set metrics should be zero")
+	}
+	if len(set.CDF()) != 1 {
+		t.Error("empty CDF should be the origin point")
+	}
+}
+
+func TestPatternIDStable(t *testing.T) {
+	e := ep(0, trace.Ms(10), trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(5)))
+	s1 := Classify([]*trace.Session{sessionWith(e)}, Options{})
+	e2 := ep(0, trace.Ms(10), trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(5)))
+	s2 := Classify([]*trace.Session{sessionWith(e2)}, Options{})
+	if s1.Patterns[0].ID() != s2.Patterns[0].ID() {
+		t.Error("identical structures must have identical IDs")
+	}
+	if !strings.HasPrefix(s1.Patterns[0].ID(), "p") {
+		t.Errorf("ID format: %q", s1.Patterns[0].ID())
+	}
+}
+
+func TestOccurrenceStringAndList(t *testing.T) {
+	if OccAlways.String() != "always" || OccNever.String() != "never" ||
+		OccOnce.String() != "once" || OccSometimes.String() != "sometimes" {
+		t.Error("occurrence names wrong")
+	}
+	if Occurrence(9).String() != "occurrence(9)" {
+		t.Error("out-of-range occurrence name")
+	}
+	if len(Occurrences()) != 4 {
+		t.Error("Occurrences should list 4 classes")
+	}
+}
+
+func TestMultiSessionClassification(t *testing.T) {
+	// The same structure in two different sessions lands in one
+	// pattern — LagAlyzer "integrates multiple traces in its
+	// analysis".
+	mk := func() *trace.Session {
+		return sessionWith(ep(0, trace.Ms(10),
+			trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(5))))
+	}
+	a, b := mk(), mk()
+	set := Classify([]*trace.Session{a, b}, Options{})
+	if len(set.Patterns) != 1 || set.Patterns[0].Count() != 2 {
+		t.Fatalf("cross-session grouping failed: %d patterns", len(set.Patterns))
+	}
+	refs := set.Patterns[0].Episodes
+	if refs[0].Session != a || refs[1].Session != b {
+		t.Error("episode refs lost their sessions")
+	}
+	if set.Patterns[0].First().Session != a {
+		t.Error("First should be the earliest-encountered episode")
+	}
+}
+
+// TestPerceptibleCountMonotoneInThreshold: raising the threshold never
+// increases a pattern's perceptible count, and the occurrence class
+// can only move "down" the severity order (always → sometimes/once →
+// never), never gain perceptible members.
+func TestPerceptibleCountMonotoneInThreshold(t *testing.T) {
+	listener := func(start trace.Time, dur trace.Dur) *trace.Interval {
+		return trace.NewInterval(trace.KindListener, "a.B", "on", start, dur)
+	}
+	var eps []*trace.Episode
+	var start trace.Time
+	for _, d := range []float64{20, 90, 110, 150, 250, 600} {
+		eps = append(eps, ep(start, trace.Ms(d), listener(start, trace.Ms(d/2))))
+		start = start.Add(trace.Ms(d) + trace.Second)
+	}
+	set := Classify([]*trace.Session{sessionWith(eps...)}, Options{})
+	p := set.Patterns[0]
+	prev := p.Count() + 1
+	for _, thMs := range []float64{50, 100, 150, 200, 300, 1000} {
+		th := trace.Ms(thMs)
+		k := p.PerceptibleCount(th)
+		if k > prev {
+			t.Fatalf("perceptible count increased from %d to %d at %v", prev, k, th)
+		}
+		prev = k
+		// Occurrence consistency with the count.
+		switch p.Occurrence(th) {
+		case OccAlways:
+			if k != p.Count() {
+				t.Fatalf("always with %d of %d perceptible", k, p.Count())
+			}
+		case OccNever:
+			if k != 0 {
+				t.Fatalf("never with %d perceptible", k)
+			}
+		case OccOnce:
+			if k != 1 {
+				t.Fatalf("once with %d perceptible", k)
+			}
+		case OccSometimes:
+			if k <= 1 || k >= p.Count() {
+				t.Fatalf("sometimes with %d of %d perceptible", k, p.Count())
+			}
+		}
+	}
+}
+
+// TestFingerprintDeterminesPattern: any two episodes land in the same
+// pattern iff their fingerprints match, across random structures.
+func TestFingerprintDeterminesPattern(t *testing.T) {
+	r := stats.NewRand(5, 6)
+	classes := []string{"a.A", "b.B", "c.C"}
+	var eps []*trace.Episode
+	var start trace.Time
+	for i := 0; i < 60; i++ {
+		dur := trace.Ms(10 + float64(r.IntN(100)))
+		root := trace.NewInterval(trace.KindDispatch, "", "", start, dur)
+		cursor := start
+		for j := 0; j < 1+r.IntN(3); j++ {
+			cd := dur / trace.Dur(6)
+			child := trace.NewInterval(trace.KindListener, classes[r.IntN(len(classes))], "on", cursor, cd)
+			if r.IntN(2) == 0 {
+				child.AddChild(trace.NewInterval(trace.KindPaint, classes[r.IntN(len(classes))], "paint", cursor, cd/2))
+			}
+			root.AddChild(child)
+			cursor = child.End
+		}
+		eps = append(eps, &trace.Episode{Index: i, Thread: 1, Root: root})
+		start = start.Add(dur + trace.Second)
+	}
+	set := Classify([]*trace.Session{sessionWith(eps...)}, Options{})
+
+	covered := 0
+	for _, p := range set.Patterns {
+		covered += p.Count()
+		for _, ref := range p.Episodes {
+			if got := Fingerprint(ref.Episode, Options{}); got != p.Canon {
+				t.Fatalf("episode fingerprint %q in pattern %q", got, p.Canon)
+			}
+		}
+	}
+	if covered != len(eps) {
+		t.Fatalf("covered %d of %d episodes", covered, len(eps))
+	}
+	// Cross-check: distinct patterns have distinct canons.
+	seen := map[string]bool{}
+	for _, p := range set.Patterns {
+		if seen[p.Canon] {
+			t.Fatalf("duplicate pattern canon %q", p.Canon)
+		}
+		seen[p.Canon] = true
+	}
+}
+
+func TestPatternGCCoOccurrence(t *testing.T) {
+	listener := func(start trace.Time, dur trace.Dur) *trace.Interval {
+		return trace.NewInterval(trace.KindListener, "a.B", "on", start, dur)
+	}
+	// Three structurally identical episodes; two contain a GC.
+	withGC := func(start trace.Time) *trace.Episode {
+		l := listener(start, trace.Ms(50))
+		l.AddChild(trace.NewGC(start.Add(trace.Ms(5)), trace.Ms(20), false))
+		return ep(start, trace.Ms(80), l)
+	}
+	s := sessionWith(
+		withGC(ms(0)),
+		ep(ms(1000), trace.Ms(80), listener(ms(1000), trace.Ms(50))),
+		withGC(ms(2000)),
+	)
+	set := Classify([]*trace.Session{s}, Options{})
+	if len(set.Patterns) != 1 {
+		t.Fatalf("GC exclusion should merge the episodes: %d patterns", len(set.Patterns))
+	}
+	p := set.Patterns[0]
+	if p.GCCount() != 2 {
+		t.Errorf("GCCount = %d, want 2", p.GCCount())
+	}
+	if got := p.GCFrac(); got < 0.66 || got > 0.67 {
+		t.Errorf("GCFrac = %v, want 2/3", got)
+	}
+	if (&Pattern{}).GCFrac() != 0 {
+		t.Error("empty pattern GCFrac should be 0")
+	}
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/trace"
+	"lagalyzer/internal/treebuild"
+)
+
+// LoadTraceDir reads every LiLa trace under dir (recursively; both
+// encodings, sniffed), groups the sessions into suites by application
+// name, and returns the suites ordered by name. It is the on-disk
+// counterpart of the simulator path: `lagreport -traces dir`
+// characterizes recorded traces exactly like simulated ones.
+func LoadTraceDir(dir string) ([]*trace.Suite, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: scanning %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("report: no trace files under %s", dir)
+	}
+
+	byApp := make(map[string]*trace.Suite)
+	var order []string
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := treebuild.ReadSession(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", path, err)
+		}
+		suite := byApp[s.App]
+		if suite == nil {
+			suite = &trace.Suite{App: s.App}
+			byApp[s.App] = suite
+			order = append(order, s.App)
+		}
+		suite.Sessions = append(suite.Sessions, s)
+	}
+	sort.Strings(order)
+	suites := make([]*trace.Suite, 0, len(order))
+	for _, app := range order {
+		suites = append(suites, byApp[app])
+	}
+	return suites, nil
+}
+
+// AnalyzeSuites runs the full per-application characterization over
+// already-loaded suites — the entry point for trace-directory studies.
+func AnalyzeSuites(suites []*trace.Suite, threshold trace.Dur) *StudyResult {
+	if threshold == 0 {
+		threshold = trace.DefaultPerceptibleThreshold
+	}
+	res := &StudyResult{Config: StudyConfig{Threshold: threshold}}
+	for _, suite := range suites {
+		a := AnalyzeSuite(suite, threshold)
+		res.Apps = append(res.Apps, a)
+		res.Rows = append(res.Rows, a.Overview)
+	}
+	if len(res.Rows) > 0 {
+		res.Rows = append(res.Rows, analysis.MeanOverview(res.Rows))
+	}
+	return res
+}

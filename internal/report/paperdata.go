@@ -1,0 +1,98 @@
+// Package report runs the paper's characterization study on simulated
+// sessions and renders its tables and figures: Table III's overview
+// statistics and Figures 3-8, in both plain text and SVG. It also
+// carries the paper's published numbers so every experiment can be
+// reported as paper-vs-measured.
+package report
+
+// PaperRow is one application's row of the paper's Table III.
+type PaperRow struct {
+	App        string
+	E2E        float64 // seconds
+	InEpsPct   float64
+	Short      float64 // "< 3ms"
+	Traced     float64 // "≥ 3ms"
+	Long       float64 // "≥ 100ms"
+	LongPerMin float64
+	Dist       float64
+	CoveredEps float64
+	OneEpPct   float64
+	Descs      float64
+	Depth      float64
+}
+
+// PaperTable3 is Table III of the paper, one row per application plus
+// the mean, exactly as published.
+var PaperTable3 = []PaperRow{
+	{"Arabeske", 461, 25, 323605, 6278, 177, 95, 427, 5456, 62, 7, 5},
+	{"ArgoUML", 630, 35, 196247, 9066, 265, 75, 1292, 8011, 66, 10, 5},
+	{"CrosswordSage", 367, 8, 109547, 1173, 36, 80, 119, 1068, 46, 5, 4},
+	{"Euclide", 614, 35, 109572, 9676, 96, 26, 202, 9053, 35, 5, 4},
+	{"FindBugs", 599, 21, 39254, 6336, 120, 56, 245, 6128, 44, 6, 4},
+	{"FreeMind", 524, 11, 325135, 3462, 26, 30, 246, 3326, 55, 7, 5},
+	{"GanttProject", 523, 47, 126940, 2564, 706, 168, 803, 2373, 70, 18, 12},
+	{"JEdit", 502, 9, 117615, 2271, 24, 33, 150, 1610, 50, 5, 4},
+	{"JFreeChart", 250, 26, 77720, 1658, 175, 164, 114, 1581, 44, 6, 5},
+	{"JHotDraw", 421, 41, 246836, 5980, 338, 114, 454, 5675, 70, 8, 5},
+	{"Jmol", 449, 46, 110929, 3197, 604, 180, 187, 3062, 52, 7, 5},
+	{"Laoe", 460, 47, 1241198, 3174, 61, 18, 226, 3007, 58, 8, 5},
+	{"NetBeans", 398, 27, 305177, 3120, 149, 82, 642, 2911, 66, 10, 5},
+	{"SwingSet", 384, 20, 219569, 4310, 70, 57, 444, 4152, 59, 9, 6},
+	{"Mean", 470, 28, 253525, 4447, 203, 84, 396, 4101, 56, 8, 5},
+}
+
+// PaperRowFor returns the published row for an application.
+func PaperRowFor(app string) (PaperRow, bool) {
+	for _, r := range PaperTable3 {
+		if r.App == app {
+			return r, true
+		}
+	}
+	return PaperRow{}, false
+}
+
+// PaperFindings are the per-experiment quantitative claims of Section
+// IV beyond Table III, used for the paper-vs-measured report of
+// EXPERIMENTS.md. Values are fractions unless noted.
+var PaperFindings = map[string]float64{
+	// Figure 3: the Pareto shape — ~80 % of episodes covered by 20 %
+	// of patterns.
+	"fig3.episodes_in_top20pct_patterns": 0.80,
+
+	// Figure 4 (study-wide averages).
+	"fig4.consistent_patterns": 0.96, // always or never
+	"fig4.ever_perceptible":    0.22, // once, sometimes, or always
+	"fig4.gantt_always":        0.57,
+	"fig4.freemind_never":      0.92,
+
+	// Figure 5, perceptible panel (study-wide averages).
+	"fig5.long.input":  0.40,
+	"fig5.long.output": 0.47,
+	"fig5.long.async":  0.07,
+	// Per-application standouts.
+	"fig5.arabeske.unspecified": 0.57,
+	"fig5.jmol.output":          0.98,
+	"fig5.argouml.input":        0.78,
+	"fig5.findbugs.async":       0.42,
+
+	// Figure 6, perceptible panel (study-wide averages).
+	"fig6.long.library": 0.52,
+	"fig6.long.app":     0.48,
+	"fig6.long.gc":      0.11,
+	"fig6.long.native":  0.05,
+	// Per-application standouts.
+	"fig6.arabeske.gc":       0.60,
+	"fig6.argouml.gc":        0.26,
+	"fig6.argouml.all.gc":    0.16,
+	"fig6.jfreechart.native": 0.24,
+	"fig6.euclide.library":   0.73,
+	"fig6.jhotdraw.app":      0.96,
+
+	// Figure 7: average runnable threads over all episodes.
+	"fig7.all.runnable_threads": 1.2,
+
+	// Figure 8 standouts, perceptible panel.
+	"fig8.jedit.waiting":    0.25, // "over 25 %"
+	"fig8.freemind.blocked": 0.12,
+	"fig8.euclide.sleeping": 0.60, // "over 60 %"
+}

@@ -1,0 +1,227 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// StudyConfig configures a characterization run.
+type StudyConfig struct {
+	// Apps are the profiles to study; nil means the full 14-app
+	// catalog.
+	Apps []*sim.Profile
+	// SessionsPerApp is the number of sessions simulated per
+	// application; 0 means the paper's four.
+	SessionsPerApp int
+	// Seed is the base random seed (0 is a valid seed).
+	Seed uint64
+	// Threshold is the perceptibility threshold; 0 means 100 ms.
+	Threshold trace.Dur
+	// SessionSeconds overrides every profile's session length when
+	// > 0 (used to scale the study down in tests).
+	SessionSeconds float64
+	// Sequential disables per-application parallelism.
+	Sequential bool
+}
+
+func (c StudyConfig) apps() []*sim.Profile {
+	if c.Apps != nil {
+		return c.Apps
+	}
+	return apps.Catalog()
+}
+
+func (c StudyConfig) sessions() int {
+	if c.SessionsPerApp > 0 {
+		return c.SessionsPerApp
+	}
+	return 4
+}
+
+func (c StudyConfig) threshold() trace.Dur {
+	if c.Threshold > 0 {
+		return c.Threshold
+	}
+	return trace.DefaultPerceptibleThreshold
+}
+
+// AppResult bundles everything the study computes for one application.
+type AppResult struct {
+	// Profile is the simulated application; nil when the suite was
+	// loaded from trace files instead of simulated.
+	Profile *sim.Profile
+	Suite   *trace.Suite
+
+	// Overview is the application's Table III row.
+	Overview analysis.Overview
+
+	// Pooled classifies all the application's sessions together (the
+	// figures aggregate per application; Table III's pattern columns
+	// are per-session averages inside Overview).
+	Pooled *patterns.Set
+
+	// Occurrence counts patterns per occurrence class (Figure 4).
+	Occurrence map[patterns.Occurrence]int
+
+	// CDF is the cumulative episodes-into-patterns curve (Figure 3).
+	CDF []stats.CDFPoint
+
+	// TriggerAll and TriggerLong are Figure 5's two panels.
+	TriggerAll, TriggerLong analysis.TriggerShares
+
+	// LocationAll and LocationLong are Figure 6's two panels.
+	LocationAll, LocationLong analysis.LocationShares
+
+	// ConcurrencyAll and ConcurrencyLong are Figure 7's two panels.
+	ConcurrencyAll, ConcurrencyLong float64
+
+	// CausesAll and CausesLong are Figure 8's two panels.
+	CausesAll, CausesLong analysis.CauseShares
+}
+
+// StudyResult is a full characterization run.
+type StudyResult struct {
+	Config StudyConfig
+	Apps   []*AppResult
+	// Rows are the Table III rows in catalog order, with the Mean row
+	// appended.
+	Rows []analysis.Overview
+}
+
+// AppByName returns one application's results.
+func (r *StudyResult) AppByName(name string) (*AppResult, bool) {
+	for _, a := range r.Apps {
+		if a.Suite.App == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// TotalEpisodes sums traced episodes over all sessions (the paper
+// reports ~250'000 for the full study).
+func (r *StudyResult) TotalEpisodes() int {
+	n := 0
+	for _, a := range r.Apps {
+		for _, s := range a.Suite.Sessions {
+			n += len(s.Episodes)
+		}
+	}
+	return n
+}
+
+// RunStudy simulates and analyzes the full study.
+func RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	profiles := cfg.apps()
+	results := make([]*AppResult, len(profiles))
+	errs := make([]error, len(profiles))
+
+	run := func(i int) {
+		results[i], errs[i] = runApp(cfg, profiles[i])
+	}
+	if cfg.Sequential {
+		for i := range profiles {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range profiles {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("report: app %s: %w", profiles[i].Name, err)
+		}
+	}
+
+	res := &StudyResult{Config: cfg, Apps: results}
+	for _, a := range results {
+		res.Rows = append(res.Rows, a.Overview)
+	}
+	res.Rows = append(res.Rows, analysis.MeanOverview(res.Rows))
+	return res, nil
+}
+
+func runApp(cfg StudyConfig, p *sim.Profile) (*AppResult, error) {
+	suite := &trace.Suite{App: p.Name}
+	for i := 0; i < cfg.sessions(); i++ {
+		s, err := sim.Run(sim.Config{
+			Profile:        p,
+			SessionID:      i,
+			Seed:           cfg.Seed,
+			SessionSeconds: cfg.SessionSeconds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		suite.Sessions = append(suite.Sessions, s)
+	}
+	a := AnalyzeSuite(suite, cfg.threshold())
+	a.Profile = p
+	return a, nil
+}
+
+// AnalyzeSuite computes the full per-application result for an
+// existing suite of sessions (simulated or loaded from trace files).
+func AnalyzeSuite(suite *trace.Suite, threshold trace.Dur) *AppResult {
+	sessions := suite.Sessions
+	pooled := patterns.Classify(sessions, patterns.Options{Threshold: threshold})
+	a := &AppResult{
+		Suite:      suite,
+		Overview:   analysis.OverviewOf(suite, threshold),
+		Pooled:     pooled,
+		Occurrence: pooled.OccurrenceCounts(),
+		CDF:        pooled.CDF(),
+
+		TriggerAll:   analysis.TriggerAnalysis(sessions, threshold, false, analysis.TriggerOptions{}),
+		TriggerLong:  analysis.TriggerAnalysis(sessions, threshold, true, analysis.TriggerOptions{}),
+		LocationAll:  analysis.LocationAnalysis(sessions, threshold, false, nil),
+		LocationLong: analysis.LocationAnalysis(sessions, threshold, true, nil),
+		CausesAll:    analysis.CauseAnalysis(sessions, threshold, false),
+		CausesLong:   analysis.CauseAnalysis(sessions, threshold, true),
+	}
+	a.ConcurrencyAll, _ = analysis.Concurrency(sessions, threshold, false)
+	a.ConcurrencyLong, _ = analysis.Concurrency(sessions, threshold, true)
+	return a
+}
+
+// OccurrenceFracs converts pattern occurrence counts into the
+// fractions plotted in Figure 4, in the figure's stacking order
+// (always, sometimes, once, never).
+func (a *AppResult) OccurrenceFracs() map[patterns.Occurrence]float64 {
+	total := 0
+	for _, n := range a.Occurrence {
+		total += n
+	}
+	fr := make(map[patterns.Occurrence]float64, len(a.Occurrence))
+	if total == 0 {
+		return fr
+	}
+	for occ, n := range a.Occurrence {
+		fr[occ] = float64(n) / float64(total)
+	}
+	return fr
+}
+
+// sortedApps returns results ordered by profile name (stable for
+// rendering regardless of run order).
+func sortedApps(as []*AppResult) []*AppResult {
+	out := make([]*AppResult, len(as))
+	copy(out, as)
+	sort.Slice(out, func(i, j int) bool { return out[i].Suite.App < out[j].Suite.App })
+	return out
+}

@@ -1,0 +1,323 @@
+// Package sim is a deterministic discrete-event simulator of an
+// interactive Java application session, standing in for the paper's
+// combination of a real Swing application, a human driver, and the
+// LiLa profiler (none of which are available to this reproduction; see
+// DESIGN.md).
+//
+// The simulator models:
+//
+//   - an event dispatch thread (EDT) processing user input events,
+//     timer/background events, and repaints, one episode at a time;
+//   - a human user with stochastic think time between interactions;
+//   - per-application behavior templates that expand into nested
+//     listener/paint/native/async interval trees with durations;
+//   - a stop-the-world garbage collector driven by an allocation-rate
+//     heap model, with minor/major pauses, explicit System.gc()
+//     requests, safepoint ramps, and post-GC scheduling delays;
+//   - background threads with duty-cycled activity that show up in
+//     call-stack samples and allocate memory;
+//   - the profiler's periodic all-thread call-stack sampler, which —
+//     being a mutator itself — is suppressed while the world is
+//     stopped; and
+//   - the profiler's trace filter, which drops episodes and intervals
+//     shorter than the filter threshold, only counting the episodes.
+//
+// Everything is driven by a single virtual clock and seeded PCG
+// randomness: a (profile, session id, seed) triple always reproduces
+// the identical record stream.
+package sim
+
+import (
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// Config configures one simulated session.
+type Config struct {
+	// Profile is the application to simulate.
+	Profile *Profile
+	// SessionID distinguishes the multiple sessions of a study; it is
+	// also folded into the random seed.
+	SessionID int
+	// Seed is the base random seed.
+	Seed uint64
+	// SamplePeriod is the call-stack sampling interval; 0 means 10 ms.
+	SamplePeriod trace.Dur
+	// FilterThreshold is the profiler's minimum traced episode (and
+	// interval) duration; 0 means trace.DefaultFilterThreshold.
+	FilterThreshold trace.Dur
+	// MaterializeShort generates sub-threshold episodes as real
+	// dispatch records (to be filtered by the trace consumer) instead
+	// of accounting for them with a closed-form count. The real
+	// profiler also filters them at trace time; materialization
+	// exists to exercise the consumer-side filter path.
+	MaterializeShort bool
+	// SessionSeconds overrides the profile's session length when > 0.
+	SessionSeconds float64
+	// Perturbation, when non-nil, models the profiler's measurement
+	// overhead (instrumentation slowdown, profiler allocations). Nil
+	// simulates an unperturbed application.
+	Perturbation *Perturbation
+}
+
+func (c Config) samplePeriod() trace.Dur {
+	if c.SamplePeriod > 0 {
+		return c.SamplePeriod
+	}
+	return 10 * trace.Millisecond
+}
+
+func (c Config) filterThreshold() trace.Dur {
+	if c.FilterThreshold > 0 {
+		return c.FilterThreshold
+	}
+	return trace.DefaultFilterThreshold
+}
+
+// Profile describes one application's behaviour: how often the user
+// interacts, what the handlers do, how memory behaves, and which
+// background threads exist. The 14 study profiles live in package
+// apps.
+type Profile struct {
+	// Name, Version, Classes, and Description match Table II.
+	Name        string
+	Version     string
+	Classes     int
+	Description string
+
+	// AppPackage is the application's root package, used to
+	// synthesize application-code stack frames (anything outside the
+	// runtime-library prefixes).
+	AppPackage string
+
+	// SessionSeconds is the mean end-to-end session length.
+	SessionSeconds float64
+	// ThinkTimeMs is the user's pause after an episode completes
+	// before the next input event arrives.
+	ThinkTimeMs stats.Dist
+	// InputsPerInteraction optionally makes one user interaction
+	// deliver a burst of input events (e.g. typing); nil means one.
+	InputsPerInteraction stats.IntDist
+	// ShortPerSecond is the rate of sub-filter episodes per second of
+	// session time (Table III's "< 3ms" column divided by E2E).
+	ShortPerSecond float64
+
+	// UserBehaviors are the episode templates triggered by user
+	// input, picked by weight.
+	UserBehaviors []*Behavior
+	// Timers post events to the EDT on their own cadence (animations,
+	// progress updates, network callbacks).
+	Timers []*Timer
+
+	// Heap configures the allocation/GC model.
+	Heap HeapConfig
+	// LibraryFrac is the default probability that a runnable
+	// GUI-thread sample lands in runtime-library code (nodes can
+	// override it).
+	LibraryFrac float64
+	// Background lists the application's background threads.
+	Background []*BackgroundThread
+}
+
+// Timer is an EDT event source with its own cadence.
+type Timer struct {
+	// Behavior is the episode template dispatched per firing.
+	Behavior *Behavior
+	// PeriodMs is the interval between firings.
+	PeriodMs stats.Dist
+	// ActiveFrom and ActiveTo bound the timer's lifetime in session
+	// seconds; ActiveTo 0 means until session end.
+	ActiveFrom, ActiveTo float64
+}
+
+// Behavior is one kind of episode: a duration distribution plus the
+// structural template below the dispatch interval.
+type Behavior struct {
+	// Name labels the behavior (for debugging and tests).
+	Name string
+	// Weight is the relative pick probability among a profile's
+	// UserBehaviors (ignored for timer behaviors).
+	Weight float64
+	// DurMs is the episode's planned handler duration in
+	// milliseconds, excluding whatever GC pauses get injected.
+	DurMs stats.Dist
+	// DispatchWeight is the dispatch interval's own self-time weight
+	// (event queue overhead around the handlers); 0 means 0.02.
+	DispatchWeight float64
+	// Nodes are the templates of the dispatch interval's children.
+	Nodes []Node
+}
+
+func (b *Behavior) dispatchWeight() float64 {
+	if b.DispatchWeight > 0 {
+		return b.DispatchWeight
+	}
+	return 0.02
+}
+
+// Node is a template for one interval of an episode's tree.
+//
+// Durations are expressed as weights: after inclusion and repetition
+// are sampled, the episode's planned duration (Behavior.DurMs) is
+// distributed over all included nodes proportionally to their weights,
+// each node receiving its share as *self* time (time not covered by
+// its children). This makes episode-duration distributions directly
+// calibratable while preserving arbitrarily deep structure.
+type Node struct {
+	// Kind is the interval type: listener, paint, native, or async
+	// (dispatch is implicit, GC is injected by the heap model).
+	Kind trace.Kind
+	// Class and Method are the interval's symbolic information.
+	Class, Method string
+	// ClassPool, when non-empty, picks the class per expanded
+	// instance (uniformly) instead of using Class. Repeated nodes
+	// draw independently, so a repeat of 3 over a pool of 5 classes
+	// produces ordered class sequences — the combinatorial source of
+	// the hundreds of distinct episode patterns real applications
+	// show (Table III's "Dist" column). Paint nodes default their
+	// method to "paint".
+	ClassPool []string
+	// Weight is the node's relative share of the episode duration as
+	// self time.
+	Weight float64
+	// Prob is the node's inclusion probability; 0 means always.
+	// Optional nodes create the structural diversity behind distinct
+	// patterns.
+	Prob float64
+	// Repeat replicates the node sequentially (e.g. one paint per
+	// visible component); nil means exactly once.
+	Repeat stats.IntDist
+	// Children nest below this node.
+	Children []Node
+
+	// States mixes non-runnable scheduling states into this node's
+	// self time (Figure 8's blocked/waiting/sleeping causes).
+	States StateMix
+	// LibFrac overrides the profile's library-code sample fraction
+	// for this node's runnable self time; 0 means inherit the
+	// profile's LibraryFrac (use a small value such as 0.01 for
+	// "almost never in the library").
+	LibFrac float64
+	// AllocFactor scales the profile's allocation rate during this
+	// node's self time; 0 means 1.
+	AllocFactor float64
+	// ExplicitGC triggers a System.gc() major collection when the
+	// node is entered (the Arabeske behaviour of Section IV-C).
+	ExplicitGC bool
+	// ExtraFrames are appended below this node's frame in synthetic
+	// call stacks (e.g. the Apple combo-box blink method that owns
+	// the Thread.sleep in Section IV-E).
+	ExtraFrames []trace.Frame
+}
+
+func (n *Node) prob() float64 {
+	if n.Prob == 0 {
+		return 1
+	}
+	return n.Prob
+}
+
+func (n *Node) allocFactor() float64 {
+	if n.AllocFactor == 0 {
+		return 1
+	}
+	return n.AllocFactor
+}
+
+// StateMix gives the fractions of a node's self time spent blocked,
+// waiting, and sleeping; the remainder is runnable. The zero value is
+// fully runnable.
+type StateMix struct {
+	Blocked  float64
+	Waiting  float64
+	Sleeping float64
+}
+
+// HeapConfig parameterizes the stop-the-world collector.
+type HeapConfig struct {
+	// CapacityMB is the collected generation's size; a collection
+	// triggers when cumulative allocation crosses it.
+	CapacityMB float64
+	// AllocMBPerSec is the allocation rate while the GUI thread is
+	// doing work in an episode.
+	AllocMBPerSec float64
+	// IdleAllocMBPerSec is the ambient allocation rate outside
+	// episode work (timers, toolkits, background bookkeeping).
+	IdleAllocMBPerSec float64
+	// MinorPauseMs distributes minor-collection pause times.
+	MinorPauseMs stats.Dist
+	// MajorEvery makes every Nth collection a major one (0 disables
+	// heap-driven major collections; explicit System.gc() is always
+	// major).
+	MajorEvery int
+	// MajorPauseMs distributes major-collection pause times.
+	MajorPauseMs stats.Dist
+	// RampMs is the safepoint ramp before the GC bracket: threads are
+	// already stopped but the JVMTI "Garbage Collection Start" event
+	// has not fired yet (the Figure 1 observation).
+	RampMs stats.Dist
+	// PostDelayMs is the scheduling delay after the GC bracket before
+	// the GUI thread (and the sampler) get their first time slice
+	// again.
+	PostDelayMs stats.Dist
+}
+
+// BackgroundThread models a non-EDT thread's visible behaviour: when
+// it is runnable (for Figure 7's concurrency measure), what it
+// allocates, and what its sampled stack looks like.
+type BackgroundThread struct {
+	// Name is the thread's display name.
+	Name string
+	// ActiveFrom and ActiveTo bound the thread's busy phase in
+	// session seconds; ActiveTo 0 means until session end. Outside
+	// the phase the thread waits.
+	ActiveFrom, ActiveTo float64
+	// Duty is the fraction of the busy phase the thread is runnable,
+	// cycled with PeriodMs granularity.
+	Duty float64
+	// PeriodMs is the duty cycle length; 0 means 1000 ms.
+	PeriodMs float64
+	// AllocMBPerSec is the thread's allocation rate while runnable.
+	AllocMBPerSec float64
+	// Stack is the thread's sampled stack while runnable (leaf
+	// first); while waiting a generic park stack is synthesized.
+	Stack []trace.Frame
+}
+
+func (b *BackgroundThread) periodMs() float64 {
+	if b.PeriodMs > 0 {
+		return b.PeriodMs
+	}
+	return 1000
+}
+
+// stateAt returns the thread's scheduling state at session time t.
+// The duty cycle is deterministic in t so that repeated sampling of
+// the same instant agrees.
+func (b *BackgroundThread) stateAt(t trace.Time, sessionEnd trace.Time) trace.ThreadState {
+	sec := t.Seconds()
+	to := b.ActiveTo
+	if to == 0 {
+		to = sessionEnd.Seconds()
+	}
+	if sec < b.ActiveFrom || sec >= to {
+		return trace.StateWaiting
+	}
+	if b.Duty >= 1 {
+		return trace.StateRunnable
+	}
+	period := b.periodMs()
+	phase := t.Ms() - float64(int64(t.Ms()/period))*period
+	if phase < b.Duty*period {
+		return trace.StateRunnable
+	}
+	return trace.StateWaiting
+}
+
+// allocAt returns the thread's allocation rate (MB/s) at time t.
+func (b *BackgroundThread) allocAt(t trace.Time, sessionEnd trace.Time) float64 {
+	if b.stateAt(t, sessionEnd) == trace.StateRunnable {
+		return b.AllocMBPerSec
+	}
+	return 0
+}

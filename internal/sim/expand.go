@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// plan is a behavior template expanded into a concrete episode: every
+// structural choice (inclusion, repetition) is resolved and every node
+// carries its self-time duration. The executor then plays the plan on
+// the virtual timeline, where GC pauses may still stretch it.
+type plan struct {
+	behavior *Behavior
+	// dispatchSelf is the dispatch interval's own self time.
+	dispatchSelf trace.Dur
+	// roots are the dispatch interval's children.
+	roots []*planNode
+}
+
+type planNode struct {
+	node *Node
+	// class and method are the resolved symbols (Node.ClassPool picks
+	// a class per expanded instance).
+	class, method string
+	self          trace.Dur
+	children      []*planNode
+}
+
+// total returns the node's full planned duration: self time plus all
+// descendants'.
+func (pn *planNode) total() trace.Dur {
+	d := pn.self
+	for _, c := range pn.children {
+		d += c.total()
+	}
+	return d
+}
+
+// plannedDur returns the episode's full planned duration.
+func (p *plan) plannedDur() trace.Dur {
+	d := p.dispatchSelf
+	for _, r := range p.roots {
+		d += r.total()
+	}
+	return d
+}
+
+// expand resolves a behavior template into a plan: structural choices
+// are sampled, then the sampled episode duration — scaled by the
+// instrumentation slowdown, when a perturbation is modeled — is split
+// over the included nodes proportionally to their weights.
+func expand(b *Behavior, r *rand.Rand, slowdown float64) *plan {
+	p := &plan{behavior: b}
+	var totalWeight float64
+	for _, n := range b.Nodes {
+		p.roots = append(p.roots, expandNode(&n, r, &totalWeight)...)
+	}
+	totalWeight += b.dispatchWeight()
+
+	durMs := b.DurMs.Sample(r) * slowdown
+	if durMs < 0 {
+		durMs = 0
+	}
+	dur := trace.Ms(durMs)
+
+	p.dispatchSelf = scaleDur(dur, b.dispatchWeight(), totalWeight)
+	for _, root := range p.roots {
+		assignSelf(root, dur, totalWeight)
+	}
+	return p
+}
+
+// expandNode resolves one template node (inclusion, repetition,
+// children) and accumulates the weights of everything included.
+func expandNode(n *Node, r *rand.Rand, totalWeight *float64) []*planNode {
+	if pr := n.prob(); pr < 1 && r.Float64() >= pr {
+		return nil
+	}
+	count := 1
+	if n.Repeat != nil {
+		count = n.Repeat.SampleInt(r)
+	}
+	var out []*planNode
+	for i := 0; i < count; i++ {
+		pn := &planNode{node: n, class: n.Class, method: n.Method}
+		if len(n.ClassPool) > 0 {
+			pn.class = n.ClassPool[r.IntN(len(n.ClassPool))]
+		}
+		if pn.method == "" && n.Kind == trace.KindPaint {
+			pn.method = "paint"
+		}
+		*totalWeight += n.Weight
+		for j := range n.Children {
+			pn.children = append(pn.children, expandNode(&n.Children[j], r, totalWeight)...)
+		}
+		out = append(out, pn)
+	}
+	return out
+}
+
+func assignSelf(pn *planNode, dur trace.Dur, totalWeight float64) {
+	pn.self = scaleDur(dur, pn.node.Weight, totalWeight)
+	for _, c := range pn.children {
+		assignSelf(c, dur, totalWeight)
+	}
+}
+
+func scaleDur(dur trace.Dur, weight, total float64) trace.Dur {
+	if total <= 0 {
+		return 0
+	}
+	return trace.Dur(float64(dur) * weight / total)
+}
+
+// pickBehavior selects a user behavior by weight.
+func pickBehavior(behaviors []*Behavior, r *rand.Rand) *Behavior {
+	if len(behaviors) == 1 {
+		return behaviors[0]
+	}
+	weights := make([]float64, len(behaviors))
+	for i, b := range behaviors {
+		weights[i] = b.Weight
+	}
+	return behaviors[stats.Pick(r, weights)]
+}

@@ -1,0 +1,38 @@
+package sim
+
+// Perturbation models the measurement overhead of the profiler itself
+// — the threat to validity the paper defers to future work ("we plan
+// to study the perturbation of LiLa"): instrumentation slows the
+// application down, and the profiler's own temporary allocations can
+// increase garbage collection frequency.
+//
+// Attaching a Perturbation to a Config lets an experiment compare a
+// "measured" session against the clean baseline with everything else
+// held fixed (see BenchmarkAblation_Perturbation).
+type Perturbation struct {
+	// SlowdownFactor multiplies all planned handler durations —
+	// call/return instrumentation overhead. 0 and 1 both mean no
+	// slowdown. Per-sample sampler pauses fold into this factor to
+	// first order (a 1 ms pause every 10 ms ≈ factor 1.1).
+	SlowdownFactor float64
+	// ExtraAllocMBPerSec is the profiler's own allocation rate
+	// (event buffers, stack-trace copies), active whenever the GUI
+	// thread is doing work. It accelerates collections.
+	ExtraAllocMBPerSec float64
+}
+
+// slowdown returns the effective duration multiplier.
+func (p *Perturbation) slowdown() float64 {
+	if p == nil || p.SlowdownFactor <= 0 {
+		return 1
+	}
+	return p.SlowdownFactor
+}
+
+// extraAlloc returns the profiler's allocation rate.
+func (p *Perturbation) extraAlloc() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.ExtraAllocMBPerSec
+}

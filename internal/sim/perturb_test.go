@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"lagalyzer/internal/trace"
+)
+
+// TestPerturbationSlowdown checks that instrumentation slowdown
+// stretches episodes proportionally: more perceptible episodes, longer
+// in-episode time.
+func TestPerturbationSlowdown(t *testing.T) {
+	base := Config{Profile: testProfile(), Seed: 51, SessionSeconds: 60}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := base
+	perturbed.Perturbation = &Perturbation{SlowdownFactor: 1.5}
+	slow, err := Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cleanFrac := clean.InEpisodeFrac()
+	slowFrac := slow.InEpisodeFrac()
+	ratio := slowFrac / cleanFrac
+	if ratio < 1.25 || ratio > 1.8 {
+		t.Errorf("in-episode fraction ratio = %.2f (clean %.3f, perturbed %.3f), want ≈1.5",
+			ratio, cleanFrac, slowFrac)
+	}
+	cleanLong := len(clean.PerceptibleEpisodes(trace.DefaultPerceptibleThreshold))
+	slowLong := len(slow.PerceptibleEpisodes(trace.DefaultPerceptibleThreshold))
+	if slowLong <= cleanLong {
+		t.Errorf("slowdown did not add perceptible episodes: %d vs %d", slowLong, cleanLong)
+	}
+}
+
+// TestPerturbationAllocation checks that profiler allocations increase
+// GC frequency — the paper's explicit perturbation worry ("increase
+// the frequency of garbage collections by allocating a significant
+// amount of temporary data").
+func TestPerturbationAllocation(t *testing.T) {
+	base := Config{Profile: testProfile(), Seed: 53, SessionSeconds: 60}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := base
+	perturbed.Perturbation = &Perturbation{ExtraAllocMBPerSec: 60}
+	noisy, err := Run(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noisy.GCs) <= len(clean.GCs) {
+		t.Errorf("extra allocation did not add collections: %d vs %d", len(noisy.GCs), len(clean.GCs))
+	}
+}
+
+func TestPerturbationZeroValues(t *testing.T) {
+	var p *Perturbation
+	if p.slowdown() != 1 || p.extraAlloc() != 0 {
+		t.Error("nil perturbation should be neutral")
+	}
+	p = &Perturbation{}
+	if p.slowdown() != 1 || p.extraAlloc() != 0 {
+		t.Error("zero perturbation should be neutral")
+	}
+	p = &Perturbation{SlowdownFactor: 1.2, ExtraAllocMBPerSec: 5}
+	if p.slowdown() != 1.2 || p.extraAlloc() != 5 {
+		t.Error("perturbation fields not passed through")
+	}
+}

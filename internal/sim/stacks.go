@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"lagalyzer/internal/trace"
+)
+
+// Synthetic call-stack construction. Samples are leaf-first; a
+// GUI-thread stack consists of a state-specific leaf, the open
+// intervals' frames (deepest first), and the event-dispatch base
+// frames every EDT stack bottoms out in.
+
+var edtBaseFrames = []trace.Frame{
+	{Class: "java.awt.EventQueue", Method: "dispatchEvent"},
+	{Class: "java.awt.EventDispatchThread", Method: "pumpOneEventForFilters"},
+	{Class: "java.awt.EventDispatchThread", Method: "run"},
+}
+
+var idleGUIStack = []trace.Frame{
+	{Class: "java.lang.Object", Method: "wait", Native: true},
+	{Class: "java.awt.EventQueue", Method: "getNextEvent"},
+	{Class: "java.awt.EventDispatchThread", Method: "pumpOneEventForFilters"},
+	{Class: "java.awt.EventDispatchThread", Method: "run"},
+}
+
+var sleepLeaf = trace.Frame{Class: "java.lang.Thread", Method: "sleep", Native: true}
+var waitLeaf = trace.Frame{Class: "java.lang.Object", Method: "wait", Native: true}
+
+// libraryLeaves is the pool of runtime-library methods synthetic
+// runnable samples land in.
+var libraryLeaves = []trace.Frame{
+	{Class: "javax.swing.JComponent", Method: "paintComponent"},
+	{Class: "javax.swing.RepaintManager", Method: "paintDirtyRegions"},
+	{Class: "javax.swing.plaf.basic.BasicGraphicsUtils", Method: "drawString"},
+	{Class: "java.util.HashMap", Method: "get"},
+	{Class: "java.lang.String", Method: "indexOf"},
+	{Class: "java.lang.StringBuilder", Method: "append"},
+	{Class: "sun.java2d.SunGraphics2D", Method: "drawLine"},
+	{Class: "sun.font.GlyphLayout", Method: "layout"},
+	{Class: "java.awt.Container", Method: "doLayout"},
+	{Class: "java.util.Arrays", Method: "sort"},
+}
+
+// appLeafMethods is the pool of application-code method names;
+// classes are prefixed with the profile's AppPackage.
+var appLeafMethods = []struct{ Class, Method string }{
+	{"Model", "update"},
+	{"View", "render"},
+	{"Controller", "handle"},
+	{"Document", "parse"},
+	{"Layout", "compute"},
+	{"Editor", "applyEdit"},
+	{"Index", "lookup"},
+	{"Shape", "contains"},
+}
+
+// defaultWorkerStack is the sampled stack of a runnable background
+// thread that does not declare its own.
+func defaultWorkerStack(appPackage string) []trace.Frame {
+	return []trace.Frame{
+		{Class: appPackage + ".Worker", Method: "process"},
+		{Class: appPackage + ".Worker", Method: "run"},
+		{Class: "java.lang.Thread", Method: "run"},
+	}
+}
+
+var parkedWorkerStack = []trace.Frame{
+	{Class: "java.util.concurrent.locks.LockSupport", Method: "park", Native: true},
+	{Class: "java.util.concurrent.LinkedBlockingQueue", Method: "take"},
+	{Class: "java.lang.Thread", Method: "run"},
+}
+
+// stackCtx is one open interval on the executor's shadow stack.
+type stackCtx struct {
+	frame   trace.Frame
+	extra   []trace.Frame
+	libFrac float64 // effective library fraction for runnable leaves
+}
+
+// guiStack synthesizes the GUI thread's sampled stack for the given
+// state with the given open-interval contexts (outermost first).
+func guiStack(r *rand.Rand, state trace.ThreadState, ctxs []stackCtx, appPackage string) []trace.Frame {
+	if len(ctxs) == 0 {
+		return idleGUIStack
+	}
+	top := ctxs[len(ctxs)-1]
+	stack := make([]trace.Frame, 0, len(ctxs)+len(top.extra)+len(edtBaseFrames)+1)
+
+	switch state {
+	case trace.StateSleeping:
+		stack = append(stack, sleepLeaf)
+		stack = append(stack, top.extra...)
+	case trace.StateWaiting:
+		stack = append(stack, waitLeaf)
+		stack = append(stack, top.extra...)
+	case trace.StateBlocked:
+		// Blocked entering a monitor: the leaf is the Java frame
+		// attempting the entry — the node's context frame when it
+		// declares one, a synthesized frame otherwise.
+		if len(top.extra) > 0 {
+			stack = append(stack, top.extra...)
+		} else {
+			stack = append(stack, synthLeaf(r, top.libFrac, appPackage))
+		}
+	default: // runnable
+		if top.frame.Native {
+			// Executing native code: the native frame itself leads.
+		} else {
+			// The executing method leads; context frames follow.
+			stack = append(stack, synthLeaf(r, top.libFrac, appPackage))
+			stack = append(stack, top.extra...)
+		}
+	}
+
+	for i := len(ctxs) - 1; i >= 0; i-- {
+		stack = append(stack, ctxs[i].frame)
+	}
+	return append(stack, edtBaseFrames...)
+}
+
+// synthLeaf draws a leaf frame: library code with probability libFrac,
+// application code otherwise.
+func synthLeaf(r *rand.Rand, libFrac float64, appPackage string) trace.Frame {
+	if r.Float64() < libFrac {
+		return libraryLeaves[r.IntN(len(libraryLeaves))]
+	}
+	m := appLeafMethods[r.IntN(len(appLeafMethods))]
+	return trace.Frame{Class: appPackage + "." + m.Class, Method: m.Method}
+}

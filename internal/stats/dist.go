@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Dist is a one-dimensional probability distribution over float64.
+// Distributions are immutable; all state lives in the caller's
+// *rand.Rand, so concurrent simulations with separate generators are
+// safe.
+type Dist interface {
+	// Sample draws one value.
+	Sample(r *rand.Rand) float64
+	// Mean returns the distribution's expected value (used for
+	// calibration and documentation, not sampling).
+	Mean() float64
+}
+
+// Const is the degenerate distribution that always returns V.
+type Const struct{ V float64 }
+
+// Sample implements Dist.
+func (c Const) Sample(*rand.Rand) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Const) Mean() float64 { return c.V }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exp is the exponential distribution with the given mean (1/rate).
+// It models inter-arrival gaps such as user think time.
+type Exp struct{ MeanV float64 }
+
+// Sample implements Dist.
+func (e Exp) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * e.MeanV }
+
+// Mean implements Dist.
+func (e Exp) Mean() float64 { return e.MeanV }
+
+// LogNormal is the log-normal distribution parameterized by the median
+// (exp(mu)) and sigma, the standard deviation of the underlying
+// normal. Interactive episode durations are heavy-tailed, which
+// log-normals capture well: most handlings are quick, a few are very
+// slow.
+type LogNormal struct {
+	Median float64
+	Sigma  float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return l.Median * math.Exp(r.NormFloat64()*l.Sigma)
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return l.Median * math.Exp(l.Sigma*l.Sigma/2) }
+
+// Pareto is the Pareto (power-law) distribution with scale Xm (the
+// minimum value) and shape Alpha. For Alpha ≤ 1 the mean diverges and
+// Mean reports +Inf.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean implements Dist.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// Clamped wraps a distribution and clamps its samples to [Lo, Hi].
+// Simulators use it to keep heavy-tailed draws physical (an episode
+// cannot be longer than the session).
+type Clamped struct {
+	D      Dist
+	Lo, Hi float64
+}
+
+// Sample implements Dist.
+func (c Clamped) Sample(r *rand.Rand) float64 {
+	x := c.D.Sample(r)
+	if x < c.Lo {
+		return c.Lo
+	}
+	if x > c.Hi {
+		return c.Hi
+	}
+	return x
+}
+
+// Mean implements Dist. The clamp is ignored; for the narrow clamps
+// used in practice the error is negligible and Mean is documentation.
+func (c Clamped) Mean() float64 { return c.D.Mean() }
+
+// Scaled multiplies every sample of D by K.
+type Scaled struct {
+	D Dist
+	K float64
+}
+
+// Sample implements Dist.
+func (s Scaled) Sample(r *rand.Rand) float64 { return s.D.Sample(r) * s.K }
+
+// Mean implements Dist.
+func (s Scaled) Mean() float64 { return s.D.Mean() * s.K }
+
+// Mixture draws from one of several component distributions with the
+// given weights (not necessarily normalized). It models bimodal
+// behaviour such as "usually fast, occasionally triggers a full
+// revalidation".
+type Mixture struct {
+	Weights []float64
+	Comps   []Dist
+	total   float64
+}
+
+// NewMixture builds a mixture; it panics on mismatched or empty
+// component lists since that is always a programming error in a
+// profile definition.
+func NewMixture(weights []float64, comps []Dist) *Mixture {
+	if len(weights) != len(comps) || len(comps) == 0 {
+		panic(fmt.Sprintf("stats: mixture with %d weights and %d components", len(weights), len(comps)))
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative mixture weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: mixture weights sum to zero")
+	}
+	return &Mixture{Weights: weights, Comps: comps, total: total}
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(r *rand.Rand) float64 {
+	x := r.Float64() * m.total
+	for i, w := range m.Weights {
+		x -= w
+		if x < 0 {
+			return m.Comps[i].Sample(r)
+		}
+	}
+	return m.Comps[len(m.Comps)-1].Sample(r)
+}
+
+// Mean implements Dist.
+func (m *Mixture) Mean() float64 {
+	var mean float64
+	for i, w := range m.Weights {
+		mean += w / m.total * m.Comps[i].Mean()
+	}
+	return mean
+}
+
+// IntDist is a distribution over non-negative integers, used for
+// structural choices such as repetition counts of template nodes.
+type IntDist interface {
+	SampleInt(r *rand.Rand) int
+	MeanInt() float64
+}
+
+// ConstInt always returns V.
+type ConstInt struct{ V int }
+
+// SampleInt implements IntDist.
+func (c ConstInt) SampleInt(*rand.Rand) int { return c.V }
+
+// MeanInt implements IntDist.
+func (c ConstInt) MeanInt() float64 { return float64(c.V) }
+
+// UniformInt returns integers uniformly in [Lo, Hi] inclusive.
+type UniformInt struct{ Lo, Hi int }
+
+// SampleInt implements IntDist.
+func (u UniformInt) SampleInt(r *rand.Rand) int {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + int(r.IntN(u.Hi-u.Lo+1))
+}
+
+// MeanInt implements IntDist.
+func (u UniformInt) MeanInt() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Geometric returns integers ≥ Lo where each increment continues with
+// probability P (0 ≤ P < 1). It models recursive structures like
+// nested component paints of varying depth.
+type Geometric struct {
+	Lo int
+	P  float64
+}
+
+// SampleInt implements IntDist.
+func (g Geometric) SampleInt(r *rand.Rand) int {
+	n := g.Lo
+	for r.Float64() < g.P {
+		n++
+	}
+	return n
+}
+
+// MeanInt implements IntDist.
+func (g Geometric) MeanInt() float64 {
+	if g.P >= 1 {
+		return math.Inf(1)
+	}
+	return float64(g.Lo) + g.P/(1-g.P)
+}
+
+// Pick returns an index in [0, len(weights)) with probability
+// proportional to the weights. It panics on an empty or all-zero
+// weight vector.
+func Pick(r *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative pick weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: pick weights sum to zero")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Poisson draws from a Poisson distribution with the given mean. For
+// large means it uses a normal approximation, which is ample for the
+// simulator's use (closed-form counts of sub-3ms episodes, where the
+// mean is in the tens of thousands).
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	// Knuth's method for small means.
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// NewRand returns a deterministic PCG generator seeded from two words.
+// All simulator components derive their generators through this
+// function so a (profile, session) pair always replays identically.
+func NewRand(seed1, seed2 uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed1, seed2))
+}

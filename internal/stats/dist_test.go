@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleMean draws n samples and returns their mean.
+func sampleMean(d Dist, n int) float64 {
+	r := NewRand(1, 2)
+	var t float64
+	for i := 0; i < n; i++ {
+		t += d.Sample(r)
+	}
+	return t / float64(n)
+}
+
+func TestConst(t *testing.T) {
+	d := Const{42}
+	if d.Mean() != 42 || d.Sample(NewRand(0, 0)) != 42 {
+		t.Error("Const should always return its value")
+	}
+}
+
+func TestDistSampleMeansMatchAnalyticMeans(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Dist
+		tol  float64 // relative tolerance
+	}{
+		{"uniform", Uniform{10, 20}, 0.02},
+		{"exp", Exp{5}, 0.05},
+		{"lognormal", LogNormal{Median: 8, Sigma: 0.5}, 0.05},
+		{"pareto", Pareto{Xm: 2, Alpha: 3}, 0.05},
+		{"scaled", Scaled{Uniform{0, 1}, 10}, 0.05},
+		{"mixture", NewMixture([]float64{1, 3}, []Dist{Const{0}, Const{4}}), 0.05},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := sampleMean(tc.d, 200000)
+			want := tc.d.Mean()
+			if math.Abs(got-want) > tc.tol*want {
+				t.Errorf("sample mean %v, analytic mean %v", got, want)
+			}
+		})
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	d := LogNormal{Median: 10, Sigma: 1.2}
+	r := NewRand(7, 7)
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.Sample(r) < 10 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction below median = %v, want ≈0.5", frac)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	if !math.IsInf(Pareto{Xm: 1, Alpha: 1}.Mean(), 1) {
+		t.Error("Pareto mean with alpha ≤ 1 should be +Inf")
+	}
+}
+
+func TestParetoSamplesAboveScale(t *testing.T) {
+	d := Pareto{Xm: 3, Alpha: 2}
+	r := NewRand(3, 3)
+	for i := 0; i < 10000; i++ {
+		if x := d.Sample(r); x < 3 {
+			t.Fatalf("Pareto sample %v below scale 3", x)
+		}
+	}
+}
+
+func TestClamped(t *testing.T) {
+	d := Clamped{D: Const{100}, Lo: 0, Hi: 10}
+	if got := d.Sample(NewRand(0, 0)); got != 10 {
+		t.Errorf("clamp high = %v, want 10", got)
+	}
+	d2 := Clamped{D: Const{-5}, Lo: 0, Hi: 10}
+	if got := d2.Sample(NewRand(0, 0)); got != 0 {
+		t.Errorf("clamp low = %v, want 0", got)
+	}
+	if d.Mean() != 100 {
+		t.Errorf("Clamped.Mean should pass through, got %v", d.Mean())
+	}
+}
+
+func TestMixtureWeighting(t *testing.T) {
+	m := NewMixture([]float64{1, 9}, []Dist{Const{0}, Const{1}})
+	r := NewRand(11, 13)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Errorf("mixture picked heavy component %v of the time, want ≈0.9", frac)
+	}
+}
+
+func TestNewMixturePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("mismatched lengths", func() { NewMixture([]float64{1}, []Dist{Const{1}, Const{2}}) })
+	mustPanic("empty", func() { NewMixture(nil, nil) })
+	mustPanic("negative weight", func() { NewMixture([]float64{-1, 2}, []Dist{Const{1}, Const{2}}) })
+	mustPanic("zero total", func() { NewMixture([]float64{0, 0}, []Dist{Const{1}, Const{2}}) })
+}
+
+func TestIntDists(t *testing.T) {
+	r := NewRand(5, 5)
+	if (ConstInt{7}).SampleInt(r) != 7 || (ConstInt{7}).MeanInt() != 7 {
+		t.Error("ConstInt misbehaves")
+	}
+
+	u := UniformInt{2, 5}
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := u.SampleInt(r)
+		if v < 2 || v > 5 {
+			t.Fatalf("UniformInt sample %d outside [2,5]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("UniformInt hit %d distinct values, want 4", len(seen))
+	}
+	if u.MeanInt() != 3.5 {
+		t.Errorf("UniformInt mean = %v, want 3.5", u.MeanInt())
+	}
+	if (UniformInt{3, 3}).SampleInt(r) != 3 {
+		t.Error("degenerate UniformInt should return Lo")
+	}
+
+	g := Geometric{Lo: 1, P: 0.5}
+	var total int
+	for i := 0; i < 100000; i++ {
+		v := g.SampleInt(r)
+		if v < 1 {
+			t.Fatalf("Geometric sample %d below Lo", v)
+		}
+		total += v
+	}
+	mean := float64(total) / 100000
+	if math.Abs(mean-g.MeanInt()) > 0.05 {
+		t.Errorf("Geometric sample mean %v, analytic %v", mean, g.MeanInt())
+	}
+	if !math.IsInf(Geometric{Lo: 0, P: 1}.MeanInt(), 1) {
+		t.Error("Geometric with P=1 should have infinite mean")
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	r := NewRand(21, 22)
+	counts := [3]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Pick(r, []float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("picked zero-weight index %d times", counts[1])
+	}
+	frac := float64(counts[2]) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("heavy index picked %v of the time, want ≈0.75", frac)
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRand(1, 1)
+	mustPanic("zero total", func() { Pick(r, []float64{0, 0}) })
+	mustPanic("negative", func() { Pick(r, []float64{-1, 2}) })
+	mustPanic("empty", func() { Pick(r, nil) })
+}
+
+func TestPoisson(t *testing.T) {
+	r := NewRand(9, 9)
+	if Poisson(r, 0) != 0 || Poisson(r, -5) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+	// Small-mean regime (Knuth).
+	var total int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		total += Poisson(r, 4)
+	}
+	if mean := float64(total) / n; math.Abs(mean-4) > 0.05 {
+		t.Errorf("Poisson(4) sample mean %v", mean)
+	}
+	// Large-mean regime (normal approximation).
+	total = 0
+	for i := 0; i < 10000; i++ {
+		v := Poisson(r, 120000)
+		if v < 0 {
+			t.Fatal("negative Poisson draw")
+		}
+		total += v
+	}
+	if mean := float64(total) / 10000; math.Abs(mean-120000) > 120000*0.005 {
+		t.Errorf("Poisson(120000) sample mean %v", mean)
+	}
+}
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(42, 43), NewRand(42, 43)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seeds must produce the same stream")
+		}
+	}
+	c := NewRand(42, 44)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42, 43).Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different streams")
+	}
+}

@@ -1,0 +1,379 @@
+// Package stream computes LagAlyzer's headline statistics in a single
+// pass over a LiLa record stream, without materializing the in-memory
+// session.
+//
+// The paper notes that "LagAlyzer is an offline tool that needs to
+// load the complete session trace into memory", which forced the
+// authors to pre-filter episodes below 3 ms and to analyze one session
+// at a time (Section V). The streaming analyzer lifts that limitation
+// for the aggregate analyses: overview counts, episode-duration
+// statistics, trigger classification, per-kind exclusive time (GC and
+// native fractions), GUI-thread cause shares, and runnable-thread
+// concurrency are all computable online in O(stack depth) memory.
+//
+// Pattern mining and episode sketches inherently need the trees and
+// are not offered here; use treebuild for those.
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+// Stats is the result of one streaming pass.
+type Stats struct {
+	App       string
+	SessionID int
+	E2E       trace.Dur
+
+	// ShortCount counts sub-filter episodes: the profiler's own count
+	// plus any traced episodes below the filter threshold.
+	ShortCount int
+	// Episodes counts traced episodes; Perceptible those at or above
+	// the threshold.
+	Episodes    int
+	Perceptible int
+	// InEpisode is the total time spent handling traced episodes.
+	InEpisode trace.Dur
+	// Durations summarizes traced episode durations in milliseconds.
+	Durations stats.Summary
+
+	// Triggers tallies episode triggers over all traced episodes;
+	// TriggersLong over the perceptible ones.
+	Triggers     analysis.TriggerShares
+	TriggersLong analysis.TriggerShares
+
+	// KindTime accumulates exclusive in-episode time per interval
+	// kind (the basis of Figure 6's GC and native fractions).
+	KindTime [6]trace.Dur
+
+	// Causes counts GUI-thread samples inside episodes by state;
+	// CausesLong will equal Causes only when every episode is
+	// perceptible, since perceptibility is unknown until an episode
+	// ends, so the streaming analyzer reports causes over all
+	// episodes only.
+	Causes [4]int
+
+	// RunnableSum and TickCount yield the Figure 7 concurrency
+	// average over sampling ticks that fell inside episodes.
+	RunnableSum int
+	TickCount   int
+}
+
+// GCFrac returns exclusive GC time as a fraction of in-episode time.
+func (st *Stats) GCFrac() float64 {
+	if st.InEpisode == 0 {
+		return 0
+	}
+	return float64(st.KindTime[trace.KindGC]) / float64(st.InEpisode)
+}
+
+// NativeFrac returns exclusive native time as a fraction of
+// in-episode time.
+func (st *Stats) NativeFrac() float64 {
+	if st.InEpisode == 0 {
+		return 0
+	}
+	return float64(st.KindTime[trace.KindNative]) / float64(st.InEpisode)
+}
+
+// Concurrency returns the average number of runnable threads per
+// in-episode sampling tick.
+func (st *Stats) Concurrency() float64 {
+	if st.TickCount == 0 {
+		return 0
+	}
+	return float64(st.RunnableSum) / float64(st.TickCount)
+}
+
+// CauseFrac returns the fraction of in-episode GUI-thread samples in
+// the given state.
+func (st *Stats) CauseFrac(state trace.ThreadState) float64 {
+	total := 0
+	for _, n := range st.Causes {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Causes[state]) / float64(total)
+}
+
+// episodeState tracks one thread's active episode.
+type episodeState struct {
+	active   bool
+	start    trace.Time
+	depth    int // open intervals including the dispatch
+	kinds    []trace.Kind
+	lastTime trace.Time
+
+	trigger      analysis.Trigger
+	decided      bool
+	asyncPending int // >0 while inside the deciding async interval
+
+	kindTime [6]trace.Dur
+	causes   [4]int
+}
+
+// Analyzer consumes records incrementally; see Analyze for the
+// one-call form.
+type Analyzer struct {
+	threshold trace.Dur
+	filter    trace.Dur
+	st        Stats
+
+	threads map[trace.ThreadID]*episodeState
+
+	// GC bracket state.
+	inGC bool
+
+	// Sampling-tick grouping.
+	tickTime      trace.Time
+	tickRunnable  int
+	tickValid     bool
+	tickInEpisode bool
+}
+
+// NewAnalyzer builds a streaming analyzer for one trace. threshold 0
+// means the paper's 100 ms.
+func NewAnalyzer(h lila.Header, threshold trace.Dur) *Analyzer {
+	if threshold == 0 {
+		threshold = trace.DefaultPerceptibleThreshold
+	}
+	return &Analyzer{
+		threshold: threshold,
+		filter:    h.FilterThreshold,
+		st:        Stats{App: h.App, SessionID: h.SessionID},
+		threads:   make(map[trace.ThreadID]*episodeState),
+	}
+}
+
+func (a *Analyzer) thread(id trace.ThreadID) *episodeState {
+	es := a.threads[id]
+	if es == nil {
+		es = &episodeState{}
+		a.threads[id] = es
+	}
+	return es
+}
+
+// account attributes elapsed time on a thread's episode to the
+// current context (GC when the world is stopped, else the innermost
+// open interval's kind).
+func (es *episodeState) account(now trace.Time, inGC bool) {
+	if !es.active {
+		return
+	}
+	d := now.Sub(es.lastTime)
+	es.lastTime = now
+	if d <= 0 {
+		return
+	}
+	if inGC {
+		es.kindTime[trace.KindGC] += d
+		return
+	}
+	es.kindTime[es.kinds[len(es.kinds)-1]] += d
+}
+
+// Add consumes one record.
+func (a *Analyzer) Add(rec *lila.Record) error {
+	switch rec.Type {
+	case lila.RecThread:
+		// Thread identity is irrelevant to the aggregates.
+
+	case lila.RecCall:
+		es := a.thread(rec.Thread)
+		if !es.active && rec.Kind == trace.KindDispatch {
+			*es = episodeState{
+				active: true, start: rec.Time, lastTime: rec.Time,
+				trigger: analysis.TriggerUnspecified,
+			}
+		}
+		if !es.active {
+			return nil // orphan top-level non-dispatch interval
+		}
+		es.account(rec.Time, a.inGC)
+		es.depth++
+		es.kinds = append(es.kinds, rec.Kind)
+		switch {
+		case es.asyncPending > 0:
+			// Inside the deciding async interval only a paint can
+			// change the class (the repaint-manager rule); listeners
+			// and further asyncs do not.
+			if rec.Kind == trace.KindPaint {
+				es.trigger = analysis.TriggerOutput
+				es.decided = true
+				es.asyncPending = 0
+			}
+		case !es.decided:
+			switch rec.Kind {
+			case trace.KindListener:
+				es.trigger, es.decided = analysis.TriggerInput, true
+			case trace.KindPaint:
+				es.trigger, es.decided = analysis.TriggerOutput, true
+			case trace.KindAsync:
+				// Tentatively async, pending the paint check.
+				es.trigger = analysis.TriggerAsync
+				es.asyncPending = es.depth
+			}
+		}
+
+	case lila.RecReturn:
+		es := a.thread(rec.Thread)
+		if !es.active {
+			return nil
+		}
+		if es.depth == 0 {
+			return fmt.Errorf("stream: return without call at %v", rec.Time)
+		}
+		es.account(rec.Time, a.inGC)
+		es.depth--
+		es.kinds = es.kinds[:len(es.kinds)-1]
+		if es.asyncPending > 0 && es.depth < es.asyncPending {
+			// The deciding async interval closed without a paint.
+			es.decided = true
+			es.asyncPending = 0
+		}
+		if es.depth == 0 {
+			a.finishEpisode(es, rec.Time)
+		}
+
+	case lila.RecGCStart:
+		if a.inGC {
+			return fmt.Errorf("stream: nested gcstart at %v", rec.Time)
+		}
+		for _, es := range a.threads {
+			es.account(rec.Time, false)
+		}
+		a.inGC = true
+
+	case lila.RecGCEnd:
+		if !a.inGC {
+			return fmt.Errorf("stream: gcend without gcstart at %v", rec.Time)
+		}
+		for _, es := range a.threads {
+			es.account(rec.Time, true)
+		}
+		a.inGC = false
+
+	case lila.RecSample:
+		a.addSample(rec)
+
+	case lila.RecEnd:
+		a.flushTick()
+		a.st.E2E = rec.Time.Sub(0)
+		a.st.ShortCount += rec.Count
+
+	default:
+		return fmt.Errorf("stream: unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+func (a *Analyzer) addSample(rec *lila.Record) {
+	// Group equal-time samples into ticks for the concurrency count.
+	// Whether the tick falls inside an episode must be decided *now*:
+	// the episode may end before the next record arrives.
+	if !a.tickValid || rec.Time != a.tickTime {
+		a.flushTick()
+		a.tickValid = true
+		a.tickTime = rec.Time
+		a.tickRunnable = 0
+		a.tickInEpisode = false
+		for _, es := range a.threads {
+			if es.active {
+				a.tickInEpisode = true
+				break
+			}
+		}
+	}
+	if rec.State == trace.StateRunnable {
+		a.tickRunnable++
+	}
+	// Cause shares: samples of a thread currently handling an
+	// episode.
+	if es := a.threads[rec.Thread]; es != nil && es.active {
+		es.causes[rec.State]++
+	}
+}
+
+// flushTick finalizes the pending sampling tick: it counts toward
+// concurrency if a thread was inside an episode when it fired.
+func (a *Analyzer) flushTick() {
+	if !a.tickValid {
+		return
+	}
+	if a.tickInEpisode {
+		a.st.RunnableSum += a.tickRunnable
+		a.st.TickCount++
+	}
+	a.tickValid = false
+}
+
+func (a *Analyzer) finishEpisode(es *episodeState, end trace.Time) {
+	dur := end.Sub(es.start)
+	es.active = false
+	if dur < a.filter {
+		a.st.ShortCount++
+		return
+	}
+	a.st.Episodes++
+	a.st.InEpisode += dur
+	a.st.Durations.Add(dur.Ms())
+	a.st.Triggers.Counts[es.trigger]++
+	a.st.Triggers.Total++
+	perceptible := dur >= a.threshold
+	if perceptible {
+		a.st.Perceptible++
+		a.st.TriggersLong.Counts[es.trigger]++
+		a.st.TriggersLong.Total++
+	}
+	for k, d := range es.kindTime {
+		a.st.KindTime[k] += d
+	}
+	for state, n := range es.causes {
+		a.st.Causes[state] += n
+	}
+}
+
+// Stats returns the accumulated statistics. Call after the end record.
+func (a *Analyzer) Stats() *Stats {
+	a.flushTick()
+	st := a.st
+	return &st
+}
+
+// Analyze consumes a whole trace from r and returns its statistics.
+func Analyze(r lila.Reader, threshold trace.Dur) (*Stats, error) {
+	a := NewAnalyzer(r.Header(), threshold)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return a.Stats(), nil
+}
+
+// AnalyzeRecords is Analyze over an in-memory record slice.
+func AnalyzeRecords(h lila.Header, recs []*lila.Record, threshold trace.Dur) (*Stats, error) {
+	a := NewAnalyzer(h, threshold)
+	for _, rec := range recs {
+		if err := a.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return a.Stats(), nil
+}

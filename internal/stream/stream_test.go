@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/trace"
+	"lagalyzer/internal/treebuild"
+)
+
+// TestStreamingMatchesFullAnalysis is the package's core contract:
+// on the same record stream, the single-pass analyzer must agree with
+// treebuild + the full analyses.
+func TestStreamingMatchesFullAnalysis(t *testing.T) {
+	for _, app := range []string{"CrosswordSage", "Jmol", "Arabeske", "FindBugs"} {
+		t.Run(app, func(t *testing.T) {
+			profile, err := apps.ByName(app)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs, h, err := sim.Records(sim.Config{Profile: profile, Seed: 9, SessionSeconds: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := AnalyzeRecords(h, recs, 0)
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			session, _, err := treebuild.BuildRecords(h, recs)
+			if err != nil {
+				t.Fatalf("treebuild: %v", err)
+			}
+			sessions := []*trace.Session{session}
+			th := trace.DefaultPerceptibleThreshold
+
+			if st.Episodes != len(session.Episodes) {
+				t.Errorf("episodes: stream %d, full %d", st.Episodes, len(session.Episodes))
+			}
+			if st.ShortCount != session.ShortCount {
+				t.Errorf("short: stream %d, full %d", st.ShortCount, session.ShortCount)
+			}
+			if st.Perceptible != len(session.PerceptibleEpisodes(th)) {
+				t.Errorf("perceptible: stream %d, full %d", st.Perceptible, len(session.PerceptibleEpisodes(th)))
+			}
+			if st.InEpisode != session.InEpisode() {
+				t.Errorf("in-episode: stream %v, full %v", st.InEpisode, session.InEpisode())
+			}
+			if st.E2E != session.E2E() {
+				t.Errorf("E2E: stream %v, full %v", st.E2E, session.E2E())
+			}
+
+			trig := analysis.TriggerAnalysis(sessions, th, false, analysis.TriggerOptions{})
+			if st.Triggers != trig {
+				t.Errorf("triggers: stream %+v, full %+v", st.Triggers, trig)
+			}
+			trigLong := analysis.TriggerAnalysis(sessions, th, true, analysis.TriggerOptions{})
+			if st.TriggersLong != trigLong {
+				t.Errorf("perceptible triggers: stream %+v, full %+v", st.TriggersLong, trigLong)
+			}
+
+			loc := analysis.LocationAnalysis(sessions, th, false, nil)
+			if math.Abs(st.GCFrac()-loc.GC) > 1e-9 {
+				t.Errorf("GC frac: stream %v, full %v", st.GCFrac(), loc.GC)
+			}
+			if math.Abs(st.NativeFrac()-loc.Native) > 1e-9 {
+				t.Errorf("native frac: stream %v, full %v", st.NativeFrac(), loc.Native)
+			}
+
+			causes := analysis.CauseAnalysis(sessions, th, false)
+			for _, state := range trace.ThreadStates() {
+				if got, want := st.CauseFrac(state), causes.Frac(state); math.Abs(got-want) > 1e-9 {
+					t.Errorf("cause %v: stream %v, full %v", state, got, want)
+				}
+			}
+
+			conc, ticks := analysis.Concurrency(sessions, th, false)
+			if st.TickCount != ticks {
+				t.Errorf("ticks: stream %d, full %d", st.TickCount, ticks)
+			}
+			if math.Abs(st.Concurrency()-conc) > 1e-9 {
+				t.Errorf("concurrency: stream %v, full %v", st.Concurrency(), conc)
+			}
+
+			// Duration summary sanity.
+			if st.Durations.N != st.Episodes {
+				t.Errorf("duration summary n = %d", st.Durations.N)
+			}
+			if st.Durations.Total == 0 && st.Episodes > 0 {
+				t.Error("duration summary empty")
+			}
+		})
+	}
+}
+
+func TestAnalyzeFromReader(t *testing.T) {
+	profile, _ := apps.ByName("SwingSet")
+	recs, h, err := sim.Records(sim.Config{Profile: profile, Seed: 4, SessionSeconds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize and re-read through the binary codec.
+	var sb strings.Builder
+	w, err := lila.NewWriter(&sb, lila.FormatText, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := lila.NewReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Analyze(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.App != "SwingSet" || st.Episodes == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestStreamTriggerRules(t *testing.T) {
+	ms := func(v float64) trace.Time { return trace.Time(trace.Ms(v)) }
+	h := lila.Header{App: "t", GUIThread: 1, FilterThreshold: trace.DefaultFilterThreshold}
+	episode := func(body ...*lila.Record) []*lila.Record {
+		recs := []*lila.Record{
+			{Type: lila.RecCall, Time: ms(0), Thread: 1, Kind: trace.KindDispatch},
+		}
+		recs = append(recs, body...)
+		recs = append(recs,
+			&lila.Record{Type: lila.RecReturn, Time: ms(50), Thread: 1},
+			&lila.Record{Type: lila.RecEnd, Time: ms(100)})
+		return recs
+	}
+	cases := []struct {
+		name string
+		recs []*lila.Record
+		want analysis.Trigger
+	}{
+		{"async with paint is output", episode(
+			&lila.Record{Type: lila.RecCall, Time: ms(1), Thread: 1, Kind: trace.KindAsync, Class: "q.E", Method: "d"},
+			&lila.Record{Type: lila.RecCall, Time: ms(2), Thread: 1, Kind: trace.KindPaint, Class: "p.P", Method: "paint"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(10), Thread: 1},
+			&lila.Record{Type: lila.RecReturn, Time: ms(20), Thread: 1},
+		), analysis.TriggerOutput},
+		{"async with listener stays async", episode(
+			&lila.Record{Type: lila.RecCall, Time: ms(1), Thread: 1, Kind: trace.KindAsync, Class: "q.E", Method: "d"},
+			&lila.Record{Type: lila.RecCall, Time: ms(2), Thread: 1, Kind: trace.KindListener, Class: "l.L", Method: "on"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(10), Thread: 1},
+			&lila.Record{Type: lila.RecReturn, Time: ms(20), Thread: 1},
+		), analysis.TriggerAsync},
+		{"paint after closed async stays async", episode(
+			&lila.Record{Type: lila.RecCall, Time: ms(1), Thread: 1, Kind: trace.KindAsync, Class: "q.E", Method: "d"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(10), Thread: 1},
+			&lila.Record{Type: lila.RecCall, Time: ms(11), Thread: 1, Kind: trace.KindPaint, Class: "p.P", Method: "paint"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(20), Thread: 1},
+		), analysis.TriggerAsync},
+		{"native only is unspecified", episode(
+			&lila.Record{Type: lila.RecCall, Time: ms(1), Thread: 1, Kind: trace.KindNative, Class: "n.N", Method: "c"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(10), Thread: 1},
+		), analysis.TriggerUnspecified},
+		{"listener wins over later paint", episode(
+			&lila.Record{Type: lila.RecCall, Time: ms(1), Thread: 1, Kind: trace.KindListener, Class: "l.L", Method: "on"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(10), Thread: 1},
+			&lila.Record{Type: lila.RecCall, Time: ms(11), Thread: 1, Kind: trace.KindPaint, Class: "p.P", Method: "paint"},
+			&lila.Record{Type: lila.RecReturn, Time: ms(20), Thread: 1},
+		), analysis.TriggerInput},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := AnalyzeRecords(h, tc.recs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Episodes != 1 {
+				t.Fatalf("episodes = %d", st.Episodes)
+			}
+			if st.Triggers.Counts[tc.want] != 1 {
+				t.Errorf("trigger counts = %v, want one %v", st.Triggers.Counts, tc.want)
+			}
+		})
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	h := lila.Header{App: "t", GUIThread: 1}
+	cases := []struct {
+		name string
+		recs []*lila.Record
+	}{
+		{"gcend without start", []*lila.Record{{Type: lila.RecGCEnd, Time: 5}}},
+		{"nested gc", []*lila.Record{
+			{Type: lila.RecGCStart, Time: 1},
+			{Type: lila.RecGCStart, Time: 2},
+		}},
+		{"bad type", []*lila.Record{{Type: 99}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := AnalyzeRecords(h, tc.recs, 0); err == nil {
+				t.Error("malformed stream accepted")
+			}
+		})
+	}
+	// Orphan returns on inactive threads are tolerated (they belong
+	// to top-level non-dispatch intervals that never opened an
+	// episode).
+	if _, err := AnalyzeRecords(h, []*lila.Record{
+		{Type: lila.RecCall, Time: 1, Thread: 2, Kind: trace.KindNative, Class: "n.N", Method: "m"},
+		{Type: lila.RecReturn, Time: 2, Thread: 2},
+		{Type: lila.RecEnd, Time: 10},
+	}, 0); err != nil {
+		t.Errorf("orphan interval rejected: %v", err)
+	}
+}
+
+func TestStreamShortEpisodeFilter(t *testing.T) {
+	ms := func(v float64) trace.Time { return trace.Time(trace.Ms(v)) }
+	h := lila.Header{App: "t", GUIThread: 1, FilterThreshold: trace.DefaultFilterThreshold}
+	recs := []*lila.Record{
+		{Type: lila.RecCall, Time: ms(0), Thread: 1, Kind: trace.KindDispatch},
+		{Type: lila.RecReturn, Time: ms(1), Thread: 1}, // 1 ms: filtered
+		{Type: lila.RecCall, Time: ms(10), Thread: 1, Kind: trace.KindDispatch},
+		{Type: lila.RecReturn, Time: ms(20), Thread: 1}, // kept
+		{Type: lila.RecEnd, Time: ms(100), Count: 7},
+	}
+	st, err := AnalyzeRecords(h, recs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Episodes != 1 || st.ShortCount != 8 {
+		t.Errorf("episodes=%d short=%d, want 1 and 8", st.Episodes, st.ShortCount)
+	}
+}
+
+func TestStatsZeroValues(t *testing.T) {
+	var st Stats
+	if st.GCFrac() != 0 || st.NativeFrac() != 0 || st.Concurrency() != 0 || st.CauseFrac(trace.StateRunnable) != 0 {
+		t.Error("zero stats should report zero fractions")
+	}
+}

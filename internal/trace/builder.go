@@ -1,0 +1,35 @@
+package trace
+
+// NewInterval constructs an interval node. It is a convenience for
+// building trees by hand (tests, examples, crafted sketches); the
+// children must already be in start order.
+func NewInterval(kind Kind, class, method string, start Time, dur Dur, children ...*Interval) *Interval {
+	return &Interval{
+		Kind:     kind,
+		Class:    class,
+		Method:   method,
+		Start:    start,
+		End:      start.Add(dur),
+		Children: children,
+	}
+}
+
+// NewGC constructs a GC interval (GC intervals carry no symbol).
+func NewGC(start Time, dur Dur, major bool) *Interval {
+	return &Interval{Kind: KindGC, Start: start, End: start.Add(dur), Major: major}
+}
+
+// AddChild appends child to iv.Children, keeping start order, and
+// returns child. It panics if the child violates nesting with respect
+// to the current last child or the parent bounds; hand-built trees
+// should fail loudly rather than corrupt analyses.
+func (iv *Interval) AddChild(child *Interval) *Interval {
+	if child.Start < iv.Start || child.End > iv.End {
+		panic("trace: AddChild: child escapes parent bounds")
+	}
+	if n := len(iv.Children); n > 0 && child.Start < iv.Children[n-1].End {
+		panic("trace: AddChild: child overlaps previous sibling")
+	}
+	iv.Children = append(iv.Children, child)
+	return child
+}

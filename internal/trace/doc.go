@@ -1,0 +1,23 @@
+// Package trace defines the in-memory representation of LiLa latency
+// traces that LagAlyzer analyzes: nested interval trees per thread,
+// periodic call-stack samples of all threads, episodes (the handling of
+// one user request on the GUI thread), sessions, and suites of sessions.
+//
+// The model mirrors Section II of "LagAlyzer: A latency profile analysis
+// and visualization tool" (Adamoli, Jovic, Hauswirth; ISPASS 2010):
+//
+//   - Intervals (Table I): Dispatch, Listener, Paint, Native, Async, GC.
+//     Within one thread, intervals are properly nested: any two either
+//     do not overlap, or one contains the other.
+//   - Events: call-stack samples of all threads, taken periodically,
+//     carrying a thread state (runnable, blocked, waiting, sleeping).
+//     Sampling is suppressed while the world is stopped for GC.
+//   - Episodes: a Dispatch interval on the GUI thread, from the point a
+//     user request is dispatched until the request completes. Episodes
+//     longer than a perceptibility threshold (100 ms in the paper) have
+//     a negative impact on perceived performance.
+//
+// All timestamps are virtual nanoseconds since the start of the session
+// (see Time); the package never consults the wall clock, which keeps
+// simulation, encoding, and analysis fully deterministic.
+package trace

@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// figure1Tree builds the episode of the paper's Figure 1: a 1705 ms
+// dispatch whose entire duration is a JFrame.paint cascade, with an
+// 843 ms native DrawLine call containing a 466 ms GC.
+func figure1Tree() *Interval {
+	root := NewInterval(KindDispatch, "", "dispatch", 0, Ms(1705))
+	jframe := root.AddChild(NewInterval(KindPaint, "javax.swing.JFrame", "paint", 0, Ms(1705)))
+	rootPane := jframe.AddChild(NewInterval(KindPaint, "javax.swing.JRootPane", "paint", Ms(10).asTime(), Ms(1690)))
+	layered := rootPane.AddChild(NewInterval(KindPaint, "javax.swing.JLayeredPane", "paint", Ms(20).asTime(), Ms(1533)))
+	toolbar := layered.AddChild(NewInterval(KindPaint, "javax.swing.JToolBar", "paint", Ms(100).asTime(), Ms(1347)))
+	native := toolbar.AddChild(NewInterval(KindNative, "sun.java2d.loops.DrawLine", "DrawLine", Ms(430).asTime(), Ms(843)))
+	native.AddChild(NewGC(Ms(600).asTime(), Ms(466), true))
+	return root
+}
+
+func (d Dur) asTime() Time { return Time(d) }
+
+func TestIntervalDurAndQualified(t *testing.T) {
+	iv := NewInterval(KindListener, "java.awt.Button", "actionPerformed", Ms(5).asTime(), Ms(42))
+	if got, want := iv.Dur(), Ms(42); got != want {
+		t.Errorf("Dur = %v, want %v", got, want)
+	}
+	if got, want := iv.Qualified(), "java.awt.Button.actionPerformed"; got != want {
+		t.Errorf("Qualified = %q, want %q", got, want)
+	}
+	gc := NewGC(0, Ms(10), false)
+	if got, want := gc.Qualified(), "gc"; got != want {
+		t.Errorf("GC Qualified = %q, want %q", got, want)
+	}
+}
+
+func TestFigure1TreeShape(t *testing.T) {
+	root := figure1Tree()
+	if err := root.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := root.Descendants(), 6; got != want {
+		t.Errorf("Descendants = %d, want %d", got, want)
+	}
+	if got, want := root.Depth(), 7; got != want {
+		t.Errorf("Depth = %d, want %d", got, want)
+	}
+	if !root.HasKind(KindGC) {
+		t.Error("tree should contain a GC interval")
+	}
+	native := root.FindKind(KindNative)
+	if native == nil {
+		t.Fatal("no native interval found")
+	}
+	if got, want := native.Dur(), Ms(843); got != want {
+		t.Errorf("native Dur = %v, want %v", got, want)
+	}
+}
+
+func TestWalkPreorderAndPruning(t *testing.T) {
+	root := figure1Tree()
+	var kinds []Kind
+	root.Walk(func(n *Interval, depth int) bool {
+		kinds = append(kinds, n.Kind)
+		return true
+	})
+	want := []Kind{KindDispatch, KindPaint, KindPaint, KindPaint, KindPaint, KindNative, KindGC}
+	if len(kinds) != len(want) {
+		t.Fatalf("visited %d nodes, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("visit %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+
+	// Pruning at the native node must hide the GC below it.
+	count := 0
+	root.Walk(func(n *Interval, _ int) bool {
+		count++
+		return n.Kind != KindNative
+	})
+	if count != 6 {
+		t.Errorf("pruned walk visited %d nodes, want 6", count)
+	}
+}
+
+func TestAtAndPath(t *testing.T) {
+	root := figure1Tree()
+
+	// During the GC window the deepest interval is the GC itself.
+	at := root.At(Ms(700).asTime())
+	if at == nil || at.Kind != KindGC {
+		t.Fatalf("At(700ms) = %v, want the GC interval", at)
+	}
+	path := root.Path(Ms(700).asTime())
+	if len(path) != 7 {
+		t.Fatalf("Path(700ms) length = %d, want 7", len(path))
+	}
+	if path[0].Kind != KindDispatch || path[6].Kind != KindGC {
+		t.Errorf("Path endpoints wrong: %v .. %v", path[0].Kind, path[6].Kind)
+	}
+
+	// Before the toolbar paint we are inside the layered pane.
+	at = root.At(Ms(50).asTime())
+	if at == nil || at.Class != "javax.swing.JLayeredPane" {
+		t.Errorf("At(50ms) = %v, want JLayeredPane.paint", at)
+	}
+
+	// Outside the root: nil.
+	if root.At(Ms(2000).asTime()) != nil {
+		t.Error("At beyond end should be nil")
+	}
+	if root.Path(Ms(-1).asTime()) != nil {
+		t.Error("Path before start should be nil")
+	}
+	// End is exclusive.
+	if root.At(Ms(1705).asTime()) != nil {
+		t.Error("At(End) should be nil (half-open interval)")
+	}
+}
+
+func TestKindTimeAccountsExclusiveTime(t *testing.T) {
+	root := figure1Tree()
+	acc := root.KindTime()
+
+	var total Dur
+	for _, d := range acc {
+		total += d
+	}
+	if total != root.Dur() {
+		t.Errorf("KindTime sums to %v, want root duration %v", total, root.Dur())
+	}
+	if got, want := acc[KindGC], Ms(466); got != want {
+		t.Errorf("GC exclusive time = %v, want %v", got, want)
+	}
+	if got, want := acc[KindNative], Ms(843)-Ms(466); got != want {
+		t.Errorf("native exclusive time = %v, want %v", got, want)
+	}
+	// Dispatch has one child covering it fully: zero exclusive time.
+	if acc[KindDispatch] != 0 {
+		t.Errorf("dispatch exclusive time = %v, want 0", acc[KindDispatch])
+	}
+}
+
+func TestKindTimeInClipsToWindow(t *testing.T) {
+	root := figure1Tree()
+
+	// Window covering only the second half of the GC.
+	acc := root.KindTimeIn(Ms(833).asTime(), Ms(1066).asTime())
+	if got, want := acc[KindGC], Ms(233); got != want {
+		t.Errorf("clipped GC time = %v, want %v", got, want)
+	}
+	var total Dur
+	for _, d := range acc {
+		total += d
+	}
+	if total != Ms(233) {
+		t.Errorf("clipped total = %v, want %v", total, Ms(233))
+	}
+
+	// Full window equals KindTime.
+	full := root.KindTimeIn(root.Start, root.End)
+	if full != root.KindTime() {
+		t.Errorf("KindTimeIn(full) = %v, want %v", full, root.KindTime())
+	}
+
+	// Empty window: all zero.
+	empty := root.KindTimeIn(Ms(100).asTime(), Ms(100).asTime())
+	for k, d := range empty {
+		if d != 0 {
+			t.Errorf("empty-window time for kind %v = %v, want 0", Kind(k), d)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	root := figure1Tree()
+	cp := root.Clone()
+	if cp == root {
+		t.Fatal("Clone returned the receiver")
+	}
+	cp.Children[0].Class = "mutated"
+	if root.Children[0].Class == "mutated" {
+		t.Error("mutating the clone changed the original")
+	}
+	if cp.Descendants() != root.Descendants() {
+		t.Error("clone has different shape")
+	}
+}
+
+func TestValidateRejectsMalformedTrees(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *Interval
+		want string
+	}{
+		{
+			name: "end before start",
+			tree: &Interval{Kind: KindDispatch, Start: 100, End: 50},
+			want: "ends",
+		},
+		{
+			name: "child escapes parent",
+			tree: &Interval{Kind: KindDispatch, Start: 0, End: 100,
+				Children: []*Interval{{Kind: KindPaint, Start: 50, End: 150}}},
+			want: "escapes",
+		},
+		{
+			name: "overlapping siblings",
+			tree: &Interval{Kind: KindDispatch, Start: 0, End: 100, Children: []*Interval{
+				{Kind: KindPaint, Start: 0, End: 60},
+				{Kind: KindPaint, Start: 50, End: 100},
+			}},
+			want: "overlaps",
+		},
+		{
+			name: "invalid kind",
+			tree: &Interval{Kind: Kind(99), Start: 0, End: 1},
+			want: "invalid interval kind",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tree.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a malformed tree")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAddChildPanicsOnViolations(t *testing.T) {
+	parent := NewInterval(KindDispatch, "", "", 0, Ms(100))
+	parent.AddChild(NewInterval(KindPaint, "A", "paint", 0, Ms(50)))
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("escaping child", func() {
+		parent.AddChild(NewInterval(KindPaint, "B", "paint", Ms(60).asTime(), Ms(100)))
+	})
+	mustPanic("overlapping sibling", func() {
+		parent.AddChild(NewInterval(KindPaint, "C", "paint", Ms(40).asTime(), Ms(10)))
+	})
+}
+
+func TestOutlineRendersEveryNode(t *testing.T) {
+	out := figure1Tree().Outline()
+	for _, want := range []string{"dispatch", "JFrame.paint", "JToolBar.paint", "DrawLine", "gc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outline missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Errorf("outline has %d lines, want 7", got)
+	}
+}
+
+func TestFindReturnsFirstPreorderMatch(t *testing.T) {
+	root := figure1Tree()
+	first := root.Find(func(n *Interval) bool { return n.Kind == KindPaint })
+	if first == nil || first.Class != "javax.swing.JFrame" {
+		t.Errorf("Find(paint) = %v, want JFrame.paint", first)
+	}
+	if root.Find(func(n *Interval) bool { return n.Kind == KindListener }) != nil {
+		t.Error("Find(listener) should be nil")
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import "fmt"
+
+// Kind identifies the type of an interval, following Table I of the
+// paper. Every kind except GC corresponds to a method call/return pair
+// recorded by the profiler; GC intervals bracket the stop-the-world
+// phase of a collection and are copied into every thread's tree.
+type Kind uint8
+
+const (
+	// KindDispatch is the root interval of an episode: from the point
+	// a user request is dispatched until the request is completed.
+	KindDispatch Kind = iota
+	// KindListener is a listener notification call: the handling of
+	// user input such as mouse and keyboard activity.
+	KindListener
+	// KindPaint is a graphics rendering operation: a call to a method
+	// responsible for painting a GUI component.
+	KindPaint
+	// KindNative is a JNI native call. It distinguishes lag induced by
+	// native libraries from lag induced by Java code.
+	KindNative
+	// KindAsync is the handling of a GUI event posted by a background
+	// thread (timers, network callbacks, long-running computations).
+	KindAsync
+	// KindGC is a stop-the-world garbage collection. Per the JVMTI
+	// specification the bracketed window covers only the phase where
+	// all threads are stopped, not the safepoint ramp around it.
+	KindGC
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{
+	KindDispatch: "dispatch",
+	KindListener: "listener",
+	KindPaint:    "paint",
+	KindNative:   "native",
+	KindAsync:    "async",
+	KindGC:       "gc",
+}
+
+// Valid reports whether k is one of the defined interval kinds.
+func (k Kind) Valid() bool { return int(k) < numKinds }
+
+// String returns the lowercase name used in traces and in the paper's
+// Table I ("dispatch", "listener", "paint", "native", "async", "gc").
+func (k Kind) String() string {
+	if !k.Valid() {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown interval kind %q", s)
+}
+
+// Kinds returns all defined interval kinds in declaration order.
+func Kinds() []Kind {
+	ks := make([]Kind, numKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}

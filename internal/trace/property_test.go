@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+// genTree builds a random properly nested interval tree rooted at a
+// dispatch covering [start, start+dur).
+func genTree(r *rand.Rand, start Time, dur Dur, depth int) *Interval {
+	kind := KindDispatch
+	if depth > 0 {
+		kinds := []Kind{KindListener, KindPaint, KindNative, KindAsync, KindGC}
+		kind = kinds[r.IntN(len(kinds))]
+	}
+	iv := &Interval{Kind: kind, Start: start, End: start.Add(dur)}
+	if kind != KindGC && kind != KindDispatch {
+		iv.Class, iv.Method = "c.C", "m"
+	}
+	if depth >= 4 || dur < Ms(2) {
+		return iv
+	}
+	cursor := start
+	for r.IntN(3) > 0 {
+		gap := Dur(r.Int64N(int64(dur) / 8))
+		cursor = cursor.Add(gap)
+		remain := iv.End.Sub(cursor)
+		if remain < Ms(0.5) {
+			break
+		}
+		childDur := Dur(r.Int64N(int64(remain)))/2 + 1
+		child := genTree(r, cursor, childDur, depth+1)
+		iv.Children = append(iv.Children, child)
+		cursor = child.End
+	}
+	return iv
+}
+
+func TestRandomTreeInvariants(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewPCG(seed, 99))
+		root := genTree(r, Time(r.Int64N(int64(Second))), Ms(float64(10+r.IntN(500))), 0)
+
+		if err := root.Validate(); err != nil {
+			t.Fatalf("seed %d: generated tree invalid: %v", seed, err)
+		}
+
+		// KindTime partitions the root's duration exactly.
+		var total Dur
+		for _, d := range root.KindTime() {
+			if d < 0 {
+				t.Fatalf("seed %d: negative exclusive time", seed)
+			}
+			total += d
+		}
+		if total != root.Dur() {
+			t.Fatalf("seed %d: KindTime sums to %v, root %v", seed, total, root.Dur())
+		}
+
+		// KindTimeIn over the full window equals KindTime; over split
+		// windows it sums to the same.
+		mid := root.Start.Add(root.Dur() / 3)
+		left := root.KindTimeIn(root.Start, mid)
+		right := root.KindTimeIn(mid, root.End)
+		full := root.KindTime()
+		for k := range full {
+			if left[k]+right[k] != full[k] {
+				t.Fatalf("seed %d: window split not additive for kind %v: %v + %v != %v",
+					seed, Kind(k), left[k], right[k], full[k])
+			}
+		}
+
+		// At/Path agreement at random probes: Path's last element is
+		// At's result, every Path element contains the probe, and
+		// each element is the child of its predecessor.
+		for i := 0; i < 20; i++ {
+			probe := root.Start.Add(Dur(r.Int64N(int64(root.Dur()))))
+			at := root.At(probe)
+			path := root.Path(probe)
+			if at == nil || len(path) == 0 {
+				t.Fatalf("seed %d: probe inside root not found", seed)
+			}
+			if path[len(path)-1] != at {
+				t.Fatalf("seed %d: Path end != At", seed)
+			}
+			for j, n := range path {
+				if !n.Contains(probe) {
+					t.Fatalf("seed %d: path element %d does not contain probe", seed, j)
+				}
+				if j > 0 {
+					found := false
+					for _, c := range path[j-1].Children {
+						if c == n {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("seed %d: path element %d not a child of its predecessor", seed, j)
+					}
+				}
+			}
+		}
+
+		// Clone is deep and equal.
+		cp := root.Clone()
+		if !reflect.DeepEqual(cp, root) {
+			t.Fatalf("seed %d: clone differs", seed)
+		}
+
+		// Descendants equals the walk count minus one; depth bounds.
+		n := 0
+		maxDepth := 0
+		root.Walk(func(_ *Interval, d int) bool {
+			n++
+			if d > maxDepth {
+				maxDepth = d
+			}
+			return true
+		})
+		if root.Descendants() != n-1 {
+			t.Fatalf("seed %d: Descendants %d != %d", seed, root.Descendants(), n-1)
+		}
+		if root.Depth() != maxDepth+1 {
+			t.Fatalf("seed %d: Depth %d != %d", seed, root.Depth(), maxDepth+1)
+		}
+	}
+}
+
+func TestRandomTreeOutsideProbes(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	root := genTree(r, Time(Second), Ms(100), 0)
+	if root.At(root.End) != nil || root.At(root.Start-1) != nil {
+		t.Error("probes outside the root must return nil")
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ThreadID identifies a thread within a session. The event dispatch
+// (GUI) thread of a session is identified by Session.GUIThread.
+type ThreadID int32
+
+// ThreadState is the scheduling state of a thread at the moment a
+// call-stack sample was taken. The states follow the paper's Figure 8
+// taxonomy, which itself follows java.lang.Thread.State:
+// blocked = trying to enter a contended monitor, waiting = parked in
+// Object.wait()/LockSupport.park(), sleeping = Thread.sleep.
+type ThreadState uint8
+
+const (
+	// StateRunnable means the thread was runnable (not necessarily
+	// running: it may have been ready but waiting for a CPU).
+	StateRunnable ThreadState = iota
+	// StateBlocked means the thread was blocked entering a monitor.
+	StateBlocked
+	// StateWaiting means the thread was waiting in Object.wait() or
+	// LockSupport.park().
+	StateWaiting
+	// StateSleeping means the thread was voluntarily sleeping in
+	// Thread.sleep.
+	StateSleeping
+
+	numStates = iota
+)
+
+var stateNames = [numStates]string{
+	StateRunnable: "runnable",
+	StateBlocked:  "blocked",
+	StateWaiting:  "waiting",
+	StateSleeping: "sleeping",
+}
+
+// Valid reports whether s is one of the defined thread states.
+func (s ThreadState) Valid() bool { return int(s) < numStates }
+
+// String returns the lowercase state name.
+func (s ThreadState) String() string {
+	if !s.Valid() {
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+	return stateNames[s]
+}
+
+// ParseThreadState is the inverse of ThreadState.String.
+func ParseThreadState(s string) (ThreadState, error) {
+	for st, name := range stateNames {
+		if s == name {
+			return ThreadState(st), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown thread state %q", s)
+}
+
+// ThreadStates returns all defined states in declaration order.
+func ThreadStates() []ThreadState {
+	ss := make([]ThreadState, numStates)
+	for i := range ss {
+		ss[i] = ThreadState(i)
+	}
+	return ss
+}
+
+// Frame is one entry of a sampled call stack. Frames carry the fully
+// qualified class name and method name; Native marks frames executing
+// native (JNI) code.
+type Frame struct {
+	Class  string
+	Method string
+	Native bool
+}
+
+// String formats the frame as "Class.Method" with a native marker.
+func (f Frame) String() string {
+	s := f.Class + "." + f.Method
+	if f.Native {
+		s += " (native)"
+	}
+	return s
+}
+
+// ThreadSample is the sampled state of one thread at one sampling tick:
+// its scheduling state and its call stack, leaf (innermost) frame
+// first.
+type ThreadSample struct {
+	Thread ThreadID
+	State  ThreadState
+	Stack  []Frame
+}
+
+// Leaf returns the innermost frame, i.e. the method that was executing
+// when the sample was taken, and reports whether the stack was
+// non-empty. The paper's application-vs-library partition (Figure 6)
+// classifies samples by the class of this frame.
+func (ts ThreadSample) Leaf() (Frame, bool) {
+	if len(ts.Stack) == 0 {
+		return Frame{}, false
+	}
+	return ts.Stack[0], true
+}
+
+// StackString renders the stack top-down ("leaf\n  at caller\n ..."),
+// the format shown by episode-sketch hover.
+func (ts ThreadSample) StackString() string {
+	if len(ts.Stack) == 0 {
+		return "<no stack>"
+	}
+	var b strings.Builder
+	for i, f := range ts.Stack {
+		if i > 0 {
+			b.WriteString("\n  at ")
+		}
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// SampleTick is one firing of the periodic sampler: the simultaneous
+// call-stack samples of all live threads. Ticks are absent entirely
+// while the world is stopped for garbage collection (the JVMTI-based
+// sampler is itself a mutator), which is visible as the sample gap in
+// the paper's Figure 1.
+type SampleTick struct {
+	Time    Time
+	Threads []ThreadSample
+}
+
+// Runnable counts the threads that were runnable at this tick — the
+// concurrency measure of Figure 7.
+func (st SampleTick) Runnable() int {
+	n := 0
+	for _, t := range st.Threads {
+		if t.State == StateRunnable {
+			n++
+		}
+	}
+	return n
+}
+
+// Thread returns the sample of the given thread at this tick, if
+// present.
+func (st SampleTick) Thread(id ThreadID) (ThreadSample, bool) {
+	for _, t := range st.Threads {
+		if t.Thread == id {
+			return t, true
+		}
+	}
+	return ThreadSample{}, false
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point on the session timeline, expressed in nanoseconds
+// since the start of the session. It is a virtual clock: traces and
+// simulations never consult the wall clock.
+type Time int64
+
+// Dur is a span of session time in nanoseconds. It is layout-compatible
+// with time.Duration but kept distinct so trace code cannot be fed
+// wall-clock durations by accident.
+type Dur int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Dur = 1
+	Microsecond     = 1000 * Nanosecond
+	Millisecond     = 1000 * Microsecond
+	Second          = 1000 * Millisecond
+	Minute          = 60 * Second
+)
+
+// Ms constructs a Dur from a (possibly fractional) number of
+// milliseconds. It is the unit most of the paper is written in.
+func Ms(ms float64) Dur { return Dur(ms * float64(Millisecond)) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Dur) Time { return t + Time(d) }
+
+// Sub returns the span from u to t.
+func (t Time) Sub(u Time) Dur { return Dur(t - u) }
+
+// Ms reports t as fractional milliseconds since session start.
+func (t Time) Ms() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as fractional seconds since session start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time as milliseconds, the paper's display unit.
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Ms()) }
+
+// Ms reports the duration as fractional milliseconds.
+func (d Dur) Ms() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports the duration as fractional seconds.
+func (d Dur) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts d to a time.Duration for interoperation with the
+// standard library (formatting, sleeping in interactive tools).
+func (d Dur) Std() time.Duration { return time.Duration(d) }
+
+// String formats the duration compactly: microseconds below 1 ms,
+// milliseconds below 10 s, seconds above.
+func (d Dur) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Millisecond:
+		return fmt.Sprintf("%dµs", int64(d)/int64(Microsecond))
+	case d < 10*Second:
+		return fmt.Sprintf("%.1fms", d.Ms())
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// Clamp limits d to the inclusive range [lo, hi].
+func (d Dur) Clamp(lo, hi Dur) Dur {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}

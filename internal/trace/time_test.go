@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(Ms(100))
+	if t1 != Time(100*Millisecond) {
+		t.Errorf("Add = %v", t1)
+	}
+	if got := t1.Sub(t0); got != Ms(100) {
+		t.Errorf("Sub = %v, want 100ms", got)
+	}
+	if got := t1.Ms(); got != 100 {
+		t.Errorf("Ms = %v, want 100", got)
+	}
+	if got := Time(90 * Second).Seconds(); got != 90 {
+		t.Errorf("Seconds = %v, want 90", got)
+	}
+}
+
+func TestMsConstructsFractionalDurations(t *testing.T) {
+	if got, want := Ms(0.5), 500*Microsecond; got != want {
+		t.Errorf("Ms(0.5) = %v, want %v", got, want)
+	}
+	if got, want := Ms(1705), 1705*Millisecond; got != want {
+		t.Errorf("Ms(1705) = %v, want %v", got, want)
+	}
+}
+
+func TestDurString(t *testing.T) {
+	cases := []struct {
+		d    Dur
+		want string
+	}{
+		{500 * Microsecond, "500µs"},
+		{Ms(1.5), "1.5ms"},
+		{Ms(100), "100.0ms"},
+		{12 * Second, "12.00s"},
+		{-Ms(3), "-3.0ms"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestDurClamp(t *testing.T) {
+	if got := Ms(5).Clamp(Ms(10), Ms(20)); got != Ms(10) {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := Ms(50).Clamp(Ms(10), Ms(20)); got != Ms(20) {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := Ms(15).Clamp(Ms(10), Ms(20)); got != Ms(15) {
+		t.Errorf("clamp mid = %v", got)
+	}
+}
+
+func TestTimeAddSubRoundTripProperty(t *testing.T) {
+	f := func(base int64, delta int32) bool {
+		t0 := Time(base % (1 << 40))
+		d := Dur(delta)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringParseRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip %v -> %v", k, got)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind accepted bogus kind")
+	}
+	if Kind(200).Valid() {
+		t.Error("Kind(200) should be invalid")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("invalid kind String = %q", got)
+	}
+}
+
+func TestThreadStateStringParseRoundTrip(t *testing.T) {
+	for _, s := range ThreadStates() {
+		got, err := ParseThreadState(s.String())
+		if err != nil {
+			t.Fatalf("ParseThreadState(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := ParseThreadState("zombie"); err == nil {
+		t.Error("ParseThreadState accepted bogus state")
+	}
+	if ThreadState(9).Valid() {
+		t.Error("ThreadState(9) should be invalid")
+	}
+}

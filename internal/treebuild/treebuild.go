@@ -1,0 +1,275 @@
+// Package treebuild reconstructs LagAlyzer's in-memory session
+// representation (package trace) from a LiLa record stream (package
+// lila).
+//
+// The reconstruction follows Section II-A of the paper: every interval
+// type except GC corresponds to a method call/return pair, so a
+// per-thread stack suffices to rebuild each thread's properly nested
+// interval tree. GC brackets are global — because a stop-the-world
+// collection halts every thread, the finished GC interval is copied
+// into the interval tree of every thread that was inside an interval
+// at the time, and always recorded session-wide.
+//
+// Top-level Dispatch intervals become episodes. Episodes shorter than
+// the filter threshold are dropped and counted, mirroring the tracing
+// tool's own 3 ms filter (LagAlyzer "never gets to see such episodes,
+// it only is able to see how many such short episodes occurred").
+package treebuild
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/trace"
+)
+
+// Diagnostics reports recoverable oddities found while rebuilding a
+// session. They do not fail the build; real profilers produce them
+// (e.g. threads that die with open intervals at session end are
+// reported by LiLa, and samples can race the GC bracket notifications).
+type Diagnostics struct {
+	// OrphanTopLevel counts completed top-level intervals that were
+	// not dispatches; they belong to no episode and are dropped.
+	OrphanTopLevel int
+	// SamplesDuringGC counts samples time-stamped inside a GC bracket
+	// (the sampler should be stopped with the rest of the world).
+	SamplesDuringGC int
+	// UndeclaredThreads counts threads that appeared in call or
+	// sample records without a preceding thread declaration; they are
+	// registered with a synthesized name.
+	UndeclaredThreads int
+	// FilteredEpisodes counts traced episodes dropped by the filter
+	// threshold on the analysis side (in addition to the profiler's
+	// own ShortCount).
+	FilteredEpisodes int
+}
+
+// Build consumes the record stream of r until its end record and
+// reconstructs the session.
+func Build(r lila.Reader) (*trace.Session, *Diagnostics, error) {
+	b := newBuilder(r.Header())
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := b.add(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.finish()
+}
+
+// BuildRecords reconstructs a session from an in-memory record slice.
+func BuildRecords(h lila.Header, recs []*lila.Record) (*trace.Session, *Diagnostics, error) {
+	b := newBuilder(h)
+	for _, rec := range recs {
+		if err := b.add(rec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.finish()
+}
+
+// ReadSession reads a trace in either encoding from rd and rebuilds
+// the session, discarding diagnostics. It is the one-call path used by
+// the command-line tools.
+func ReadSession(rd io.Reader) (*trace.Session, error) {
+	lr, err := lila.NewReader(rd)
+	if err != nil {
+		return nil, err
+	}
+	s, _, err := Build(lr)
+	return s, err
+}
+
+type builder struct {
+	h      lila.Header
+	s      *trace.Session
+	diag   Diagnostics
+	stacks map[trace.ThreadID][]*trace.Interval
+	known  map[trace.ThreadID]bool
+	gc     *trace.Interval // open GC bracket, nil outside collections
+	last   trace.Time
+	ended  bool
+}
+
+func newBuilder(h lila.Header) *builder {
+	return &builder{
+		h: h,
+		s: &trace.Session{
+			App:             h.App,
+			ID:              h.SessionID,
+			Start:           h.Start,
+			GUIThread:       h.GUIThread,
+			FilterThreshold: h.FilterThreshold,
+			SamplePeriod:    h.SamplePeriod,
+		},
+		stacks: make(map[trace.ThreadID][]*trace.Interval),
+		known:  make(map[trace.ThreadID]bool),
+	}
+}
+
+func (b *builder) ensureThread(id trace.ThreadID) {
+	if b.known[id] {
+		return
+	}
+	b.known[id] = true
+	b.diag.UndeclaredThreads++
+	b.s.Threads = append(b.s.Threads, trace.ThreadInfo{ID: id, Name: fmt.Sprintf("thread-%d", id)})
+}
+
+func (b *builder) checkTime(t trace.Time) error {
+	if t < b.last {
+		return fmt.Errorf("treebuild: record at %v after record at %v: stream not time-ordered", t, b.last)
+	}
+	b.last = t
+	return nil
+}
+
+func (b *builder) add(rec *lila.Record) error {
+	if b.ended {
+		return fmt.Errorf("treebuild: record after end record")
+	}
+	switch rec.Type {
+	case lila.RecThread:
+		if b.known[rec.Thread] {
+			return fmt.Errorf("treebuild: duplicate declaration of thread %d", rec.Thread)
+		}
+		b.known[rec.Thread] = true
+		b.s.Threads = append(b.s.Threads, trace.ThreadInfo{ID: rec.Thread, Name: rec.Name, Daemon: rec.Daemon})
+
+	case lila.RecCall:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		b.ensureThread(rec.Thread)
+		iv := &trace.Interval{
+			Kind:   rec.Kind,
+			Class:  rec.Class,
+			Method: rec.Method,
+			Start:  rec.Time,
+			End:    -1, // patched by the matching return
+		}
+		b.stacks[rec.Thread] = append(b.stacks[rec.Thread], iv)
+
+	case lila.RecReturn:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		stack := b.stacks[rec.Thread]
+		if len(stack) == 0 {
+			return fmt.Errorf("treebuild: return on thread %d at %v with no open interval", rec.Thread, rec.Time)
+		}
+		iv := stack[len(stack)-1]
+		b.stacks[rec.Thread] = stack[:len(stack)-1]
+		iv.End = rec.Time
+		if iv.End < iv.Start {
+			return fmt.Errorf("treebuild: interval %s on thread %d ends (%v) before it starts (%v)",
+				iv.Qualified(), rec.Thread, iv.End, iv.Start)
+		}
+		if len(b.stacks[rec.Thread]) > 0 {
+			parent := b.stacks[rec.Thread][len(b.stacks[rec.Thread])-1]
+			parent.Children = append(parent.Children, iv)
+			return nil
+		}
+		// Completed top-level interval.
+		if iv.Kind != trace.KindDispatch {
+			b.diag.OrphanTopLevel++
+			return nil
+		}
+		if iv.Dur() < b.h.FilterThreshold {
+			b.diag.FilteredEpisodes++
+			b.s.ShortCount++
+			return nil
+		}
+		b.s.Episodes = append(b.s.Episodes, &trace.Episode{Thread: rec.Thread, Root: iv})
+
+	case lila.RecGCStart:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		if b.gc != nil {
+			return fmt.Errorf("treebuild: nested gcstart at %v (collection open since %v)", rec.Time, b.gc.Start)
+		}
+		b.gc = &trace.Interval{Kind: trace.KindGC, Start: rec.Time, End: -1, Major: rec.Major}
+
+	case lila.RecGCEnd:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		if b.gc == nil {
+			return fmt.Errorf("treebuild: gcend at %v without gcstart", rec.Time)
+		}
+		b.gc.End = rec.Time
+		// A GC stops all threads: add a copy of the interval to the
+		// tree of every thread that was inside an interval.
+		for _, stack := range b.stacks {
+			if len(stack) == 0 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			top.Children = append(top.Children, b.gc.Clone())
+		}
+		b.s.GCs = append(b.s.GCs, b.gc)
+		b.gc = nil
+
+	case lila.RecSample:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		b.ensureThread(rec.Thread)
+		if b.gc != nil {
+			b.diag.SamplesDuringGC++
+		}
+		ts := trace.ThreadSample{Thread: rec.Thread, State: rec.State, Stack: rec.Stack}
+		if n := len(b.s.Ticks); n > 0 && b.s.Ticks[n-1].Time == rec.Time {
+			b.s.Ticks[n-1].Threads = append(b.s.Ticks[n-1].Threads, ts)
+		} else {
+			b.s.Ticks = append(b.s.Ticks, trace.SampleTick{Time: rec.Time, Threads: []trace.ThreadSample{ts}})
+		}
+
+	case lila.RecEnd:
+		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		for id, stack := range b.stacks {
+			if len(stack) > 0 {
+				return fmt.Errorf("treebuild: thread %d has %d open interval(s) at session end (innermost %s)",
+					id, len(stack), stack[len(stack)-1].Qualified())
+			}
+		}
+		if b.gc != nil {
+			return fmt.Errorf("treebuild: collection open at session end")
+		}
+		b.s.End = rec.Time
+		b.s.ShortCount += rec.Count
+		b.ended = true
+
+	default:
+		return fmt.Errorf("treebuild: unknown record type %d", rec.Type)
+	}
+	return nil
+}
+
+func (b *builder) finish() (*trace.Session, *Diagnostics, error) {
+	if !b.ended {
+		return nil, nil, fmt.Errorf("treebuild: record stream had no end record")
+	}
+	sort.SliceStable(b.s.Episodes, func(i, j int) bool {
+		return b.s.Episodes[i].Start() < b.s.Episodes[j].Start()
+	})
+	for i, e := range b.s.Episodes {
+		e.Index = i
+	}
+	if err := b.s.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("treebuild: rebuilt session invalid: %w", err)
+	}
+	diag := b.diag
+	return b.s, &diag, nil
+}

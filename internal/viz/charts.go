@@ -1,0 +1,228 @@
+package viz
+
+import (
+	"fmt"
+
+	"lagalyzer/internal/stats"
+)
+
+// StackedBars describes a horizontal stacked-bar chart in the style of
+// the paper's Figures 4, 5, 6, and 8: one row per benchmark, each row
+// partitioned into colored category segments.
+type StackedBars struct {
+	Title      string
+	XLabel     string
+	Categories []string // legend entries, stacking order
+	Colors     []string // one per category; nil uses SeriesColor
+	Rows       []BarRow
+	// XMax is the axis maximum; 0 means 1.0 (fractions). Figure 8
+	// zooms to 0.6 to make the small parts visible.
+	XMax float64
+}
+
+// BarRow is one benchmark's row: a label plus one value per category.
+type BarRow struct {
+	Label  string
+	Values []float64
+}
+
+// RenderStackedBars renders the chart as SVG.
+func RenderStackedBars(c StackedBars) string {
+	const (
+		rowH     = 20.0
+		labelW   = 120.0
+		topPad   = 46.0 // title + legend
+		axisH    = 30.0
+		rightPad = 16.0
+		chartW   = 640.0
+	)
+	xmax := c.XMax
+	if xmax <= 0 {
+		xmax = 1
+	}
+	width := labelW + chartW + rightPad
+	height := topPad + float64(len(c.Rows))*rowH + axisH
+	doc := newSVG(width, height)
+	doc.text(10, 16, 13, "start", "#222", c.Title)
+
+	// Legend across the top.
+	lx := 10.0
+	for i, cat := range c.Categories {
+		doc.rect(lx, 24, 10, 10, c.color(i), "#555", "")
+		doc.text(lx+14, 33, 10, "start", "#222", cat)
+		lx += 14 + float64(len(cat))*6 + 16
+	}
+
+	xs := linearScale{d0: 0, d1: xmax, r0: labelW, r1: labelW + chartW}
+	for r, row := range c.Rows {
+		y := topPad + float64(r)*rowH
+		doc.text(labelW-6, y+rowH/2+4, 10.5, "end", "#222", row.Label)
+		cum := 0.0
+		for i, v := range row.Values {
+			if v <= 0 {
+				continue
+			}
+			x0, x1 := xs.at(cum), xs.at(cum+v)
+			if x1 > xs.at(xmax) {
+				x1 = xs.at(xmax)
+			}
+			tip := fmt.Sprintf("%s: %s %.1f%%", row.Label, c.cat(i), v*100)
+			doc.rect(x0, y+3, x1-x0, rowH-6, c.color(i), "#444", tip)
+			cum += v
+		}
+	}
+
+	axisY := topPad + float64(len(c.Rows))*rowH + 8
+	doc.line(labelW, axisY, labelW+chartW, axisY, "#333", 1)
+	for _, t := range niceTicks(0, xmax, 6) {
+		x := xs.at(t)
+		doc.line(x, axisY, x, axisY+4, "#333", 1)
+		doc.text(x, axisY+15, 9.5, "middle", "#333", formatTick(t*100)+"%")
+	}
+	if c.XLabel != "" {
+		doc.text(labelW+chartW/2, axisY+27, 10.5, "middle", "#222", c.XLabel)
+	}
+	return doc.String()
+}
+
+func (c StackedBars) color(i int) string {
+	if i < len(c.Colors) {
+		return c.Colors[i]
+	}
+	return SeriesColor(i)
+}
+
+func (c StackedBars) cat(i int) string {
+	if i < len(c.Categories) {
+		return c.Categories[i]
+	}
+	return fmt.Sprintf("category %d", i)
+}
+
+// Bars describes a plain horizontal bar chart (Figure 7's runnable
+// thread averages).
+type Bars struct {
+	Title  string
+	XLabel string
+	Rows   []BarRow // Values[0] is the bar length
+	XMax   float64  // 0 means max over rows, padded
+	// Marker draws a reference line at the given x (Figure 7 benefits
+	// from a line at 1.0 runnable thread); 0 disables.
+	Marker float64
+}
+
+// RenderBars renders the chart as SVG.
+func RenderBars(c Bars) string {
+	const (
+		rowH     = 20.0
+		labelW   = 120.0
+		topPad   = 26.0
+		axisH    = 30.0
+		rightPad = 16.0
+		chartW   = 640.0
+	)
+	xmax := c.XMax
+	if xmax <= 0 {
+		for _, r := range c.Rows {
+			if len(r.Values) > 0 && r.Values[0] > xmax {
+				xmax = r.Values[0]
+			}
+		}
+		xmax *= 1.15
+		if xmax == 0 {
+			xmax = 1
+		}
+	}
+	width := labelW + chartW + rightPad
+	height := topPad + float64(len(c.Rows))*rowH + axisH
+	doc := newSVG(width, height)
+	doc.text(10, 16, 13, "start", "#222", c.Title)
+
+	xs := linearScale{d0: 0, d1: xmax, r0: labelW, r1: labelW + chartW}
+	for r, row := range c.Rows {
+		y := topPad + float64(r)*rowH
+		doc.text(labelW-6, y+rowH/2+4, 10.5, "end", "#222", row.Label)
+		if len(row.Values) == 0 {
+			continue
+		}
+		v := row.Values[0]
+		tip := fmt.Sprintf("%s: %.2f", row.Label, v)
+		doc.rect(labelW, y+3, xs.at(v)-labelW, rowH-6, "#4878cf", "#444", tip)
+	}
+	if c.Marker > 0 && c.Marker <= xmax {
+		x := xs.at(c.Marker)
+		doc.line(x, topPad-4, x, topPad+float64(len(c.Rows))*rowH+2, "#c62828", 1)
+	}
+
+	axisY := topPad + float64(len(c.Rows))*rowH + 8
+	doc.line(labelW, axisY, labelW+chartW, axisY, "#333", 1)
+	for _, t := range niceTicks(0, xmax, 7) {
+		x := xs.at(t)
+		doc.line(x, axisY, x, axisY+4, "#333", 1)
+		doc.text(x, axisY+15, 9.5, "middle", "#333", formatTick(t))
+	}
+	if c.XLabel != "" {
+		doc.text(labelW+chartW/2, axisY+27, 10.5, "middle", "#222", c.XLabel)
+	}
+	return doc.String()
+}
+
+// CDFSeries is one curve of a cumulative-distribution chart.
+type CDFSeries struct {
+	Label  string
+	Points []stats.CDFPoint
+}
+
+// CDFChart describes a Figure 3-style chart: fraction of patterns on
+// the x-axis, fraction of covered episodes on the y-axis, one curve
+// per benchmark.
+type CDFChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []CDFSeries
+}
+
+// RenderCDF renders the chart as SVG.
+func RenderCDF(c CDFChart) string {
+	const (
+		leftPad            = 56.0
+		topPad             = 28.0
+		plotW, plotH       = 560.0, 360.0
+		legendW, bottomPad = 170.0, 44.0
+	)
+	width := leftPad + plotW + legendW
+	height := topPad + plotH + bottomPad
+	doc := newSVG(width, height)
+	doc.text(leftPad, 17, 13, "start", "#222", c.Title)
+
+	xs := linearScale{d0: 0, d1: 1, r0: leftPad, r1: leftPad + plotW}
+	ys := linearScale{d0: 0, d1: 1, r0: topPad + plotH, r1: topPad}
+
+	// Frame and grid.
+	for _, t := range niceTicks(0, 1, 5) {
+		gx := xs.at(t)
+		gy := ys.at(t)
+		doc.line(gx, topPad, gx, topPad+plotH, "#ddd", 0.6)
+		doc.line(leftPad, gy, leftPad+plotW, gy, "#ddd", 0.6)
+		doc.text(gx, topPad+plotH+14, 9.5, "middle", "#333", formatTick(t*100))
+		doc.text(leftPad-6, gy+3, 9.5, "end", "#333", formatTick(t*100))
+	}
+	doc.line(leftPad, topPad+plotH, leftPad+plotW, topPad+plotH, "#333", 1)
+	doc.line(leftPad, topPad, leftPad, topPad+plotH, "#333", 1)
+	doc.text(leftPad+plotW/2, topPad+plotH+32, 10.5, "middle", "#222", c.XLabel)
+	doc.text(14, topPad+plotH/2, 10.5, "middle", "#222", c.YLabel)
+
+	for i, s := range c.Series {
+		pts := make([][2]float64, len(s.Points))
+		for j, p := range s.Points {
+			pts[j] = [2]float64{xs.at(p.X), ys.at(p.Y)}
+		}
+		doc.polyline(pts, SeriesColor(i), 1.4)
+		// Legend.
+		ly := topPad + 8 + float64(i)*15
+		doc.line(leftPad+plotW+12, ly, leftPad+plotW+30, ly, SeriesColor(i), 2)
+		doc.text(leftPad+plotW+35, ly+3.5, 9.5, "start", "#222", s.Label)
+	}
+	return doc.String()
+}

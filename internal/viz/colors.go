@@ -1,0 +1,54 @@
+package viz
+
+import "lagalyzer/internal/trace"
+
+// KindColor returns the fill color used for an interval kind in
+// episode sketches. LagAlyzer "renders each interval type in a
+// different color" (Section II-B).
+func KindColor(k trace.Kind) string {
+	switch k {
+	case trace.KindDispatch:
+		return "#9e9e9e" // gray: the episode frame
+	case trace.KindListener:
+		return "#4878cf" // blue: input handling
+	case trace.KindPaint:
+		return "#6acc65" // green: rendering
+	case trace.KindNative:
+		return "#ee854a" // orange: JNI calls
+	case trace.KindAsync:
+		return "#956cb4" // purple: background-posted events
+	case trace.KindGC:
+		return "#d65f5f" // red: stop-the-world collections
+	default:
+		return "#000000"
+	}
+}
+
+// StateColor returns the color of a sample dot for a thread state
+// ("each sample is represented by a point colored according to the
+// thread state", Section II-B).
+func StateColor(s trace.ThreadState) string {
+	switch s {
+	case trace.StateRunnable:
+		return "#2e7d32" // green
+	case trace.StateBlocked:
+		return "#c62828" // red
+	case trace.StateWaiting:
+		return "#ef6c00" // orange
+	case trace.StateSleeping:
+		return "#1565c0" // blue
+	default:
+		return "#000000"
+	}
+}
+
+// seriesColors is the categorical palette for line charts (Figure 3's
+// 14 application curves).
+var seriesColors = []string{
+	"#4878cf", "#ee854a", "#6acc65", "#d65f5f", "#956cb4", "#8c613c",
+	"#dc7ec0", "#797979", "#d5bb67", "#82c6e2", "#1b4f72", "#7b241c",
+	"#145a32", "#6c3483",
+}
+
+// SeriesColor returns the i-th categorical series color.
+func SeriesColor(i int) string { return seriesColors[i%len(seriesColors)] }

@@ -1,0 +1,249 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"lagalyzer/internal/stats"
+	"lagalyzer/internal/trace"
+)
+
+func ms(v float64) trace.Time { return trace.Time(trace.Ms(v)) }
+
+// figure1Session recreates the paper's Figure 1 episode: a 1705 ms
+// paint cascade with an 843 ms native DrawLine holding a 466 ms GC,
+// and a sampling gap covering the collection.
+func figure1Session() (*trace.Session, *trace.Episode) {
+	root := trace.NewInterval(trace.KindDispatch, "", "", 0, trace.Ms(1705))
+	jf := root.AddChild(trace.NewInterval(trace.KindPaint, "javax.swing.JFrame", "paint", 0, trace.Ms(1705)))
+	rp := jf.AddChild(trace.NewInterval(trace.KindPaint, "javax.swing.JRootPane", "paint", ms(5), trace.Ms(1695)))
+	lp := rp.AddChild(trace.NewInterval(trace.KindPaint, "javax.swing.JLayeredPane", "paint", ms(80), trace.Ms(1533)))
+	tb := lp.AddChild(trace.NewInterval(trace.KindPaint, "javax.swing.JToolBar", "paint", ms(170), trace.Ms(1347)))
+	nat := tb.AddChild(trace.NewInterval(trace.KindNative, "sun.java2d.loops.DrawLine", "DrawLine", ms(600), trace.Ms(843)))
+	nat.AddChild(trace.NewGC(ms(800), trace.Ms(466), true))
+
+	e := &trace.Episode{Index: 0, Thread: 1, Root: root}
+	s := &trace.Session{
+		App: "Figure1", GUIThread: 1, Start: 0, End: ms(2000),
+		Threads:  []trace.ThreadInfo{{ID: 1, Name: "edt"}},
+		Episodes: []*trace.Episode{e},
+		GCs:      []*trace.Interval{trace.NewGC(ms(800), trace.Ms(466), true)},
+	}
+	for t := ms(5); t < s.End; t = t.Add(trace.Ms(10)) {
+		// The sampler is stopped for the GC plus a margin (the paper's
+		// observed gap is wider than the GC interval itself).
+		if t >= ms(620) && t < ms(1370) {
+			continue
+		}
+		s.Ticks = append(s.Ticks, trace.SampleTick{Time: t, Threads: []trace.ThreadSample{{
+			Thread: 1, State: trace.StateRunnable,
+			Stack: []trace.Frame{{Class: "javax.swing.JToolBar", Method: "paint"}},
+		}}})
+	}
+	return s, e
+}
+
+func TestSketchContainsAllParts(t *testing.T) {
+	s, e := figure1Session()
+	svg := Sketch(s, e, SketchOptions{})
+	for _, want := range []string{
+		"<svg", "</svg>",
+		KindColor(trace.KindGC), KindColor(trace.KindNative), KindColor(trace.KindPaint),
+		"JToolBar.paint", "DrawLine",
+		"<title>",   // hover tooltips
+		"ms</text>", // time axis labels
+		StateColor(trace.StateRunnable),
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("sketch missing %q", want)
+		}
+	}
+	// Samples during the GC gap must not be drawn: count circles.
+	circles := strings.Count(svg, "<circle")
+	wantTicks := 0
+	for _, tick := range s.EpisodeTicks(e) {
+		_ = tick
+		wantTicks++
+	}
+	if circles != wantTicks {
+		t.Errorf("sketch has %d sample dots, want %d", circles, wantTicks)
+	}
+	if wantTicks >= 170 {
+		t.Errorf("expected a sampling gap during GC; got %d ticks", wantTicks)
+	}
+}
+
+func TestSketchWithoutSession(t *testing.T) {
+	_, e := figure1Session()
+	svg := Sketch(nil, e, SketchOptions{Title: "custom title"})
+	if !strings.Contains(svg, "custom title") {
+		t.Error("custom title not rendered")
+	}
+	if strings.Contains(svg, "<circle") {
+		t.Error("sample dots rendered without a session")
+	}
+}
+
+func TestSketchText(t *testing.T) {
+	s, e := figure1Session()
+	txt := SketchText(s, e)
+	for _, want := range []string{"episode #0", "gc", "DrawLine", "samples: "} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text sketch missing %q:\n%s", want, txt)
+		}
+	}
+	if !strings.Contains(txt, "R") {
+		t.Error("no runnable markers in the sample strip")
+	}
+	if SketchText(nil, e) == "" {
+		t.Error("text sketch without session should still render the outline")
+	}
+}
+
+func TestRenderStackedBars(t *testing.T) {
+	svg := RenderStackedBars(StackedBars{
+		Title:      "Triggers",
+		XLabel:     "Episodes [%]",
+		Categories: []string{"Input", "Output", "Async", "Unspecified"},
+		Rows: []BarRow{
+			{Label: "AppA", Values: []float64{0.4, 0.5, 0.05, 0.05}},
+			{Label: "AppB", Values: []float64{0.1, 0.9, 0, 0}},
+		},
+	})
+	for _, want := range []string{"Triggers", "AppA", "AppB", "Input", "Unspecified", "Episodes [%]"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("stacked bars missing %q", want)
+		}
+	}
+	// Zero-width segments are skipped: AppB has two.
+	if got := strings.Count(svg, "AppB: "); got != 2 {
+		t.Errorf("AppB rendered %d segments, want 2", got)
+	}
+}
+
+func TestStackedBarsZoomedAxis(t *testing.T) {
+	svg := RenderStackedBars(StackedBars{
+		Title:      "Causes",
+		Categories: []string{"Blocked"},
+		Rows:       []BarRow{{Label: "X", Values: []float64{0.9}}},
+		XMax:       0.6, // the Figure 8 zoom: segment clipped at 60%
+	})
+	if !strings.Contains(svg, "60%") {
+		t.Error("zoomed axis should label 60%")
+	}
+	if strings.Contains(svg, "100%") {
+		t.Error("zoomed axis should not reach 100%")
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	svg := RenderBars(Bars{
+		Title:  "Concurrency",
+		XLabel: "runnable threads",
+		Rows:   []BarRow{{Label: "A", Values: []float64{1.3}}, {Label: "B", Values: []float64{0.4}}},
+		Marker: 1.0,
+	})
+	for _, want := range []string{"Concurrency", "A: 1.30", "B: 0.40", "runnable threads"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bars missing %q", want)
+		}
+	}
+	empty := RenderBars(Bars{Title: "empty"})
+	if !strings.Contains(empty, "<svg") {
+		t.Error("empty bars should still be a valid document")
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	svg := RenderCDF(CDFChart{
+		Title:  "Fig 3",
+		XLabel: "Patterns [%]",
+		YLabel: "Episodes [%]",
+		Series: []CDFSeries{
+			{Label: "AppA", Points: []stats.CDFPoint{{X: 0, Y: 0}, {X: 0.2, Y: 0.8}, {X: 1, Y: 1}}},
+			{Label: "AppB", Points: []stats.CDFPoint{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		},
+	})
+	for _, want := range []string{"Fig 3", "AppA", "AppB", "polyline", "Patterns [%]"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("CDF chart missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	root := trace.NewInterval(trace.KindDispatch, "", "", 0, trace.Ms(100))
+	root.AddChild(trace.NewInterval(trace.KindListener, "a.B<T>", `on"x"&y`, 0, trace.Ms(50)))
+	e := &trace.Episode{Root: root, Thread: 1}
+	svg := Sketch(nil, e, SketchOptions{})
+	if strings.Contains(svg, "<T>") {
+		t.Error("unescaped angle brackets in SVG output")
+	}
+	if !strings.Contains(svg, "&lt;T&gt;") {
+		t.Error("escaped class name missing")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 3 {
+		t.Fatalf("too few ticks: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Errorf("ticks escape the domain: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 {
+		t.Errorf("degenerate domain: %v", got)
+	}
+}
+
+func TestLinearScale(t *testing.T) {
+	s := linearScale{d0: 0, d1: 10, r0: 100, r1: 200}
+	if got := s.at(5); math.Abs(got-150) > 1e-9 {
+		t.Errorf("at(5) = %v", got)
+	}
+	deg := linearScale{d0: 3, d1: 3, r0: 7, r1: 9}
+	if deg.at(3) != 7 {
+		t.Error("degenerate scale should return r0")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(100) != "100" {
+		t.Errorf("formatTick(100) = %q", formatTick(100))
+	}
+	if formatTick(0.25) != "0.25" {
+		t.Errorf("formatTick(0.25) = %q", formatTick(0.25))
+	}
+}
+
+func TestKindAndStateColorsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range trace.Kinds() {
+		c := KindColor(k)
+		if seen[c] {
+			t.Errorf("duplicate kind color %s", c)
+		}
+		seen[c] = true
+	}
+	seen = map[string]bool{}
+	for _, st := range trace.ThreadStates() {
+		c := StateColor(st)
+		if seen[c] {
+			t.Errorf("duplicate state color %s", c)
+		}
+		seen[c] = true
+	}
+	if KindColor(trace.Kind(99)) != "#000000" || StateColor(trace.ThreadState(99)) != "#000000" {
+		t.Error("unknown enum values should map to black")
+	}
+}
