@@ -1,0 +1,22 @@
+# Build/test entry points. `make check` is the tier-1 gate; `make race`
+# exercises the concurrent packages (the analysis engine's worker
+# pools, sharded classification, and the study fan-out) under the race
+# detector.
+
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check: build test
+
+race:
+	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns
+
+bench:
+	./scripts/bench.sh

@@ -53,6 +53,7 @@ var benchStudy = sync.OnceValue(func() *report.StudyResult {
 })
 
 func BenchmarkTableII_Catalog(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(apps.Catalog()) != 14 {
 			b.Fatal("catalog incomplete")
@@ -61,6 +62,7 @@ func BenchmarkTableII_Catalog(b *testing.B) {
 }
 
 func BenchmarkTableIII_Overview(b *testing.B) {
+	b.ReportAllocs()
 	suite := benchSuite()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -81,6 +83,7 @@ func benchEpisodes(suite *trace.Suite) float64 {
 }
 
 func BenchmarkFigure1_Sketch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(report.Figure1SVG()) == 0 {
 			b.Fatal("empty sketch")
@@ -89,6 +92,7 @@ func BenchmarkFigure1_Sketch(b *testing.B) {
 }
 
 func BenchmarkFigure2_DeepSketch(b *testing.B) {
+	b.ReportAllocs()
 	suite := benchSuite()
 	s := suite.Sessions[0]
 	var deepest *trace.Episode
@@ -108,6 +112,7 @@ func BenchmarkFigure2_DeepSketch(b *testing.B) {
 }
 
 func BenchmarkFigure3_PatternCDF(b *testing.B) {
+	b.ReportAllocs()
 	suite := benchSuite()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -119,6 +124,7 @@ func BenchmarkFigure3_PatternCDF(b *testing.B) {
 }
 
 func BenchmarkFigure4_Occurrence(b *testing.B) {
+	b.ReportAllocs()
 	set := patterns.Classify(benchSuite().Sessions, patterns.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -130,6 +136,7 @@ func BenchmarkFigure4_Occurrence(b *testing.B) {
 }
 
 func BenchmarkFigure5_Triggers(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +148,7 @@ func BenchmarkFigure5_Triggers(b *testing.B) {
 }
 
 func BenchmarkFigure6_Location(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -152,6 +160,7 @@ func BenchmarkFigure6_Location(b *testing.B) {
 }
 
 func BenchmarkFigure7_Concurrency(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -162,6 +171,7 @@ func BenchmarkFigure7_Concurrency(b *testing.B) {
 }
 
 func BenchmarkFigure8_Causes(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -176,6 +186,7 @@ func BenchmarkFigure8_Causes(b *testing.B) {
 // from 7.5 h of sessions, fully analyzed in 15 minutes (including
 // MATLAB chart generation).
 func BenchmarkStudy_EndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := report.RunStudy(report.StudyConfig{Seed: uint64(i), SessionsPerApp: 1, SessionSeconds: 30})
 		if err != nil {
@@ -186,6 +197,7 @@ func BenchmarkStudy_EndToEnd(b *testing.B) {
 }
 
 func BenchmarkSimulateSession(b *testing.B) {
+	b.ReportAllocs()
 	profile := apps.NetBeans()
 	for i := 0; i < b.N; i++ {
 		s, err := sim.Run(sim.Config{Profile: profile, Seed: uint64(i), SessionSeconds: 60})
@@ -208,6 +220,7 @@ func benchRecords(b *testing.B) ([]*lila.Record, lila.Header) {
 }
 
 func benchEncode(b *testing.B, f lila.Format) {
+	b.ReportAllocs()
 	recs, h := benchRecords(b)
 	b.ResetTimer()
 	var size int
@@ -235,6 +248,7 @@ func BenchmarkTraceEncode_Text(b *testing.B)   { benchEncode(b, lila.FormatText)
 func BenchmarkTraceEncode_Binary(b *testing.B) { benchEncode(b, lila.FormatBinary) }
 
 func benchDecode(b *testing.B, f lila.Format) {
+	b.ReportAllocs()
 	recs, h := benchRecords(b)
 	var buf bytes.Buffer
 	w, err := lila.NewWriter(&buf, f, h)
@@ -284,6 +298,7 @@ func BenchmarkTraceDecode_Binary(b *testing.B) { benchDecode(b, lila.FormatBinar
 // only by an incidental collection (the paper's §II-D rationale for
 // excluding them).
 func BenchmarkAblation_FingerprintGC(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	var withGC, withoutGC int
@@ -302,6 +317,7 @@ func BenchmarkAblation_FingerprintGC(b *testing.B) {
 // and without symbolic information. Kind-only trees collapse distinct
 // behaviours into one class, losing the browser's diagnostic value.
 func BenchmarkAblation_FingerprintSymbols(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	b.ResetTimer()
 	var full, kindOnly int
@@ -321,6 +337,7 @@ func BenchmarkAblation_FingerprintSymbols(b *testing.B) {
 // the animation's episodes are output; without it they count as
 // asynchronous.
 func BenchmarkAblation_AsyncReclassify(b *testing.B) {
+	b.ReportAllocs()
 	res := benchStudy()
 	jmol, ok := res.AppByName("Jmol")
 	if !ok {
@@ -345,6 +362,7 @@ func BenchmarkAblation_AsyncReclassify(b *testing.B) {
 // LiLa-like profiler perturbation (10 % instrumentation slowdown plus
 // profiler allocations), reporting the perceptible-episode inflation.
 func BenchmarkAblation_Perturbation(b *testing.B) {
+	b.ReportAllocs()
 	profile := apps.ArgoUML()
 	frac := func(s *trace.Session) float64 {
 		if len(s.Episodes) == 0 {
@@ -377,6 +395,7 @@ func BenchmarkAblation_Perturbation(b *testing.B) {
 // sensitivity analysis and reports how the perceptible count moves
 // across the literature's thresholds.
 func BenchmarkThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	sessions := benchSuite().Sessions
 	var points []analysis.ThresholdPoint
 	b.ResetTimer()
@@ -390,6 +409,7 @@ func BenchmarkThresholdSweep(b *testing.B) {
 // BenchmarkStreamingAnalysis compares the single-pass analyzer's
 // throughput against full session reconstruction on the same records.
 func BenchmarkStreamingAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	recs, h := benchRecords(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -407,6 +427,7 @@ func BenchmarkStreamingAnalysis(b *testing.B) {
 // BenchmarkFullRebuild is the baseline for BenchmarkStreamingAnalysis:
 // treebuild plus the equivalent full analyses.
 func BenchmarkFullRebuild(b *testing.B) {
+	b.ReportAllocs()
 	recs, h := benchRecords(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -423,6 +444,7 @@ func BenchmarkFullRebuild(b *testing.B) {
 
 // BenchmarkSessionTimeline renders the whole-session timeline.
 func BenchmarkSessionTimeline(b *testing.B) {
+	b.ReportAllocs()
 	s := benchSuite().Sessions[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -431,4 +453,47 @@ func BenchmarkSessionTimeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(s.Episodes)), "episodes")
+}
+
+// --- Analysis engine (internal/engine, fused single-pass pipeline) ---
+
+// BenchmarkAnalyzeSuite measures the full per-application analysis —
+// classification, overview, and all four figure analyses on both
+// populations — which the engine computes in one traversal per
+// episode. This is the headline number for the paper's "7.5 hours of
+// sessions in 15 minutes" claim.
+func BenchmarkAnalyzeSuite(b *testing.B) {
+	b.ReportAllocs()
+	suite := benchSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := report.AnalyzeSuite(suite, trace.DefaultPerceptibleThreshold)
+		if a.Overview.Traced == 0 || len(a.Pooled.Patterns) == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+	b.ReportMetric(benchEpisodes(suite), "episodes")
+}
+
+// BenchmarkClassifyParallel measures hash-first classification on a
+// workload large enough to span several shards (all 14 applications'
+// sessions pooled), exercising the chunked build-and-merge path.
+func BenchmarkClassifyParallel(b *testing.B) {
+	b.ReportAllocs()
+	var sessions []*trace.Session
+	for _, a := range benchStudy().Apps {
+		sessions = append(sessions, a.Suite.Sessions...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := patterns.Classify(sessions, patterns.Options{})
+		if len(set.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+	n := 0
+	for _, s := range sessions {
+		n += len(s.Episodes)
+	}
+	b.ReportMetric(float64(n), "episodes")
 }

@@ -1,0 +1,399 @@
+// Package engine is the fused analysis pipeline behind
+// report.AnalyzeSuite. Where the individual analysis.* functions each
+// make a full pass over every session — and the all/perceptible
+// populations double that — the engine computes the structural
+// fingerprint, trigger class, location shares, cause shares, and
+// concurrency for both populations in ONE traversal per episode plus
+// one scan of its sampling ticks.
+//
+// Episodes are sharded into fixed-size chunks processed by a bounded
+// worker pool and merged in chunk order. Because the chunk layout is a
+// function of the input alone (never of the worker count) and the
+// merge sequence is fixed, the engine produces byte-identical Results
+// for any number of workers, including one.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/trace"
+)
+
+// Options configure an engine run. The zero value reproduces
+// report.AnalyzeSuite's configuration.
+type Options struct {
+	// Patterns configures the structural fingerprint. Analyze stores
+	// the perceptibility threshold into Patterns.Threshold, so callers
+	// only set the structural knobs (IncludeGC, KindOnly).
+	Patterns patterns.Options
+	// Trigger configures the trigger classification.
+	Trigger analysis.TriggerOptions
+	// Library overrides the app-vs-library frame classifier; nil means
+	// analysis.DefaultLibraryClassifier.
+	Library analysis.LibraryClassifier
+	// Workers bounds the worker pool; 0 means runtime.GOMAXPROCS(0).
+	// The result is identical for every value.
+	Workers int
+}
+
+// Result is everything report.AnalyzeSuite needs for one application.
+// The All/Long pairs are the two populations of the paper's figures:
+// every traced episode, and only the perceptible (≥ threshold) ones.
+type Result struct {
+	Overview analysis.Overview
+	Pooled   *patterns.Set
+
+	TriggerAll, TriggerLong   analysis.TriggerShares
+	LocationAll, LocationLong analysis.LocationShares
+	CausesAll, CausesLong     analysis.CauseShares
+
+	ConcurrencyAll, ConcurrencyLong float64
+	// TicksAll and TicksLong count the sampling ticks behind the
+	// concurrency averages.
+	TicksAll, TicksLong int
+}
+
+// chunkSize is the number of episodes per work unit. It is a fixed
+// constant — never derived from the worker count — so the chunk
+// layout, and with it every merge sequence, is identical no matter
+// how many workers run.
+const chunkSize = 512
+
+// item is one episode together with the session that owns its ticks.
+type item struct {
+	s *trace.Session
+	e *trace.Episode
+}
+
+// tickTally accumulates what one episode's sampling ticks contribute:
+// concurrency over all ticks, causes over the episode thread's
+// samples, and the app/library split over its Java-leaf samples.
+type tickTally struct {
+	app, lib int
+	states   [4]int
+	samples  int
+	runnable int
+	ticks    int
+}
+
+// population accumulates one episode population (all or perceptible).
+// Everything is integral (counts and Dur sums), so merging shards is
+// order-independent; fractions are derived only at the end.
+type population struct {
+	trigger analysis.TriggerShares
+
+	app, lib           int
+	gcTime, nativeTime trace.Dur
+	episodeTime        trace.Dur
+
+	states  [4]int
+	samples int
+
+	runnable, ticks int
+}
+
+func (p *population) addEpisode(e *trace.Episode, info epInfo, t tickTally) {
+	p.trigger.Counts[info.trigger]++
+	p.trigger.Total++
+
+	p.episodeTime += e.Dur()
+	p.gcTime += info.gc
+	p.nativeTime += info.native
+
+	p.app += t.app
+	p.lib += t.lib
+	for i, n := range t.states {
+		p.states[i] += n
+	}
+	p.samples += t.samples
+	p.runnable += t.runnable
+	p.ticks += t.ticks
+}
+
+func (p *population) merge(o *population) {
+	for i, n := range o.trigger.Counts {
+		p.trigger.Counts[i] += n
+	}
+	p.trigger.Total += o.trigger.Total
+
+	p.episodeTime += o.episodeTime
+	p.gcTime += o.gcTime
+	p.nativeTime += o.nativeTime
+
+	p.app += o.app
+	p.lib += o.lib
+	for i, n := range o.states {
+		p.states[i] += n
+	}
+	p.samples += o.samples
+	p.runnable += o.runnable
+	p.ticks += o.ticks
+}
+
+// locationShares derives Figure 6's shares exactly as
+// analysis.LocationAnalysis does.
+func (p *population) locationShares() analysis.LocationShares {
+	shares := analysis.LocationShares{
+		JavaSamples: p.app + p.lib,
+		EpisodeTime: p.episodeTime,
+	}
+	if shares.JavaSamples > 0 {
+		shares.App = float64(p.app) / float64(shares.JavaSamples)
+		shares.Library = float64(p.lib) / float64(shares.JavaSamples)
+	}
+	if p.episodeTime > 0 {
+		shares.GC = float64(p.gcTime) / float64(p.episodeTime)
+		shares.Native = float64(p.nativeTime) / float64(p.episodeTime)
+	}
+	return shares
+}
+
+// causeShares derives Figure 8's shares exactly as
+// analysis.CauseAnalysis does.
+func (p *population) causeShares() analysis.CauseShares {
+	c := analysis.CauseShares{Samples: p.samples}
+	if p.samples == 0 {
+		return c
+	}
+	total := float64(p.samples)
+	c.Runnable = float64(p.states[trace.StateRunnable]) / total
+	c.Blocked = float64(p.states[trace.StateBlocked]) / total
+	c.Waiting = float64(p.states[trace.StateWaiting]) / total
+	c.Sleeping = float64(p.states[trace.StateSleeping]) / total
+	return c
+}
+
+// concurrency derives Figure 7's average exactly as
+// analysis.Concurrency does.
+func (p *population) concurrency() (float64, int) {
+	if p.ticks == 0 {
+		return 0, 0
+	}
+	return float64(p.runnable) / float64(p.ticks), p.ticks
+}
+
+// shard is one worker's private accumulator state.
+type shard struct {
+	pop     [2]population // [0] all episodes, [1] perceptible only
+	builder *patterns.Builder
+}
+
+// Analyze runs the fused pipeline over a suite. threshold is the raw
+// perceptibility threshold used for the Long population and the
+// overview (report passes a resolved, non-zero value; 0 means every
+// episode is perceptible, matching analysis.* semantics).
+func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
+	opts.Patterns.Threshold = threshold
+	if opts.Library == nil {
+		opts.Library = analysis.DefaultLibraryClassifier
+	}
+
+	total := 0
+	for _, s := range suite.Sessions {
+		total += len(s.Episodes)
+	}
+	items := make([]item, 0, total)
+	for _, s := range suite.Sessions {
+		for _, e := range s.Episodes {
+			items = append(items, item{s, e})
+		}
+	}
+
+	chunks := (len(items) + chunkSize - 1) / chunkSize
+	shards := make([]*shard, chunks)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+
+	runChunk := func(ci int) {
+		sh := &shard{builder: patterns.NewBuilder(opts.Patterns)}
+		shards[ci] = sh
+		w := newWalker(opts)
+		lo := ci * chunkSize
+		hi := min(lo+chunkSize, len(items))
+		for _, it := range items[lo:hi] {
+			analyzeItem(sh, w, it, threshold, opts.Library)
+		}
+	}
+
+	if workers <= 1 {
+		for ci := 0; ci < chunks; ci++ {
+			runChunk(ci)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= chunks {
+						return
+					}
+					runChunk(ci)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic merge: always in chunk index order, so pattern
+	// encounter order and the floating-point lag accumulation are the
+	// same no matter which worker processed which chunk.
+	merged := &shard{builder: patterns.NewBuilder(opts.Patterns)}
+	if chunks > 0 {
+		merged = shards[0]
+		for _, sh := range shards[1:] {
+			merged.pop[0].merge(&sh.pop[0])
+			merged.pop[1].merge(&sh.pop[1])
+			merged.builder.Merge(sh.builder)
+		}
+	}
+	pooled := merged.builder.Finish()
+
+	r := &Result{
+		Overview: overviewOf(suite, threshold, pooled),
+		Pooled:   pooled,
+
+		TriggerAll:   merged.pop[0].trigger,
+		TriggerLong:  merged.pop[1].trigger,
+		LocationAll:  merged.pop[0].locationShares(),
+		LocationLong: merged.pop[1].locationShares(),
+		CausesAll:    merged.pop[0].causeShares(),
+		CausesLong:   merged.pop[1].causeShares(),
+	}
+	r.ConcurrencyAll, r.TicksAll = merged.pop[0].concurrency()
+	r.ConcurrencyLong, r.TicksLong = merged.pop[1].concurrency()
+	return r
+}
+
+// analyzeItem folds one episode into the shard: one tree walk (canon +
+// hash + structure + trigger + GC/native time), one tick scan
+// (concurrency + causes + location), emitted into the all-episodes
+// population and, when perceptible, the long population too.
+func analyzeItem(sh *shard, w *walker, it item, threshold trace.Dur, isLibrary analysis.LibraryClassifier) {
+	info := w.analyze(it.e)
+	ref := patterns.EpisodeRef{Session: it.s, Episode: it.e}
+	if info.structured {
+		sh.builder.Add(ref, info.print)
+	} else {
+		sh.builder.AddUnstructured(ref)
+	}
+
+	var t tickTally
+	ticks := it.s.EpisodeTicks(it.e)
+	for ti := range ticks {
+		tick := &ticks[ti]
+		run, idx := tick.ScanThread(it.e.Thread)
+		t.runnable += run
+		t.ticks++
+		if idx < 0 {
+			continue
+		}
+		ts := &tick.Threads[idx]
+		t.states[ts.State]++
+		t.samples++
+		if len(ts.Stack) > 0 && !ts.Stack[0].Native {
+			if isLibrary(ts.Stack[0]) {
+				t.lib++
+			} else {
+				t.app++
+			}
+		}
+	}
+
+	sh.pop[0].addEpisode(it.e, info, t)
+	if it.e.Perceptible(threshold) {
+		sh.pop[1].addEpisode(it.e, info, t)
+	}
+}
+
+// overviewOf computes the Table III row from the pooled pattern set
+// instead of re-classifying each session: a session's own pattern set
+// is exactly the pooled set restricted to its episodes (the canonical
+// form — and with it Descendants and Depth — is a function of the
+// episode alone), so per-session Dist, #Eps, One-Ep, Descs, and Depth
+// fall out of one scan over the pooled patterns' episode lists. The
+// floating-point operations replicate analysis.OverviewOf's order so
+// the result is identical.
+func overviewOf(suite *trace.Suite, threshold trace.Dur, pooled *patterns.Set) analysis.Overview {
+	o := analysis.Overview{App: suite.App, Sessions: len(suite.Sessions)}
+	ns := len(suite.Sessions)
+	if ns == 0 {
+		return o
+	}
+
+	sessIdx := make(map[*trace.Session]int, ns)
+	for i, s := range suite.Sessions {
+		sessIdx[s] = i
+	}
+
+	var (
+		dist     = make([]int, ns)
+		covered  = make([]int, ns)
+		single   = make([]int, ns)
+		descsSum = make([]int, ns)
+		depthSum = make([]int, ns)
+
+		counts  = make([]int, ns) // per-pattern scratch
+		touched []int
+	)
+	for _, p := range pooled.Patterns {
+		for _, ref := range p.Episodes {
+			si := sessIdx[ref.Session]
+			if counts[si] == 0 {
+				touched = append(touched, si)
+			}
+			counts[si]++
+		}
+		for _, si := range touched {
+			dist[si]++
+			covered[si] += counts[si]
+			if counts[si] == 1 {
+				single[si]++
+			}
+			descsSum[si] += p.Descendants
+			depthSum[si] += p.Depth
+			counts[si] = 0
+		}
+		touched = touched[:0]
+	}
+
+	n := float64(ns)
+	for si, s := range suite.Sessions {
+		o.E2ESeconds += s.E2E().Seconds() / n
+		o.InEpsFrac += s.InEpisodeFrac() / n
+		o.Short += float64(s.ShortCount) / n
+		o.Traced += float64(len(s.Episodes)) / n
+		perceptible := 0
+		for _, e := range s.Episodes {
+			if e.Perceptible(threshold) {
+				perceptible++
+			}
+		}
+		o.Perceptible += float64(perceptible) / n
+		if inEps := s.InEpisode(); inEps > 0 {
+			o.LongPerMin += float64(perceptible) / (inEps.Seconds() / 60) / n
+		}
+
+		o.Dist += float64(dist[si]) / n
+		o.CoveredEps += float64(covered[si]) / n
+		if dist[si] > 0 {
+			o.OneEpFrac += (float64(single[si]) / float64(dist[si])) / n
+			o.Descs += (float64(descsSum[si]) / float64(dist[si])) / n
+			o.Depth += (float64(depthSum[si]) / float64(dist[si])) / n
+		}
+	}
+	return o
+}

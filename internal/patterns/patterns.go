@@ -18,9 +18,10 @@ package patterns
 
 import (
 	"fmt"
-	"hash/fnv"
+	"runtime"
 	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"lagalyzer/internal/stats"
 	"lagalyzer/internal/trace"
@@ -215,86 +216,231 @@ type Set struct {
 	byCanon map[string]*Pattern
 }
 
-// Fingerprint returns the canonical structural form of an episode's
-// tree under the given options. Two episodes belong to the same
-// pattern iff their fingerprints are equal.
-func Fingerprint(e *trace.Episode, opt Options) string {
-	var b strings.Builder
-	writeCanon(&b, e.Root, opt)
-	return b.String()
+// FNV-1a 64-bit parameters. Pattern.Hash is the FNV-1a hash of the
+// canonical form, computed incrementally while the canon bytes are
+// emitted (no per-episode hasher or string allocation).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Fingerprinter computes canonical forms without per-episode
+// allocations: the canon bytes land in an internal buffer that is
+// reused across calls, and the FNV-1a hash plus the structural metrics
+// (descendants, depth) are computed during the same single tree walk.
+// A Fingerprinter is not safe for concurrent use; each worker owns one.
+type Fingerprinter struct {
+	opt  Options
+	buf  []byte
+	hash uint64
 }
 
-func writeCanon(b *strings.Builder, iv *trace.Interval, opt Options) {
-	b.WriteString(iv.Kind.String())
-	if !opt.KindOnly && (iv.Class != "" || iv.Method != "") {
-		b.WriteByte('[')
-		b.WriteString(iv.Class)
-		b.WriteByte('.')
-		b.WriteString(iv.Method)
-		b.WriteByte(']')
+// NewFingerprinter returns a Fingerprinter for the given options.
+func NewFingerprinter(opt Options) *Fingerprinter {
+	return &Fingerprinter{opt: opt}
+}
+
+// Print is the result of fingerprinting one episode. Canon aliases the
+// Fingerprinter's internal buffer and is only valid until the next
+// Fingerprint call; Builder.Add copies it when (and only when) the
+// pattern is new.
+type Print struct {
+	Canon       []byte
+	Hash        uint64
+	Descendants int
+	Depth       int
+}
+
+// Fingerprint computes the episode's canonical form, hash, and
+// structural metrics in one walk. ok is false for unstructured
+// episodes (no retained child below the dispatch interval), which are
+// excluded from classification.
+func (f *Fingerprinter) Fingerprint(e *trace.Episode) (pr Print, ok bool) {
+	if !Classifiable(e, f.opt) {
+		return Print{}, false
+	}
+	f.buf = f.buf[:0]
+	f.hash = fnvOffset64
+	descs, depth := f.walk(e.Root)
+	return Print{Canon: f.buf, Hash: f.hash, Descendants: descs, Depth: depth}, true
+}
+
+func (f *Fingerprinter) emitString(s string) {
+	f.buf = append(f.buf, s...)
+	h := f.hash
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	f.hash = h
+}
+
+func (f *Fingerprinter) emitByte(b byte) {
+	f.buf = append(f.buf, b)
+	f.hash = (f.hash ^ uint64(b)) * fnvPrime64
+}
+
+// walk emits iv's canonical form and returns the retained descendant
+// count and tree height (1 for a retained leaf). Depth includes the
+// dispatch root: a bare dispatch would have depth 1, but bare
+// dispatches are unstructured and never get here.
+func (f *Fingerprinter) walk(iv *trace.Interval) (descs, depth int) {
+	f.emitString(iv.Kind.String())
+	if !f.opt.KindOnly && (iv.Class != "" || iv.Method != "") {
+		f.emitByte('[')
+		f.emitString(iv.Class)
+		f.emitByte('.')
+		f.emitString(iv.Method)
+		f.emitByte(']')
 	}
 	wrote := false
+	maxChild := 0
 	for _, c := range iv.Children {
-		if c.Kind == trace.KindGC && !opt.IncludeGC {
+		if c.Kind == trace.KindGC && !f.opt.IncludeGC {
 			continue
 		}
 		if !wrote {
-			b.WriteByte('(')
+			f.emitByte('(')
 			wrote = true
 		} else {
-			b.WriteByte(',')
+			f.emitByte(',')
 		}
-		writeCanon(b, c, opt)
-	}
-	if wrote {
-		b.WriteByte(')')
-	}
-}
-
-// structureOf computes descendant count and depth of the fingerprinted
-// structure (honoring GC exclusion).
-func structureOf(iv *trace.Interval, opt Options) (descs, depth int) {
-	maxChild := 0
-	for _, c := range iv.Children {
-		if c.Kind == trace.KindGC && !opt.IncludeGC {
-			continue
-		}
-		d, dep := structureOf(c, opt)
+		d, dep := f.walk(c)
 		descs += 1 + d
 		if dep > maxChild {
 			maxChild = dep
 		}
 	}
+	if wrote {
+		f.emitByte(')')
+	}
 	return descs, maxChild + 1
 }
 
-// Classify groups the episodes of the given sessions into patterns.
-func Classify(sessions []*trace.Session, opt Options) *Set {
-	set := &Set{Options: opt, byCanon: make(map[string]*Pattern)}
-	for _, s := range sessions {
-		for _, e := range s.Episodes {
-			ref := EpisodeRef{Session: s, Episode: e}
-			if !structured(e, opt) {
-				set.Unstructured = append(set.Unstructured, ref)
-				continue
-			}
-			canon := Fingerprint(e, opt)
-			p := set.byCanon[canon]
-			if p == nil {
-				h := fnv.New64a()
-				h.Write([]byte(canon))
-				p = &Pattern{Canon: canon, Hash: h.Sum64()}
-				// Depth is the height of the fingerprinted tree
-				// including the dispatch root (a bare dispatch
-				// would have depth 1, but bare dispatches are
-				// unstructured and never get here).
-				p.Descendants, p.Depth = structureOf(e.Root, opt)
-				set.byCanon[canon] = p
-				set.Patterns = append(set.Patterns, p)
-			}
-			p.Episodes = append(p.Episodes, ref)
-			p.lag.Add(e.Dur().Ms())
+// Fingerprint returns the canonical structural form of an episode's
+// tree under the given options. Two episodes belong to the same
+// pattern iff their fingerprints are equal. Unlike Fingerprinter, it
+// materializes a fresh string and does not require structure.
+func Fingerprint(e *trace.Episode, opt Options) string {
+	f := Fingerprinter{opt: opt, hash: fnvOffset64}
+	f.walk(e.Root)
+	return string(f.buf)
+}
+
+// Builder accumulates episodes with precomputed fingerprints into
+// patterns. It is the shared backend of Classify and of the fused
+// analysis engine (internal/engine): lookups are hash-first (canonical
+// strings are compared only to confirm a hash hit, and materialized
+// only once per new pattern), and builders can be merged in a
+// deterministic order to combine shards of a parallel run.
+type Builder struct {
+	opt          Options
+	patterns     []*Pattern
+	byHash       map[uint64]*Pattern
+	collisions   map[string]*Pattern // only populated on 64-bit hash collisions
+	unstructured []EpisodeRef
+}
+
+// NewBuilder returns an empty Builder for the given options.
+func NewBuilder(opt Options) *Builder {
+	return &Builder{opt: opt, byHash: make(map[uint64]*Pattern)}
+}
+
+// Add folds one structured episode into the builder. pr.Canon may
+// alias a reusable buffer; it is copied only when the pattern is new.
+func (b *Builder) Add(ref EpisodeRef, pr Print) {
+	p := b.findBytes(pr.Hash, pr.Canon)
+	if p == nil {
+		p = &Pattern{
+			Canon:       string(pr.Canon),
+			Hash:        pr.Hash,
+			Descendants: pr.Descendants,
+			Depth:       pr.Depth,
 		}
+		b.insert(p)
+	}
+	p.Episodes = append(p.Episodes, ref)
+	p.lag.Add(ref.Episode.Dur().Ms())
+}
+
+// AddUnstructured records an episode excluded from classification.
+func (b *Builder) AddUnstructured(ref EpisodeRef) {
+	b.unstructured = append(b.unstructured, ref)
+}
+
+// findBytes looks a pattern up by hash, confirming the hit (and
+// resolving 64-bit collisions) by canon comparison. The string(canon)
+// conversions below are comparison/index expressions the compiler
+// performs without allocating.
+func (b *Builder) findBytes(hash uint64, canon []byte) *Pattern {
+	p, ok := b.byHash[hash]
+	if !ok {
+		return nil
+	}
+	if string(canon) == p.Canon {
+		return p
+	}
+	if b.collisions != nil {
+		if p, ok := b.collisions[string(canon)]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+func (b *Builder) findString(hash uint64, canon string) *Pattern {
+	p, ok := b.byHash[hash]
+	if !ok {
+		return nil
+	}
+	if canon == p.Canon {
+		return p
+	}
+	if b.collisions != nil {
+		if p, ok := b.collisions[canon]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+func (b *Builder) insert(p *Pattern) {
+	if _, taken := b.byHash[p.Hash]; taken {
+		if b.collisions == nil {
+			b.collisions = make(map[string]*Pattern)
+		}
+		b.collisions[p.Canon] = p
+	} else {
+		b.byHash[p.Hash] = p
+	}
+	b.patterns = append(b.patterns, p)
+}
+
+// Merge folds another builder's patterns and unstructured episodes
+// into the receiver, preserving o's encounter order. Merging shard
+// builders in a fixed (chunk) order makes parallel classification
+// byte-identical to sequential classification.
+func (b *Builder) Merge(o *Builder) {
+	for _, q := range o.patterns {
+		p := b.findString(q.Hash, q.Canon)
+		if p == nil {
+			b.insert(q)
+			continue
+		}
+		p.Episodes = append(p.Episodes, q.Episodes...)
+		p.lag.Merge(q.lag)
+	}
+	b.unstructured = append(b.unstructured, o.unstructured...)
+}
+
+// Finish sorts the patterns (descending episode count, ties broken by
+// canonical form) and returns the Set. The builder must not be used
+// afterwards.
+func (b *Builder) Finish() *Set {
+	set := &Set{
+		Options:      b.opt,
+		Patterns:     b.patterns,
+		Unstructured: b.unstructured,
+		byCanon:      make(map[string]*Pattern, len(b.patterns)),
 	}
 	sort.SliceStable(set.Patterns, func(i, j int) bool {
 		a, b := set.Patterns[i], set.Patterns[j]
@@ -303,13 +449,91 @@ func Classify(sessions []*trace.Session, opt Options) *Set {
 		}
 		return a.Canon < b.Canon
 	})
+	for _, p := range set.Patterns {
+		set.byCanon[p.Canon] = p
+	}
 	return set
 }
 
-// structured reports whether the episode participates in
+// classifyChunkSize is the number of episodes per classification
+// shard. It is a constant (never derived from the worker count or
+// GOMAXPROCS) so that the chunk layout — and therefore the merge order
+// and every floating-point lag accumulation — is identical no matter
+// how many workers execute the chunks.
+const classifyChunkSize = 512
+
+// Classify groups the episodes of the given sessions into patterns.
+// Episodes are fingerprinted in one tree walk each (hash computed
+// inline, canonical string materialized only once per new pattern) and
+// sharded across a worker pool bounded by GOMAXPROCS; shards are
+// merged in a fixed order, so the result is byte-identical to a
+// sequential run.
+func Classify(sessions []*trace.Session, opt Options) *Set {
+	n := 0
+	for _, s := range sessions {
+		n += len(s.Episodes)
+	}
+	items := make([]EpisodeRef, 0, n)
+	for _, s := range sessions {
+		for _, e := range s.Episodes {
+			items = append(items, EpisodeRef{Session: s, Episode: e})
+		}
+	}
+
+	chunks := (len(items) + classifyChunkSize - 1) / classifyChunkSize
+	if chunks <= 1 {
+		b := NewBuilder(opt)
+		classifyChunk(items, NewFingerprinter(opt), b)
+		return b.Finish()
+	}
+
+	builders := make([]*Builder, chunks)
+	workers := min(runtime.GOMAXPROCS(0), chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := NewFingerprinter(opt)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= chunks {
+					return
+				}
+				lo := i * classifyChunkSize
+				hi := min(lo+classifyChunkSize, len(items))
+				b := NewBuilder(opt)
+				classifyChunk(items[lo:hi], f, b)
+				builders[i] = b
+			}
+		}()
+	}
+	wg.Wait()
+
+	root := builders[0]
+	for _, b := range builders[1:] {
+		root.Merge(b)
+	}
+	return root.Finish()
+}
+
+func classifyChunk(items []EpisodeRef, f *Fingerprinter, b *Builder) {
+	for _, ref := range items {
+		pr, ok := f.Fingerprint(ref.Episode)
+		if !ok {
+			b.AddUnstructured(ref)
+			continue
+		}
+		b.Add(ref, pr)
+	}
+}
+
+// Classifiable reports whether the episode participates in
 // classification under opt: it must have at least one child that the
-// fingerprint would retain.
-func structured(e *trace.Episode, opt Options) bool {
+// fingerprint would retain. Exported so the fused analysis engine can
+// apply the same exclusion rule without re-deriving it.
+func Classifiable(e *trace.Episode, opt Options) bool {
 	if opt.IncludeGC {
 		return len(e.Root.Children) > 0
 	}

@@ -433,3 +433,147 @@ func TestPatternGCCoOccurrence(t *testing.T) {
 		t.Error("empty pattern GCFrac should be 0")
 	}
 }
+
+// TestPatternHashPinned pins the FNV-1a hash (and the derived ID)
+// of known canonical forms to literal values, so the inline
+// incremental hashing can never silently drift from the historical
+// fnv.New64a-based IDs users may have bookmarked.
+func TestPatternHashPinned(t *testing.T) {
+	cases := []struct {
+		eps   []*trace.Episode
+		opt   Options
+		canon string
+		hash  uint64
+		id    string
+	}{
+		{
+			eps: []*trace.Episode{ep(0, trace.Ms(100),
+				trace.NewInterval(trace.KindListener, "app.B", "on", 0, trace.Ms(60),
+					trace.NewInterval(trace.KindPaint, "x.P", "paint", ms(10), trace.Ms(20))),
+				trace.NewInterval(trace.KindPaint, "x.Q", "paint", ms(70), trace.Ms(20)))},
+			canon: "dispatch(listener[app.B.on](paint[x.P.paint]),paint[x.Q.paint])",
+			hash:  9778156887012911536,
+			id:    "pfde1c071a9b0",
+		},
+		{
+			eps: []*trace.Episode{ep(0, trace.Ms(100),
+				trace.NewInterval(trace.KindListener, "a.B", "on", 0, trace.Ms(50)))},
+			canon: "dispatch(listener[a.B.on])",
+			hash:  14046487528503647246,
+			id:    "p25fc566a1c0e",
+		},
+		{
+			eps: []*trace.Episode{ep(0, trace.Ms(100),
+				trace.NewInterval(trace.KindListener, "app.B", "on", 0, trace.Ms(60),
+					trace.NewInterval(trace.KindPaint, "x.P", "paint", ms(10), trace.Ms(20))),
+				trace.NewInterval(trace.KindPaint, "x.Q", "paint", ms(70), trace.Ms(20)))},
+			opt:   Options{KindOnly: true},
+			canon: "dispatch(listener(paint),paint)",
+			hash:  187986442237767471,
+			id:    "pdcac582bef2f",
+		},
+	}
+	for _, tc := range cases {
+		set := Classify([]*trace.Session{sessionWith(tc.eps...)}, tc.opt)
+		if len(set.Patterns) != 1 {
+			t.Fatalf("want 1 pattern, got %d", len(set.Patterns))
+		}
+		p := set.Patterns[0]
+		if p.Canon != tc.canon {
+			t.Errorf("Canon = %q, want %q", p.Canon, tc.canon)
+		}
+		if p.Hash != tc.hash {
+			t.Errorf("Hash(%q) = %d, want %d", tc.canon, p.Hash, tc.hash)
+		}
+		if p.ID() != tc.id {
+			t.Errorf("ID(%q) = %q, want %q", tc.canon, p.ID(), tc.id)
+		}
+	}
+}
+
+// TestClassifyChunkedMatchesReference drives Classify over enough
+// episodes to span several chunks (so the sharded build-and-merge
+// path runs) and checks the result against an independent grouping by
+// Fingerprint: same patterns, same deterministic ordering, episodes
+// in global encounter order.
+func TestClassifyChunkedMatchesReference(t *testing.T) {
+	shapes := []func(start trace.Time) *trace.Episode{
+		func(start trace.Time) *trace.Episode {
+			return ep(start, trace.Ms(50),
+				trace.NewInterval(trace.KindListener, "a.B", "on", start, trace.Ms(30)))
+		},
+		func(start trace.Time) *trace.Episode {
+			return ep(start, trace.Ms(120),
+				trace.NewInterval(trace.KindPaint, "x.P", "paint", start, trace.Ms(90)))
+		},
+		func(start trace.Time) *trace.Episode {
+			return ep(start, trace.Ms(80),
+				trace.NewInterval(trace.KindListener, "a.B", "on", start, trace.Ms(40),
+					trace.NewInterval(trace.KindPaint, "x.P", "paint", start.Add(trace.Ms(5)), trace.Ms(20))))
+		},
+		func(start trace.Time) *trace.Episode { // unstructured
+			return ep(start, trace.Ms(10))
+		},
+	}
+	const n = 3*classifyChunkSize + 100
+	eps := make([]*trace.Episode, 0, n)
+	start := trace.Time(0)
+	for i := 0; i < n; i++ {
+		e := shapes[(i*7)%len(shapes)](start)
+		eps = append(eps, e)
+		start = e.End().Add(trace.Second)
+	}
+	s := sessionWith(eps...)
+	set := Classify([]*trace.Session{s}, Options{})
+
+	// Independent reference grouping.
+	type group struct {
+		canon string
+		eps   []*trace.Episode
+	}
+	byCanon := map[string]*group{}
+	var order []*group
+	unstructured := 0
+	for _, e := range eps {
+		if !Classifiable(e, Options{}) {
+			unstructured++
+			continue
+		}
+		c := Fingerprint(e, Options{})
+		g, ok := byCanon[c]
+		if !ok {
+			g = &group{canon: c}
+			byCanon[c] = g
+			order = append(order, g)
+		}
+		g.eps = append(g.eps, e)
+	}
+
+	if len(set.Patterns) != len(order) {
+		t.Fatalf("patterns = %d, want %d", len(set.Patterns), len(order))
+	}
+	if len(set.Unstructured) != unstructured {
+		t.Fatalf("unstructured = %d, want %d", len(set.Unstructured), unstructured)
+	}
+	for i, p := range set.Patterns {
+		g := byCanon[p.Canon]
+		if g == nil {
+			t.Fatalf("pattern %q not in reference", p.Canon)
+		}
+		if len(p.Episodes) != len(g.eps) {
+			t.Fatalf("pattern %q count = %d, want %d", p.Canon, len(p.Episodes), len(g.eps))
+		}
+		for j, ref := range p.Episodes {
+			if ref.Episode != g.eps[j] {
+				t.Fatalf("pattern %q episode %d out of encounter order", p.Canon, j)
+			}
+		}
+		if i > 0 {
+			prev := set.Patterns[i-1]
+			if len(p.Episodes) > len(prev.Episodes) ||
+				(len(p.Episodes) == len(prev.Episodes) && p.Canon < prev.Canon) {
+				t.Fatalf("patterns not sorted at %d: %q after %q", i, p.Canon, prev.Canon)
+			}
+		}
+	}
+}

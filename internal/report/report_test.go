@@ -448,3 +448,56 @@ func TestLoadTraceDirAndAnalyzeSuites(t *testing.T) {
 		t.Error("junk file accepted")
 	}
 }
+
+// TestRunStudySequentialParallelIdentical is the engine's determinism
+// guarantee surfaced at the study level: with a fixed seed, the
+// parallel run must reproduce the sequential run exactly — same Table
+// III rows, same pattern ordering, same pattern IDs — because the
+// engine's chunk layout and merge order never depend on the worker
+// count.
+func TestRunStudySequentialParallelIdentical(t *testing.T) {
+	run := func(sequential bool) *StudyResult {
+		res, err := RunStudy(StudyConfig{
+			Apps:           []*sim.Profile{apps.CrosswordSage(), apps.GanttProject()},
+			SessionsPerApp: 2,
+			Seed:           99,
+			SessionSeconds: 30,
+			Sequential:     sequential,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq, par := run(true), run(false)
+
+	if len(seq.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq.Rows), len(par.Rows))
+	}
+	for i := range seq.Rows {
+		if seq.Rows[i] != par.Rows[i] {
+			t.Errorf("row %d differs:\nseq %+v\npar %+v", i, seq.Rows[i], par.Rows[i])
+		}
+	}
+	for i, sa := range seq.Apps {
+		pa := par.Apps[i]
+		if sa.Suite.App != pa.Suite.App {
+			t.Fatalf("app order differs at %d: %s vs %s", i, sa.Suite.App, pa.Suite.App)
+		}
+		if len(sa.Pooled.Patterns) != len(pa.Pooled.Patterns) {
+			t.Fatalf("%s: pattern counts differ: %d vs %d",
+				sa.Suite.App, len(sa.Pooled.Patterns), len(pa.Pooled.Patterns))
+		}
+		for j, sp := range sa.Pooled.Patterns {
+			pp := pa.Pooled.Patterns[j]
+			if sp.Canon != pp.Canon || sp.ID() != pp.ID() || sp.Count() != pp.Count() {
+				t.Fatalf("%s pattern %d differs: %s %q (n=%d) vs %s %q (n=%d)",
+					sa.Suite.App, j, sp.ID(), sp.Canon, sp.Count(), pp.ID(), pp.Canon, pp.Count())
+			}
+		}
+		if sa.TriggerAll != pa.TriggerAll || sa.CausesAll != pa.CausesAll ||
+			sa.LocationAll != pa.LocationAll || sa.ConcurrencyAll != pa.ConcurrencyAll {
+			t.Errorf("%s: figure analyses differ between sequential and parallel", sa.Suite.App)
+		}
+	}
+}

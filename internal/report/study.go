@@ -2,11 +2,14 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/apps"
+	"lagalyzer/internal/engine"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/sim"
 	"lagalyzer/internal/stats"
@@ -28,7 +31,11 @@ type StudyConfig struct {
 	// SessionSeconds overrides every profile's session length when
 	// > 0 (used to scale the study down in tests).
 	SessionSeconds float64
-	// Sequential disables per-application parallelism.
+	// Sequential runs every worker pool (apps, sessions, and the
+	// analysis engine) at size 1. The results are identical either
+	// way — the engine's sharded classification merges
+	// deterministically — so this only trades wall-clock for a quiet
+	// machine.
 	Sequential bool
 }
 
@@ -51,6 +58,45 @@ func (c StudyConfig) threshold() trace.Dur {
 		return c.Threshold
 	}
 	return trace.DefaultPerceptibleThreshold
+}
+
+func (c StudyConfig) workers() int {
+	if c.Sequential {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPool runs fn(0..n-1) on a bounded pool of workers goroutines
+// (inline when workers ≤ 1), returning once all calls finish. Work is
+// handed out by an atomic counter, so the pool stays busy even when
+// item costs are skewed.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AppResult bundles everything the study computes for one application.
@@ -118,30 +164,19 @@ func (r *StudyResult) TotalEpisodes() int {
 	return n
 }
 
-// RunStudy simulates and analyzes the full study.
+// RunStudy simulates and analyzes the full study. The per-app fan-out
+// is bounded by a GOMAXPROCS-sized pool (one worker when Sequential);
+// results land in catalog order regardless of completion order, and
+// the engine's deterministic merge makes every row byte-identical to
+// a sequential run.
 func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	profiles := cfg.apps()
 	results := make([]*AppResult, len(profiles))
 	errs := make([]error, len(profiles))
 
-	run := func(i int) {
+	runPool(cfg.workers(), len(profiles), func(i int) {
 		results[i], errs[i] = runApp(cfg, profiles[i])
-	}
-	if cfg.Sequential {
-		for i := range profiles {
-			run(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for i := range profiles {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	}
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("report: app %s: %w", profiles[i].Name, err)
@@ -157,46 +192,54 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 }
 
 func runApp(cfg StudyConfig, p *sim.Profile) (*AppResult, error) {
-	suite := &trace.Suite{App: p.Name}
-	for i := 0; i < cfg.sessions(); i++ {
-		s, err := sim.Run(sim.Config{
+	n := cfg.sessions()
+	sessions := make([]*trace.Session, n)
+	errs := make([]error, n)
+	runPool(cfg.workers(), n, func(i int) {
+		sessions[i], errs[i] = sim.Run(sim.Config{
 			Profile:        p,
 			SessionID:      i,
 			Seed:           cfg.Seed,
 			SessionSeconds: cfg.SessionSeconds,
 		})
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		suite.Sessions = append(suite.Sessions, s)
 	}
-	a := AnalyzeSuite(suite, cfg.threshold())
+	suite := &trace.Suite{App: p.Name, Sessions: sessions}
+	a := analyzeSuite(suite, cfg.threshold(), cfg.workers())
 	a.Profile = p
 	return a, nil
 }
 
 // AnalyzeSuite computes the full per-application result for an
 // existing suite of sessions (simulated or loaded from trace files).
+// It runs the fused engine: one traversal per episode instead of nine
+// separate analysis passes over the suite.
 func AnalyzeSuite(suite *trace.Suite, threshold trace.Dur) *AppResult {
-	sessions := suite.Sessions
-	pooled := patterns.Classify(sessions, patterns.Options{Threshold: threshold})
-	a := &AppResult{
-		Suite:      suite,
-		Overview:   analysis.OverviewOf(suite, threshold),
-		Pooled:     pooled,
-		Occurrence: pooled.OccurrenceCounts(),
-		CDF:        pooled.CDF(),
+	return analyzeSuite(suite, threshold, 0)
+}
 
-		TriggerAll:   analysis.TriggerAnalysis(sessions, threshold, false, analysis.TriggerOptions{}),
-		TriggerLong:  analysis.TriggerAnalysis(sessions, threshold, true, analysis.TriggerOptions{}),
-		LocationAll:  analysis.LocationAnalysis(sessions, threshold, false, nil),
-		LocationLong: analysis.LocationAnalysis(sessions, threshold, true, nil),
-		CausesAll:    analysis.CauseAnalysis(sessions, threshold, false),
-		CausesLong:   analysis.CauseAnalysis(sessions, threshold, true),
+func analyzeSuite(suite *trace.Suite, threshold trace.Dur, workers int) *AppResult {
+	r := engine.Analyze(suite, threshold, engine.Options{Workers: workers})
+	return &AppResult{
+		Suite:      suite,
+		Overview:   r.Overview,
+		Pooled:     r.Pooled,
+		Occurrence: r.Pooled.OccurrenceCounts(),
+		CDF:        r.Pooled.CDF(),
+
+		TriggerAll:      r.TriggerAll,
+		TriggerLong:     r.TriggerLong,
+		LocationAll:     r.LocationAll,
+		LocationLong:    r.LocationLong,
+		CausesAll:       r.CausesAll,
+		CausesLong:      r.CausesLong,
+		ConcurrencyAll:  r.ConcurrencyAll,
+		ConcurrencyLong: r.ConcurrencyLong,
 	}
-	a.ConcurrencyAll, _ = analysis.Concurrency(sessions, threshold, false)
-	a.ConcurrencyLong, _ = analysis.Concurrency(sessions, threshold, true)
-	return a
 }
 
 // OccurrenceFracs converts pattern occurrence counts into the

@@ -145,6 +145,25 @@ func (st SampleTick) Runnable() int {
 	return n
 }
 
+// ScanThread combines Runnable and Thread in a single pass over the
+// tick's samples: it returns the number of runnable threads and the
+// index into st.Threads of the sample belonging to id (-1 when id was
+// not sampled at this tick). The fused analysis engine uses it to feed
+// the concurrency, cause, and location analyses from one scan.
+func (st SampleTick) ScanThread(id ThreadID) (runnable, idx int) {
+	idx = -1
+	for i := range st.Threads {
+		t := &st.Threads[i]
+		if t.State == StateRunnable {
+			runnable++
+		}
+		if t.Thread == id {
+			idx = i
+		}
+	}
+	return runnable, idx
+}
+
 // Thread returns the sample of the given thread at this tick, if
 // present.
 func (st SampleTick) Thread(id ThreadID) (ThreadSample, bool) {

@@ -150,6 +150,21 @@ func TestSampleTickRunnableAndThread(t *testing.T) {
 	}
 }
 
+func TestSampleTickScanThread(t *testing.T) {
+	tick := testSession().Ticks[0]
+	runnable, idx := tick.ScanThread(2)
+	if runnable != tick.Runnable() {
+		t.Errorf("ScanThread runnable = %d, want %d", runnable, tick.Runnable())
+	}
+	want, _ := tick.Thread(2)
+	if idx < 0 || tick.Threads[idx].State != want.State {
+		t.Errorf("ScanThread idx = %d (%+v), want state %v", idx, tick.Threads[idx], want.State)
+	}
+	if _, idx := tick.ScanThread(42); idx != -1 {
+		t.Errorf("ScanThread(42) idx = %d, want -1", idx)
+	}
+}
+
 func TestThreadSampleLeafAndStackString(t *testing.T) {
 	ts := ThreadSample{Stack: []Frame{
 		{Class: "sun.java2d.loops.DrawLine", Method: "DrawLine", Native: true},

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Runs the analysis-engine benchmark suite and emits BENCH_engine.json
+# at the repo root, so successive PRs can track the perf trajectory.
+# Usage: scripts/bench.sh [benchtime]   (default 1s)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+out="BENCH_engine.json"
+
+raw=$(go test -run '^$' \
+	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd' \
+	-benchtime "$benchtime" .)
+
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v procs="$(nproc 2>/dev/null || echo 1)" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, procs }
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+	nsop = "null"; bop = "null"; allocs = "null"
+	for (i = 2; i < NF; i++) {
+		if ($(i+1) == "ns/op") nsop = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, nsop, bop, allocs
+}
+END { printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu }
+' >"$out"
+
+echo "wrote $out"
