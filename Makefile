@@ -1,11 +1,13 @@
 # Build/test entry points. `make check` is the tier-1 gate; `make race`
 # exercises the concurrent packages (the analysis engine's worker
 # pools, sharded classification, and the study fan-out) under the race
-# detector.
+# detector. `make profile` runs the engine benchmark under the CPU and
+# heap profilers and prints the top-10 hot spots from each.
 
 GO ?= go
+PROFILE_DIR ?= profiles
 
-.PHONY: build test check race bench
+.PHONY: build test check race vet bench profile
 
 build:
 	$(GO) build ./...
@@ -16,7 +18,20 @@ test:
 check: build test
 
 race:
-	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns
+	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs
+
+vet:
+	$(GO) vet ./...
 
 bench:
 	./scripts/bench.sh
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run '^$$' -bench BenchmarkAnalyzeSuite -benchtime 2s \
+		-cpuprofile $(PROFILE_DIR)/cpu.out -memprofile $(PROFILE_DIR)/mem.out \
+		-o $(PROFILE_DIR)/bench.test .
+	@echo "== top-10 CPU =="
+	$(GO) tool pprof -top -nodecount=10 $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/cpu.out
+	@echo "== top-10 allocations (alloc_space) =="
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space $(PROFILE_DIR)/bench.test $(PROFILE_DIR)/mem.out

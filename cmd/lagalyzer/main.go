@@ -12,6 +12,9 @@
 //
 // Traces in either encoding are accepted (sniffed). Generate synthetic
 // traces with lilasim.
+//
+// Global profiling flags (-cpuprofile, -memprofile, -trace) go before
+// the subcommand: lagalyzer -cpuprofile cpu.out stats trace.lila
 package main
 
 import (
@@ -21,11 +24,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/browser"
 	"lagalyzer/internal/diff"
-	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/stream"
 	"lagalyzer/internal/trace"
@@ -34,11 +38,20 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	profiler := obs.AddProfileFlags(flag.CommandLine)
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
-	var err error
+	stopProfiles, err := profiler.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lagalyzer:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "stats":
 		err = runStats(args)
@@ -74,7 +87,12 @@ func usage() {
   lagalyzer timeline [-svg file] <trace>   whole-session trace timeline
   lagalyzer stream   <trace>...            single-pass statistics (O(1) memory)
   lagalyzer browse   <trace>...            interactive pattern browser
-  lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns`)
+  lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns
+
+global flags (before the subcommand):
+  -cpuprofile file   write a CPU profile
+  -memprofile file   write a heap profile at exit
+  -trace file        write a runtime execution trace`)
 	os.Exit(2)
 }
 
@@ -181,12 +199,7 @@ func runStream(args []string) error {
 		if err != nil {
 			return err
 		}
-		r, err := lila.NewReader(f)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		st, err := stream.Analyze(r, 0)
+		st, err := stream.AnalyzeStream(f, 0)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
@@ -198,6 +211,9 @@ func runStream(args []string) error {
 			st.Triggers.Frac(analysis.TriggerInput)*100, st.Triggers.Frac(analysis.TriggerOutput)*100,
 			st.Triggers.Frac(analysis.TriggerAsync)*100, st.Triggers.Frac(analysis.TriggerUnspecified)*100,
 			st.GCFrac()*100, st.NativeFrac()*100, st.Concurrency())
+		fmt.Printf("  decoded %d records (%.2f MB) in %v — %.0f records/s, %.1f MB/s\n",
+			st.Records, float64(st.Bytes)/1e6, st.Elapsed.Round(time.Millisecond),
+			st.RecordsPerSec(), st.BytesPerSec()/1e6)
 	}
 	if len(args) == 0 {
 		return fmt.Errorf("no trace files given")

@@ -8,48 +8,84 @@
 //
 //	lagreport                         # full study, text output
 //	lagreport -sessions 2 -seed 7     # scaled down
-//	lagreport -out results/           # also write SVGs + experiments.md + report.html
+//	lagreport -out results/           # also write SVGs + experiments.md + report.html + runmeta.json
 //	lagreport -traces dir/            # analyze recorded traces instead
 //	lagreport -only table3,fig5      # subset of sections
+//	lagreport -progress               # per-session progress + ETA on stderr
+//	lagreport -phases                 # per-phase span summary on stderr
+//	lagreport -debug-addr :6060       # live pprof + /metrics while running
+//	lagreport -cpuprofile cpu.out     # also -memprofile, -trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/report"
 	"lagalyzer/internal/trace"
 )
 
 func main() {
 	var (
-		sessions = flag.Int("sessions", 4, "sessions per application")
-		seed     = flag.Uint64("seed", 42, "base random seed")
-		seconds  = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
-		traces   = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
-		outDir   = flag.String("out", "", "directory for SVG figures and experiments.md (empty = text only)")
-		only     = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
+		sessions  = flag.Int("sessions", 4, "sessions per application")
+		seed      = flag.Uint64("seed", 42, "base random seed")
+		seconds   = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
+		traces    = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
+		outDir    = flag.String("out", "", "directory for SVG figures, experiments.md, and runmeta.json (empty = text only)")
+		only      = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
+		progress  = flag.Bool("progress", false, "print per-session study progress with an ETA to stderr")
+		phases    = flag.Bool("phases", false, "print the per-phase span summary to stderr after the run")
+		debugAddr = flag.String("debug-addr", "", "serve live pprof and /metrics JSON on this address while running")
 	)
+	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := profiler.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
+
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "lagreport: debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
+	}
+
+	meta := obs.NewRunMeta("lagreport")
+	flag.Visit(func(f *flag.Flag) { meta.Flags[f.Name] = f.Value.String() })
+
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	var progressW io.Writer
+	if *progress {
+		progressW = os.Stderr
+	}
 
 	start := time.Now()
 	var res *report.StudyResult
-	var err error
 	if *traces != "" {
 		var suites []*trace.Suite
 		suites, err = report.LoadTraceDir(*traces)
 		if err == nil {
-			res = report.AnalyzeSuites(suites, 0)
+			res = report.AnalyzeSuitesContext(ctx, suites, 0, progressW)
 		}
 	} else {
-		res, err = report.RunStudy(report.StudyConfig{
+		res, err = report.RunStudyContext(ctx, report.StudyConfig{
 			Seed:           *seed,
 			SessionsPerApp: *sessions,
 			SessionSeconds: *seconds,
+			Progress:       progressW,
 		})
 	}
 	if err != nil {
@@ -95,6 +131,10 @@ func main() {
 		res.TotalEpisodes(), len(res.Apps), elapsed.Round(time.Millisecond))
 	fmt.Println("(the paper: ~250'000 episodes from 7.5 h of sessions analyzed in 15 minutes)")
 
+	if *phases {
+		fmt.Fprint(os.Stderr, "== phase summary ==\n"+tr.Format())
+	}
+
 	if *outDir == "" {
 		return
 	}
@@ -113,7 +153,12 @@ func main() {
 	if err := os.WriteFile(filepath.Join(*outDir, "report.html"), []byte(report.FormatHTML(res)), 0o644); err != nil {
 		fail(err)
 	}
-	fmt.Printf("wrote %d figures, experiments.md, and report.html to %s\n", len(report.Figures(res)), *outDir)
+	meta.Finish(tr, nil)
+	if err := meta.WriteFile(filepath.Join(*outDir, "runmeta.json")); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d figures, experiments.md, report.html, and runmeta.json to %s\n",
+		len(report.Figures(res)), *outDir)
 }
 
 func fail(err error) {

@@ -17,6 +17,7 @@ import (
 
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/sim"
 )
 
@@ -31,7 +32,14 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 		short   = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
 	)
+	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := profiler.Start()
+	if err != nil {
+		fail(err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		fmt.Println("Available application profiles (Table II of the paper):")

@@ -165,6 +165,68 @@ func TestCLILagreport(t *testing.T) {
 	}
 }
 
+// TestCLIObservability exercises the telemetry surface end to end:
+// runmeta.json next to the figures, progress lines with an ETA, the
+// phase summary, the debug server banner, and the profiling flags.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+
+	out := run(t, tool(t, "lagreport"), "",
+		"-sessions", "1", "-seconds", "20", "-only", "table3", "-out", dir,
+		"-progress", "-phases", "-debug-addr", "127.0.0.1:0")
+	for _, want := range []string{
+		"runmeta.json",                 // artifact list mentions the manifest
+		"report: ",                     // progress lines
+		"eta",                          // with an ETA
+		"== phase summary ==", "study", // span summary on stderr
+		"debug server on http://127.0.0.1:", // live endpoint banner
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lagreport observability output missing %q:\n%s", want, out)
+		}
+	}
+
+	meta, err := os.ReadFile(filepath.Join(dir, "runmeta.json"))
+	if err != nil {
+		t.Fatalf("runmeta.json: %v", err)
+	}
+	for _, want := range []string{
+		`"tool": "lagreport"`,
+		`"go_version"`,
+		`"gomaxprocs"`,
+		`"phases"`,
+		`"path": "study"`,
+		`"metrics"`,
+		`"engine_episodes_total"`,
+		`"report_sessions_total"`,
+		`"sessions": "1"`, // explicitly set flags are recorded
+	} {
+		if !strings.Contains(string(meta), want) {
+			t.Errorf("runmeta.json missing %s:\n%s", want, meta)
+		}
+	}
+
+	// Profiling flags on lilasim and lagalyzer.
+	cpuOut := filepath.Join(dir, "cpu.out")
+	memOut := filepath.Join(dir, "mem.out")
+	traceFile := filepath.Join(dir, "p.lila")
+	run(t, tool(t, "lilasim"), "", "-cpuprofile", cpuOut,
+		"-app", "CrosswordSage", "-seconds", "15", "-o", traceFile)
+	if fi, err := os.Stat(cpuOut); err != nil || fi.Size() == 0 {
+		t.Errorf("lilasim -cpuprofile produced nothing: %v", err)
+	}
+	st := run(t, tool(t, "lagalyzer"), "", "-memprofile", memOut, "stream", traceFile)
+	if !strings.Contains(st, "records/s") || !strings.Contains(st, "MB/s") {
+		t.Errorf("lagalyzer stream missing throughput line:\n%s", st)
+	}
+	if fi, err := os.Stat(memOut); err != nil || fi.Size() == 0 {
+		t.Errorf("lagalyzer -memprofile produced nothing: %v", err)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

@@ -14,13 +14,29 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/trace"
+)
+
+// Engine metrics. Counters are flushed in whole-run amounts (one
+// atomic add each per Analyze), not per episode, so instrumentation
+// overhead stays far below the per-episode budget. None of these
+// observations feed back into analysis, so the byte-identical
+// sequential-vs-parallel guarantee holds with tracing on.
+var (
+	mEpisodes = obs.NewCounter("engine_episodes_total",
+		"episodes folded through the fused engine")
+	mChunks = obs.NewCounter("engine_chunks_total",
+		"fixed-size episode chunks processed")
+	mShardsMerged = obs.NewCounter("engine_shards_merged_total",
+		"shard accumulators merged into the deterministic result")
 )
 
 // Options configure an engine run. The zero value reproduces
@@ -187,11 +203,25 @@ type shard struct {
 // overview (report passes a resolved, non-zero value; 0 means every
 // episode is perceptible, matching analysis.* semantics).
 func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
+	return AnalyzeContext(context.Background(), suite, threshold, opts)
+}
+
+// AnalyzeContext is Analyze with observability: when the context
+// carries an obs.Trace, the run records an "engine" phase span (with
+// alloc delta) plus prepare/classify/merge/overview child spans and
+// per-chunk spans attributed to the worker that ran them. With no
+// trace installed the span calls are allocation-free no-ops; the only
+// residual cost is three atomic counter adds per run.
+func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
+	ctx, endEngine := obs.PhaseSpan(ctx, "engine")
+	defer endEngine()
+
 	opts.Patterns.Threshold = threshold
 	if opts.Library == nil {
 		opts.Library = analysis.DefaultLibraryClassifier
 	}
 
+	_, endPrep := obs.Span(ctx, "prepare")
 	total := 0
 	for _, s := range suite.Sessions {
 		total += len(s.Episodes)
@@ -202,6 +232,7 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 			items = append(items, item{s, e})
 		}
 	}
+	endPrep()
 
 	chunks := (len(items) + chunkSize - 1) / chunkSize
 	shards := make([]*shard, chunks)
@@ -214,7 +245,8 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 		workers = chunks
 	}
 
-	runChunk := func(ci int) {
+	runChunk := func(wctx context.Context, ci int) {
+		_, endChunk := obs.Span(wctx, "chunk")
 		sh := &shard{builder: patterns.NewBuilder(opts.Patterns)}
 		shards[ci] = sh
 		w := newWalker(opts)
@@ -223,34 +255,42 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 		for _, it := range items[lo:hi] {
 			analyzeItem(sh, w, it, threshold, opts.Library)
 		}
+		endChunk()
 	}
 
+	cctx, endClassify := obs.Span(ctx, "classify")
 	if workers <= 1 {
+		wctx := obs.WithWorker(cctx, 0)
 		for ci := 0; ci < chunks; ci++ {
-			runChunk(ci)
+			runChunk(wctx, ci)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				wctx := obs.WithWorker(cctx, w)
 				for {
 					ci := int(next.Add(1)) - 1
 					if ci >= chunks {
 						return
 					}
-					runChunk(ci)
+					runChunk(wctx, ci)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
+	endClassify()
+	mEpisodes.Add(int64(len(items)))
+	mChunks.Add(int64(chunks))
 
 	// Deterministic merge: always in chunk index order, so pattern
 	// encounter order and the floating-point lag accumulation are the
 	// same no matter which worker processed which chunk.
+	_, endMerge := obs.Span(ctx, "merge")
 	merged := &shard{builder: patterns.NewBuilder(opts.Patterns)}
 	if chunks > 0 {
 		merged = shards[0]
@@ -259,9 +299,12 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 			merged.pop[1].merge(&sh.pop[1])
 			merged.builder.Merge(sh.builder)
 		}
+		mShardsMerged.Add(int64(chunks - 1))
 	}
 	pooled := merged.builder.Finish()
+	endMerge()
 
+	_, endOverview := obs.Span(ctx, "overview")
 	r := &Result{
 		Overview: overviewOf(suite, threshold, pooled),
 		Pooled:   pooled,
@@ -275,6 +318,7 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 	}
 	r.ConcurrencyAll, r.TicksAll = merged.pop[0].concurrency()
 	r.ConcurrencyLong, r.TicksLong = merged.pop[1].concurrency()
+	endOverview()
 	return r
 }
 

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// DebugServer serves live diagnostics during long runs:
+//
+//	/metrics        registry snapshot as JSON
+//	/metrics.txt    registry snapshot as sorted text lines
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//
+// It binds synchronously (so address errors surface to the caller)
+// and serves in a background goroutine until Close.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts a debug server on addr (e.g. "localhost:6060")
+// exposing reg; nil reg means the Default registry.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugSnapshot(reg))
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, reg.Snapshot().Format())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// debugVars is the /metrics payload: the registry snapshot plus a few
+// expvar-style process facts.
+type debugVars struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Goroutines int     `json:"goroutines"`
+	UptimeSec  float64 `json:"uptime_sec"`
+	HeapAlloc  uint64  `json:"heap_alloc_bytes"`
+	TotalAlloc uint64  `json:"total_alloc_bytes"`
+	NumGC      uint32  `json:"num_gc"`
+
+	Metrics Snapshot `json:"metrics"`
+}
+
+var processStart = time.Now()
+
+func debugSnapshot(reg *Registry) debugVars {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return debugVars{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Goroutines: runtime.NumGoroutine(),
+		UptimeSec:  time.Since(processStart).Seconds(),
+		HeapAlloc:  ms.HeapAlloc,
+		TotalAlloc: ms.TotalAlloc,
+		NumGC:      ms.NumGC,
+		Metrics:    reg.Snapshot(),
+	}
+}

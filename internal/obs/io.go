@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// CountingReader wraps an io.Reader and counts the bytes delivered,
+// optionally mirroring them into a registry counter. It is how the
+// decode paths report throughput without the lila readers knowing
+// about metrics.
+type CountingReader struct {
+	r io.Reader
+	n atomic.Int64
+	c *Counter // optional mirror
+}
+
+// NewCountingReader wraps r. counter may be nil.
+func NewCountingReader(r io.Reader, counter *Counter) *CountingReader {
+	return &CountingReader{r: r, c: counter}
+}
+
+// Read implements io.Reader.
+func (cr *CountingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.n.Add(int64(n))
+		if cr.c != nil {
+			cr.c.Add(int64(n))
+		}
+	}
+	return n, err
+}
+
+// Bytes returns the number of bytes read so far.
+func (cr *CountingReader) Bytes() int64 { return cr.n.Load() }

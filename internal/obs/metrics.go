@@ -1,0 +1,270 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// a process-wide metrics registry (counters, gauges, fixed-bucket
+// latency histograms), span-style phase tracing, opt-in CPU/heap/trace
+// profiling hooks, and a debug HTTP endpoint serving pprof plus a
+// metrics snapshot.
+//
+// LagAlyzer is itself a latency-observability tool, so its own
+// pipeline must be observable at negligible cost: every hot-path
+// metric update is a plain atomic add, and tracing is off unless a
+// *Trace is installed in the context — the disabled paths perform no
+// allocation (guarded by an AllocsPerRun test). Nothing in this
+// package influences analysis results, so the engine's byte-identical
+// sequential-vs-parallel guarantee is preserved with instrumentation
+// enabled.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Add increments the counter by n. It is one atomic add; safe for
+// concurrent use and cheap enough for per-chunk (not per-episode)
+// flushing on hot paths.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	name string
+	help string
+	v    atomic.Int64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations in nanoseconds; each Observe is a handful of atomic adds.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []time.Duration // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Int64  // len(bounds)+1
+	sum    atomic.Int64    // total nanoseconds observed
+	n      atomic.Int64
+}
+
+// DefaultLatencyBuckets spans 1µs to ~10s in decade-and-a-half steps,
+// wide enough for pool-queue waits and whole-phase timings alike.
+var DefaultLatencyBuckets = []time.Duration{
+	time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second, 10 * time.Second,
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(h.bounds) && d > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Registry holds named metrics. The zero value is not usable; use
+// NewRegistry or the process-wide Default registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// defaultRegistry is the process-wide registry behind the package-level
+// constructors and Snapshot.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// NewCounter registers (or returns the existing) counter under name.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge under name.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram under
+// name. bounds nil means DefaultLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []time.Duration) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+// NewCounter registers a counter in the Default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+
+// NewGauge registers a gauge in the Default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+
+// NewHistogram registers a histogram in the Default registry.
+func NewHistogram(name, help string, bounds []time.Duration) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, bounds)
+}
+
+// HistogramSnapshot is one histogram's state in a Snapshot.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNs   int64            `json:"sum_ns"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one histogram bucket: observations ≤ the upper
+// bound (cumulative, Prometheus-style). The final bucket's bound is
+// "+Inf".
+type BucketSnapshot struct {
+	UpperBound string `json:"le"`
+	Count      int64  `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+// Map iteration order is irrelevant: encoding/json sorts map keys, so
+// serialized snapshots are deterministic for deterministic values.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), SumNs: int64(h.Sum())}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			bound := "+Inf"
+			if i < len(h.bounds) {
+				bound = h.bounds[i].String()
+			}
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Format renders the snapshot as sorted "name value" lines, one metric
+// per line — the deterministic text twin of the JSON form.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(&b, "counter %s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(&b, "gauge %s %d\n", name, s.Gauges[name])
+	}
+	hn := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hn = append(hn, name)
+	}
+	sort.Strings(hn)
+	for _, name := range hn {
+		h := s.Histograms[name]
+		mean := time.Duration(0)
+		if h.Count > 0 {
+			mean = time.Duration(h.SumNs / h.Count)
+		}
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%v mean=%v\n",
+			name, h.Count, time.Duration(h.SumNs), mean)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("episodes_total", "episodes analyzed")
+	c.Add(40)
+	c.Inc()
+	c.Inc()
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if again := reg.NewCounter("episodes_total", ""); again != c {
+		t.Error("re-registering a counter must return the same instance")
+	}
+
+	g := reg.NewGauge("workers", "")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["episodes_total"] != 42 || snap.Gauges["workers"] != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("wait", "", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(100 * time.Microsecond) // bucket 0 (≤1ms)
+	h.Observe(5 * time.Millisecond)   // bucket 1 (≤1s)
+	h.Observe(2 * time.Second)        // bucket 2 (+Inf)
+	h.Observe(time.Millisecond)       // boundary lands in bucket 0
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	hs := reg.Snapshot().Histograms["wait"]
+	wantCum := []int64{2, 3, 4}
+	for i, b := range hs.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le %s) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if hs.Buckets[2].UpperBound != "+Inf" {
+		t.Errorf("last bound = %q, want +Inf", hs.Buckets[2].UpperBound)
+	}
+	if got := time.Duration(hs.SumNs); got != 2*time.Second+6*time.Millisecond+100*time.Microsecond {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("b", "").Add(2)
+	reg.NewCounter("a", "").Add(1)
+	reg.NewGauge("z", "").Set(3)
+	j1, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(reg.Snapshot())
+	if string(j1) != string(j2) {
+		t.Errorf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+	txt := reg.Snapshot().Format()
+	if !strings.Contains(txt, "counter a 1\ncounter b 2") {
+		t.Errorf("text snapshot not sorted:\n%s", txt)
+	}
+}
+
+func TestSpanNestingAndSummary(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	ctx1, endStudy := Span(ctx, "study")
+	ctx2, endApp := Span(ctx1, "app")
+	_, endClassify := Span(WithWorker(ctx2, 3), "classify")
+	endClassify()
+	_, endClassify2 := Span(WithWorker(ctx2, 1), "classify")
+	endClassify2()
+	endApp()
+	endStudy()
+
+	rows := tr.Summary()
+	var paths []string
+	for _, r := range rows {
+		paths = append(paths, r.Path)
+	}
+	want := []string{"study", "study/app", "study/app/classify", "study/app/classify"}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v, want 4 rows %v", paths, want)
+	}
+	for i, p := range want {
+		if paths[i] != p {
+			t.Errorf("row %d path = %q, want %q", i, paths[i], p)
+		}
+	}
+	// Worker attribution sorts deterministically within a path.
+	if rows[2].Worker != 1 || rows[3].Worker != 3 {
+		t.Errorf("worker order = %d,%d, want 1,3", rows[2].Worker, rows[3].Worker)
+	}
+	txt := tr.Format()
+	for _, wantSub := range []string{"study", "classify", "worker=3"} {
+		if !strings.Contains(txt, wantSub) {
+			t.Errorf("Format() missing %q:\n%s", wantSub, txt)
+		}
+	}
+}
+
+func TestSpanConcurrentSafe(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx := WithWorker(ctx, w)
+			for i := 0; i < 100; i++ {
+				_, end := Span(wctx, "chunk")
+				end()
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range tr.Summary() {
+		total += r.Count
+	}
+	if total != 800 {
+		t.Errorf("recorded %d spans, want 800", total)
+	}
+}
+
+func TestPhaseSpanAllocs(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	_, end := PhaseSpan(ctx, "build")
+	sink = make([]byte, 1<<20)
+	end()
+	rows := tr.Summary()
+	if len(rows) != 1 || rows[0].AllocBytes < 1<<20 {
+		t.Errorf("alloc delta not captured: %+v", rows)
+	}
+}
+
+var sink []byte
+
+// TestDisabledPathDoesNotAllocate is the overhead budget guard: with
+// no trace installed, the hot-path calls (Span, WithWorker, counter
+// and histogram updates) must not allocate at all.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	ctx := context.Background()
+	reg := NewRegistry()
+	c := reg.NewCounter("hot", "")
+	h := reg.NewHistogram("hoth", "", nil)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Span", func() {
+			_, end := Span(ctx, "classify")
+			end()
+		}},
+		{"WithWorker", func() { WithWorker(ctx, 3) }},
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Histogram.Observe", func() { h.Observe(time.Millisecond) }},
+		{"TraceFrom", func() { _ = TraceFrom(ctx) }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(1000, tc.fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per call on the disabled path, want 0", tc.name, n)
+		}
+	}
+}
+
+func TestCountingReader(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("bytes", "")
+	src := strings.Repeat("x", 10_000)
+	cr := NewCountingReader(strings.NewReader(src), c)
+	data, err := io.ReadAll(cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Bytes() != int64(len(src)) || int64(len(data)) != cr.Bytes() {
+		t.Errorf("counted %d bytes, want %d", cr.Bytes(), len(src))
+	}
+	if c.Value() != int64(len(src)) {
+		t.Errorf("mirror counter = %d, want %d", c.Value(), len(src))
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("served", "").Add(7)
+	s, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	var vars struct {
+		GoVersion string `json:"go_version"`
+		Metrics   struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(metrics), &vars); err != nil {
+		t.Fatalf("/metrics not JSON: %v\n%s", err, metrics)
+	}
+	if vars.GoVersion == "" || vars.Metrics.Counters["served"] != 7 {
+		t.Errorf("/metrics payload: %s", metrics)
+	}
+	if txt := get("/metrics.txt"); !strings.Contains(txt, "counter served 7") {
+		t.Errorf("/metrics.txt payload: %s", txt)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index: %.200s", idx)
+	}
+}
+
+func TestProfilerWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiler{
+		CPUProfile: filepath.Join(dir, "cpu.out"),
+		MemProfile: filepath.Join(dir, "mem.out"),
+		TracePath:  filepath.Join(dir, "trace.out"),
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles are non-trivial.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	sink = make([]byte, 1<<16)
+	_ = x
+	stop()
+	for _, name := range []string{"cpu.out", "mem.out", "trace.out"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("%s missing or empty: %v", name, err)
+		}
+	}
+}
+
+func TestRunMeta(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	_, end := Span(ctx, "study")
+	end()
+
+	reg := NewRegistry()
+	reg.NewCounter("episodes", "").Add(99)
+
+	m := NewRunMeta("lagreport")
+	m.Flags["seed"] = "42"
+	m.Finish(tr, reg)
+	path := filepath.Join(t.TempDir(), "runmeta.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunMeta
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("runmeta.json not JSON: %v", err)
+	}
+	if back.Tool != "lagreport" || back.GOMAXPROCS < 1 || back.Flags["seed"] != "42" {
+		t.Errorf("runmeta round-trip: %+v", back)
+	}
+	if len(back.Phases) != 1 || back.Phases[0].Path != "study" {
+		t.Errorf("phases = %+v", back.Phases)
+	}
+	if back.Metrics.Counters["episodes"] != 99 {
+		t.Errorf("metrics snapshot = %+v", back.Metrics)
+	}
+}

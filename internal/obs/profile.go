@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// Profiler bundles the opt-in runtime profiling hooks every command
+// exposes: CPU profile, heap profile, and execution trace. The zero
+// value (no flags set) is inert.
+type Profiler struct {
+	CPUProfile string
+	MemProfile string
+	TracePath  string
+
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// AddProfileFlags registers -cpuprofile, -memprofile, and -trace on
+// fs and returns the Profiler they populate. Call Start after fs is
+// parsed.
+func AddProfileFlags(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	fs.StringVar(&p.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&p.TracePath, "trace", "", "write a runtime execution trace to this file")
+	return p
+}
+
+// Start begins whichever profiles were requested and returns the stop
+// function that finalizes them (stops the CPU profile and execution
+// trace, then writes the heap profile). The stop function must run
+// before process exit; defer it from main.
+func (p *Profiler) Start() (stop func(), err error) {
+	if p.CPUProfile != "" {
+		p.cpuFile, err = os.Create(p.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+	}
+	if p.TracePath != "" {
+		p.traceFile, err = os.Create(p.TracePath)
+		if err != nil {
+			p.stopCPU()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+		if err := rtrace.Start(p.traceFile); err != nil {
+			p.stopCPU()
+			p.traceFile.Close()
+			return nil, fmt.Errorf("obs: trace: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+func (p *Profiler) stopCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+}
+
+func (p *Profiler) stop() {
+	p.stopCPU()
+	if p.traceFile != nil {
+		rtrace.Stop()
+		p.traceFile.Close()
+		p.traceFile = nil
+	}
+	if p.MemProfile != "" {
+		f, err := os.Create(p.MemProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "obs: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "obs: memprofile:", err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+)
+
+// RunMeta is the reproducibility manifest written next to generated
+// artifacts (lagreport -out writes it as runmeta.json): enough
+// environment, configuration, and per-phase telemetry to interpret a
+// BENCH_*.json trajectory or re-run the exact study later.
+type RunMeta struct {
+	Tool      string    `json:"tool"`
+	Started   time.Time `json:"started"`
+	WallClock string    `json:"wall_clock"`
+
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Flags records the command's effective flag values.
+	Flags map[string]string `json:"flags,omitempty"`
+
+	// Phases is the deterministic span summary of the run (per-phase
+	// wall clock, counts, and alloc deltas).
+	Phases []SummaryRow `json:"phases,omitempty"`
+
+	// Metrics is the registry snapshot at the end of the run.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// NewRunMeta seeds a manifest with the environment facts; the caller
+// fills Flags and calls Finish before writing.
+func NewRunMeta(tool string) *RunMeta {
+	return &RunMeta{
+		Tool:       tool,
+		Started:    time.Now().UTC(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Flags:      map[string]string{},
+	}
+}
+
+// Finish stamps the elapsed wall clock and captures the trace summary
+// and metrics snapshot. t may be nil (no phase rows); reg nil means
+// the Default registry.
+func (m *RunMeta) Finish(t *Trace, reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	m.WallClock = time.Since(m.Started).Round(time.Millisecond).String()
+	m.Phases = t.Summary()
+	m.Metrics = reg.Snapshot()
+}
+
+// WriteFile serializes the manifest as indented JSON to path.
+func (m *RunMeta) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

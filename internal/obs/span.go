@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace collects spans for one pipeline run. A nil *Trace — or a
+// context without one — disables tracing: Span returns its context
+// unchanged and a shared no-op end function, allocating nothing.
+//
+// Tracing never feeds back into analysis: spans only record wall-clock
+// and allocation observations, so results stay byte-identical with
+// tracing on or off, sequential or parallel.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*spanData
+	start time.Time
+}
+
+// NewTrace returns an empty trace whose epoch is now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+type spanData struct {
+	path   string // slash-joined ancestry, e.g. "study/app/engine/classify"
+	worker int    // -1 when unattributed
+	depth  int
+	start  time.Time
+	dur    time.Duration
+
+	measured    bool   // alloc delta captured (phase-level spans only)
+	allocBytes  uint64 // TotalAlloc delta
+	allocObjs   uint64 // Mallocs delta
+	startAllocs runtime.MemStats
+}
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+	workerKey
+)
+
+// WithTrace installs t into the context; subsequent Span calls under
+// this context record into it. A nil t leaves the context unchanged.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil when tracing is off.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// WithWorker tags the context with a worker index for span
+// attribution. When tracing is off it returns ctx unchanged, so
+// per-worker setup costs nothing in the disabled path.
+func WithWorker(ctx context.Context, w int) context.Context {
+	if TraceFrom(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, workerKey, w)
+}
+
+// noopEnd is the shared end function of disabled spans.
+var noopEnd = func() {}
+
+// Span opens a span named name under the context's current span and
+// returns the child context plus the function that ends the span.
+// With no trace installed it is a no-op: the context comes back
+// unchanged and the end function is shared — zero allocations.
+func Span(ctx context.Context, name string) (context.Context, func()) {
+	return span(ctx, name, false)
+}
+
+// PhaseSpan is Span plus an allocation delta: it reads runtime memory
+// statistics at start and end and records the bytes and objects
+// allocated in between. ReadMemStats is far too expensive for
+// per-chunk spans; reserve PhaseSpan for pipeline phases (a handful
+// per run).
+func PhaseSpan(ctx context.Context, name string) (context.Context, func()) {
+	return span(ctx, name, true)
+}
+
+func span(ctx context.Context, name string, measure bool) (context.Context, func()) {
+	t := TraceFrom(ctx)
+	if t == nil {
+		return ctx, noopEnd
+	}
+	d := &spanData{path: name, worker: -1, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey).(*spanData); ok {
+		d.path = parent.path + "/" + name
+		d.depth = parent.depth + 1
+	}
+	if w, ok := ctx.Value(workerKey).(int); ok {
+		d.worker = w
+	}
+	if measure {
+		d.measured = true
+		runtime.ReadMemStats(&d.startAllocs)
+	}
+	return context.WithValue(ctx, spanKey, d), func() {
+		d.dur = time.Since(d.start)
+		if d.measured {
+			var end runtime.MemStats
+			runtime.ReadMemStats(&end)
+			d.allocBytes = end.TotalAlloc - d.startAllocs.TotalAlloc
+			d.allocObjs = end.Mallocs - d.startAllocs.Mallocs
+		}
+		t.mu.Lock()
+		t.spans = append(t.spans, d)
+		t.mu.Unlock()
+	}
+}
+
+// SummaryRow aggregates every finished span sharing a path and worker.
+type SummaryRow struct {
+	// Path is the slash-joined span ancestry, e.g.
+	// "study/app/engine/classify".
+	Path string `json:"path"`
+	// Worker is the worker index the spans were attributed to, or -1.
+	Worker int `json:"worker,omitempty"`
+	// Count is the number of spans aggregated into the row.
+	Count int `json:"count"`
+	// TotalNs, MinNs, and MaxNs summarize span durations.
+	TotalNs int64 `json:"total_ns"`
+	MinNs   int64 `json:"min_ns"`
+	MaxNs   int64 `json:"max_ns"`
+	// AllocBytes and AllocObjs sum the allocation deltas of measured
+	// (PhaseSpan) spans; zero for plain spans.
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	AllocObjs  uint64 `json:"alloc_objs,omitempty"`
+}
+
+// Total returns the row's summed duration.
+func (r SummaryRow) Total() time.Duration { return time.Duration(r.TotalNs) }
+
+// Summary aggregates finished spans into rows sorted by path, then
+// worker. The ordering — and with it the flat text and JSON forms —
+// is deterministic regardless of which goroutine recorded which span.
+func (t *Trace) Summary() []SummaryRow {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*spanData, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+
+	type key struct {
+		path   string
+		worker int
+	}
+	rows := make(map[key]*SummaryRow)
+	for _, d := range spans {
+		k := key{d.path, d.worker}
+		r, ok := rows[k]
+		if !ok {
+			r = &SummaryRow{Path: d.path, Worker: d.worker, MinNs: int64(d.dur)}
+			rows[k] = r
+		}
+		ns := int64(d.dur)
+		r.Count++
+		r.TotalNs += ns
+		if ns < r.MinNs {
+			r.MinNs = ns
+		}
+		if ns > r.MaxNs {
+			r.MaxNs = ns
+		}
+		r.AllocBytes += d.allocBytes
+		r.AllocObjs += d.allocObjs
+	}
+	out := make([]SummaryRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// Format renders the summary as an indented flat text tree: one line
+// per (path, worker) row, indented by span depth, with count, total,
+// min/max, and alloc deltas where measured.
+func (t *Trace) Format() string {
+	rows := t.Summary()
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		depth := strings.Count(r.Path, "/")
+		name := r.Path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		fmt.Fprintf(&b, "%s%-*s", strings.Repeat("  ", depth), 24-2*depth, name)
+		fmt.Fprintf(&b, " n=%-5d total=%-12v", r.Count, time.Duration(r.TotalNs).Round(time.Microsecond))
+		if r.Count > 1 {
+			fmt.Fprintf(&b, " min=%-10v max=%-10v",
+				time.Duration(r.MinNs).Round(time.Microsecond),
+				time.Duration(r.MaxNs).Round(time.Microsecond))
+		}
+		if r.Worker >= 0 {
+			fmt.Fprintf(&b, " worker=%d", r.Worker)
+		}
+		if r.AllocBytes > 0 {
+			fmt.Fprintf(&b, " allocs=%dB/%d objs", r.AllocBytes, r.AllocObjs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -23,8 +23,20 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/stats"
 	"lagalyzer/internal/trace"
+)
+
+// Classification metrics, flushed once per Finish — never touched on
+// the per-episode hot path.
+var (
+	mPatternsUnique = obs.NewCounter("patterns_unique_total",
+		"distinct patterns produced by classification")
+	mEpisodesDeduped = obs.NewCounter("patterns_episodes_deduped_total",
+		"episodes that matched an already-known pattern")
+	mUnstructured = obs.NewCounter("patterns_unstructured_total",
+		"episodes excluded from classification (no retained structure)")
 )
 
 // Options control the classification.
@@ -449,9 +461,14 @@ func (b *Builder) Finish() *Set {
 		}
 		return a.Canon < b.Canon
 	})
+	covered := 0
 	for _, p := range set.Patterns {
 		set.byCanon[p.Canon] = p
+		covered += len(p.Episodes)
 	}
+	mPatternsUnique.Add(int64(len(set.Patterns)))
+	mEpisodesDeduped.Add(int64(covered - len(set.Patterns)))
+	mUnstructured.Add(int64(len(set.Unstructured)))
 	return set
 }
 

@@ -1,15 +1,23 @@
 package report
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/trace"
 	"lagalyzer/internal/treebuild"
 )
+
+// mTraceBytes counts the raw trace bytes decoded by LoadTraceDir
+// (one atomic add per file, not per record).
+var mTraceBytes = obs.NewCounter("report_trace_bytes_total",
+	"trace file bytes decoded by the trace-directory loader")
 
 // LoadTraceDir reads every LiLa trace under dir (recursively; both
 // encodings, sniffed), groups the sessions into suites by application
@@ -42,8 +50,10 @@ func LoadTraceDir(dir string) ([]*trace.Suite, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := treebuild.ReadSession(f)
+		cr := obs.NewCountingReader(f, nil)
+		s, err := treebuild.ReadSession(cr)
 		f.Close()
+		mTraceBytes.Add(cr.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("report: %s: %w", path, err)
 		}
@@ -66,15 +76,31 @@ func LoadTraceDir(dir string) ([]*trace.Suite, error) {
 // AnalyzeSuites runs the full per-application characterization over
 // already-loaded suites — the entry point for trace-directory studies.
 func AnalyzeSuites(suites []*trace.Suite, threshold trace.Dur) *StudyResult {
+	return AnalyzeSuitesContext(context.Background(), suites, threshold, nil)
+}
+
+// AnalyzeSuitesContext is AnalyzeSuites with observability: phase
+// spans from a context-carried obs.Trace and per-app progress lines
+// with an ETA on progressW (nil = silent).
+func AnalyzeSuitesContext(ctx context.Context, suites []*trace.Suite, threshold trace.Dur, progressW io.Writer) *StudyResult {
+	ctx, endStudy := obs.PhaseSpan(ctx, "study")
+	defer endStudy()
+
 	if threshold == 0 {
 		threshold = trace.DefaultPerceptibleThreshold
 	}
+	pr := newProgress(progressW, len(suites))
 	res := &StudyResult{Config: StudyConfig{Threshold: threshold}}
 	for _, suite := range suites {
-		a := AnalyzeSuite(suite, threshold)
+		actx, endApp := obs.Span(ctx, "app:"+suite.App)
+		a := analyzeSuite(actx, suite, threshold, 0)
+		endApp()
+		mSessions.Add(int64(len(suite.Sessions)))
+		pr.step("analyze " + suite.App)
 		res.Apps = append(res.Apps, a)
 		res.Rows = append(res.Rows, a.Overview)
 	}
+	mApps.Add(int64(len(suites)))
 	if len(res.Rows) > 0 {
 		res.Rows = append(res.Rows, analysis.MeanOverview(res.Rows))
 	}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/sim"
+)
+
+// TestRunStudyInstrumentedIdentical: tracing plus progress reporting
+// enabled, sequential vs parallel, must still produce identical rows —
+// the acceptance guard that observability never perturbs results.
+func TestRunStudyInstrumentedIdentical(t *testing.T) {
+	run := func(sequential bool, tr *obs.Trace, progress *strings.Builder) *StudyResult {
+		cfg := StudyConfig{
+			Apps:           []*sim.Profile{apps.CrosswordSage(), apps.GanttProject()},
+			SessionsPerApp: 2,
+			Seed:           99,
+			SessionSeconds: 30,
+			Sequential:     sequential,
+		}
+		if progress != nil {
+			cfg.Progress = progress
+		}
+		res, err := RunStudyContext(obs.WithTrace(context.Background(), tr), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(true, nil, nil)
+	var progress strings.Builder
+	traced := run(false, obs.NewTrace(), &progress)
+
+	if len(plain.Rows) != len(traced.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(plain.Rows), len(traced.Rows))
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i] != traced.Rows[i] {
+			t.Errorf("row %d differs under instrumentation:\nplain  %+v\ntraced %+v",
+				i, plain.Rows[i], traced.Rows[i])
+		}
+	}
+
+	// Progress: one line per session plus one per app, each with an
+	// elapsed stamp; all but the final line carry an ETA.
+	lines := strings.Split(strings.TrimRight(progress.String(), "\n"), "\n")
+	wantLines := 2 * (2 + 1) // 2 apps × (2 sessions + 1 analysis)
+	if len(lines) != wantLines {
+		t.Fatalf("progress lines = %d, want %d:\n%s", len(lines), wantLines, progress.String())
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, "elapsed") {
+			t.Errorf("progress line %d missing elapsed: %q", i, line)
+		}
+		if i < len(lines)-1 && !strings.Contains(line, "eta") {
+			t.Errorf("progress line %d missing eta: %q", i, line)
+		}
+	}
+	if !strings.Contains(progress.String(), "analyze CrosswordSage") {
+		t.Errorf("progress missing analyze step:\n%s", progress.String())
+	}
+}
+
+// TestStudySpans checks the study trace shape: a study phase span,
+// one app span per application, simulate spans per session, and the
+// engine spans nested beneath each app.
+func TestStudySpans(t *testing.T) {
+	tr := obs.NewTrace()
+	_, err := RunStudyContext(obs.WithTrace(context.Background(), tr), StudyConfig{
+		Apps:           []*sim.Profile{apps.CrosswordSage()},
+		SessionsPerApp: 2,
+		Seed:           5,
+		SessionSeconds: 20,
+		Sequential:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, r := range tr.Summary() {
+		counts[r.Path] += r.Count
+	}
+	want := map[string]int{
+		"study":                                   1,
+		"study/app:CrosswordSage":                 1,
+		"study/app:CrosswordSage/simulate":        2,
+		"study/app:CrosswordSage/engine":          1,
+		"study/app:CrosswordSage/engine/classify": 1,
+		"study/app:CrosswordSage/engine/merge":    1,
+	}
+	for path, n := range want {
+		if counts[path] != n {
+			t.Errorf("span %q count = %d, want %d (all: %v)", path, counts[path], n, counts)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress reports study completion to a writer (lagreport points it
+// at stderr): one line per finished unit of work — a simulated session
+// or an analyzed application — with percent done, elapsed time, and an
+// ETA extrapolated from the mean unit cost so far. A nil *progress is
+// inert, so the silent path costs nothing.
+type progress struct {
+	w     io.Writer
+	total int
+
+	mu    sync.Mutex
+	done  int
+	start time.Time
+}
+
+// newProgress returns a tracker for total units writing to w, or nil
+// when w is nil (progress disabled).
+func newProgress(w io.Writer, total int) *progress {
+	if w == nil {
+		return nil
+	}
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+// step records one completed unit and prints the updated state.
+func (p *progress) step(label string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	elapsed := time.Since(p.start)
+	line := fmt.Sprintf("report: %3d/%d (%3.0f%%) %-32s elapsed %8s",
+		p.done, p.total, 100*float64(p.done)/float64(p.total), label,
+		elapsed.Round(10*time.Millisecond))
+	if p.done < p.total {
+		eta := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		line += fmt.Sprintf("  eta %8s", eta.Round(10*time.Millisecond))
+	}
+	fmt.Fprintln(p.w, line)
+}

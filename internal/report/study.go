@@ -1,19 +1,35 @@
 package report
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/engine"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/sim"
 	"lagalyzer/internal/stats"
 	"lagalyzer/internal/trace"
+)
+
+// Study metrics. Counters are flushed in whole-run amounts; the
+// pool-wait histogram observes once per pool task (a session or an
+// app — never per episode).
+var (
+	mApps = obs.NewCounter("report_apps_total",
+		"applications characterized")
+	mSessions = obs.NewCounter("report_sessions_total",
+		"sessions simulated or loaded")
+	mPoolWait = obs.NewHistogram("report_pool_task_wait",
+		"delay from pool start to task pickup", nil)
 )
 
 // StudyConfig configures a characterization run.
@@ -37,6 +53,10 @@ type StudyConfig struct {
 	// deterministically — so this only trades wall-clock for a quiet
 	// machine.
 	Sequential bool
+	// Progress, when non-nil, receives per-session and per-app
+	// progress lines with an ETA (lagreport points it at stderr).
+	// Progress output never influences results.
+	Progress io.Writer
 }
 
 func (c StudyConfig) apps() []*sim.Profile {
@@ -67,17 +87,21 @@ func (c StudyConfig) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runPool runs fn(0..n-1) on a bounded pool of workers goroutines
-// (inline when workers ≤ 1), returning once all calls finish. Work is
-// handed out by an atomic counter, so the pool stays busy even when
-// item costs are skewed.
-func runPool(workers, n int, fn func(i int)) {
+// runPool runs fn(worker, 0..n-1) on a bounded pool of workers
+// goroutines (inline when workers ≤ 1), returning once all calls
+// finish. Work is handed out by an atomic counter, so the pool stays
+// busy even when item costs are skewed. Each task pickup observes its
+// queue wait (delay since the pool started) into the pool-wait
+// histogram.
+func runPool(workers, n int, fn func(worker, i int)) {
+	start := time.Now()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			mPoolWait.Observe(time.Since(start))
+			fn(0, i)
 		}
 		return
 	}
@@ -85,16 +109,17 @@ func runPool(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				mPoolWait.Observe(time.Since(start))
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -170,13 +195,32 @@ func (r *StudyResult) TotalEpisodes() int {
 // the engine's deterministic merge makes every row byte-identical to
 // a sequential run.
 func RunStudy(cfg StudyConfig) (*StudyResult, error) {
+	return RunStudyContext(context.Background(), cfg)
+}
+
+// RunStudyContext is RunStudy with observability: a context carrying
+// an obs.Trace collects a "study" phase span with per-app, simulate,
+// and engine child spans (attributed to pool workers), and
+// cfg.Progress receives per-unit progress lines with an ETA. Neither
+// affects results — rows remain byte-identical to an untraced
+// sequential run.
+func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
+	ctx, endStudy := obs.PhaseSpan(ctx, "study")
+	defer endStudy()
+
 	profiles := cfg.apps()
 	results := make([]*AppResult, len(profiles))
 	errs := make([]error, len(profiles))
 
-	runPool(cfg.workers(), len(profiles), func(i int) {
-		results[i], errs[i] = runApp(cfg, profiles[i])
+	// One progress unit per simulated session plus one per app
+	// analysis.
+	pr := newProgress(cfg.Progress, len(profiles)*(cfg.sessions()+1))
+
+	runPool(cfg.workers(), len(profiles), func(w, i int) {
+		wctx := obs.WithWorker(ctx, w)
+		results[i], errs[i] = runApp(wctx, cfg, profiles[i], pr)
 	})
+	mApps.Add(int64(len(profiles)))
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("report: app %s: %w", profiles[i].Name, err)
@@ -191,26 +235,34 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	return res, nil
 }
 
-func runApp(cfg StudyConfig, p *sim.Profile) (*AppResult, error) {
+func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) (*AppResult, error) {
+	ctx, endApp := obs.Span(ctx, "app:"+p.Name)
+	defer endApp()
+
 	n := cfg.sessions()
 	sessions := make([]*trace.Session, n)
 	errs := make([]error, n)
-	runPool(cfg.workers(), n, func(i int) {
+	runPool(cfg.workers(), n, func(w, i int) {
+		_, endSim := obs.Span(obs.WithWorker(ctx, w), "simulate")
 		sessions[i], errs[i] = sim.Run(sim.Config{
 			Profile:        p,
 			SessionID:      i,
 			Seed:           cfg.Seed,
 			SessionSeconds: cfg.SessionSeconds,
 		})
+		endSim()
+		pr.step(fmt.Sprintf("sim %s/%d", p.Name, i))
 	})
+	mSessions.Add(int64(n))
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	suite := &trace.Suite{App: p.Name, Sessions: sessions}
-	a := analyzeSuite(suite, cfg.threshold(), cfg.workers())
+	a := analyzeSuite(ctx, suite, cfg.threshold(), cfg.workers())
 	a.Profile = p
+	pr.step("analyze " + p.Name)
 	return a, nil
 }
 
@@ -219,11 +271,17 @@ func runApp(cfg StudyConfig, p *sim.Profile) (*AppResult, error) {
 // It runs the fused engine: one traversal per episode instead of nine
 // separate analysis passes over the suite.
 func AnalyzeSuite(suite *trace.Suite, threshold trace.Dur) *AppResult {
-	return analyzeSuite(suite, threshold, 0)
+	return analyzeSuite(context.Background(), suite, threshold, 0)
 }
 
-func analyzeSuite(suite *trace.Suite, threshold trace.Dur, workers int) *AppResult {
-	r := engine.Analyze(suite, threshold, engine.Options{Workers: workers})
+// AnalyzeSuiteContext is AnalyzeSuite under a context that may carry
+// an obs.Trace for phase spans.
+func AnalyzeSuiteContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur) *AppResult {
+	return analyzeSuite(ctx, suite, threshold, 0)
+}
+
+func analyzeSuite(ctx context.Context, suite *trace.Suite, threshold trace.Dur, workers int) *AppResult {
+	r := engine.AnalyzeContext(ctx, suite, threshold, engine.Options{Workers: workers})
 	return &AppResult{
 		Suite:      suite,
 		Overview:   r.Overview,

@@ -18,11 +18,22 @@ package stream
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/stats"
 	"lagalyzer/internal/trace"
+)
+
+// Decode-throughput metrics, flushed once per analyzed trace (records
+// are counted in a plain struct field on the hot path).
+var (
+	mRecords = obs.NewCounter("stream_records_total",
+		"LiLa records consumed by the streaming analyzer")
+	mBytes = obs.NewCounter("stream_bytes_total",
+		"trace bytes decoded by the streaming analyzer")
 )
 
 // Stats is the result of one streaming pass.
@@ -30,6 +41,15 @@ type Stats struct {
 	App       string
 	SessionID int
 	E2E       trace.Dur
+
+	// Records counts every trace record consumed, and Bytes the
+	// encoded input bytes behind them (Bytes is filled by AnalyzeStream,
+	// which sees the raw reader; plain Analyze leaves it zero).
+	// Elapsed is the wall clock the pass took. Together they give the
+	// decode throughput (see RecordsPerSec and BytesPerSec).
+	Records int
+	Bytes   int64
+	Elapsed time.Duration
 
 	// ShortCount counts sub-filter episodes: the profiler's own count
 	// plus any traced episodes below the filter threshold.
@@ -89,6 +109,24 @@ func (st *Stats) Concurrency() float64 {
 		return 0
 	}
 	return float64(st.RunnableSum) / float64(st.TickCount)
+}
+
+// RecordsPerSec returns the decode throughput in records per second
+// of wall clock (0 when Elapsed was not measured).
+func (st *Stats) RecordsPerSec() float64 {
+	if st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.Records) / st.Elapsed.Seconds()
+}
+
+// BytesPerSec returns the decode throughput in bytes per second of
+// wall clock (0 when Bytes or Elapsed was not measured).
+func (st *Stats) BytesPerSec() float64 {
+	if st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.Bytes) / st.Elapsed.Seconds()
 }
 
 // CauseFrac returns the fraction of in-episode GUI-thread samples in
@@ -183,6 +221,7 @@ func (es *episodeState) account(now trace.Time, inGC bool) {
 
 // Add consumes one record.
 func (a *Analyzer) Add(rec *lila.Record) error {
+	a.st.Records++
 	switch rec.Type {
 	case lila.RecThread:
 		// Thread identity is irrelevant to the aggregates.
@@ -351,6 +390,7 @@ func (a *Analyzer) Stats() *Stats {
 
 // Analyze consumes a whole trace from r and returns its statistics.
 func Analyze(r lila.Reader, threshold trace.Dur) (*Stats, error) {
+	start := time.Now()
 	a := NewAnalyzer(r.Header(), threshold)
 	for {
 		rec, err := r.Read()
@@ -364,7 +404,28 @@ func Analyze(r lila.Reader, threshold trace.Dur) (*Stats, error) {
 			return nil, err
 		}
 	}
-	return a.Stats(), nil
+	st := a.Stats()
+	st.Elapsed = time.Since(start)
+	mRecords.Add(int64(st.Records))
+	return st, nil
+}
+
+// AnalyzeStream is Analyze over a raw encoded trace: it sniffs the
+// encoding, counts the input bytes, and fills the throughput fields
+// (Bytes, Records, Elapsed) alongside the usual statistics.
+func AnalyzeStream(rd io.Reader, threshold trace.Dur) (*Stats, error) {
+	cr := obs.NewCountingReader(rd, nil)
+	lr, err := lila.NewReader(cr)
+	if err != nil {
+		return nil, err
+	}
+	st, err := Analyze(lr, threshold)
+	if err != nil {
+		return nil, err
+	}
+	st.Bytes = cr.Bytes()
+	mBytes.Add(st.Bytes)
+	return st, nil
 }
 
 // AnalyzeRecords is Analyze over an in-memory record slice.

@@ -1,12 +1,22 @@
 #!/bin/sh
 # Runs the analysis-engine benchmark suite and emits BENCH_engine.json
 # at the repo root, so successive PRs can track the perf trajectory.
+# The file embeds the environment (go version, GOMAXPROCS, CPU model,
+# git SHA) so numbers from different machines/commits are comparable.
 # Usage: scripts/bench.sh [benchtime]   (default 1s)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
 out="BENCH_engine.json"
+
+go_version="$(go version | sed 's/^go version //')"
+gomaxprocs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$cpu_model" ] || cpu_model="unknown"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git_dirty=""
+[ -z "$(git status --porcelain 2>/dev/null)" ] || git_dirty="-dirty"
 
 raw=$(go test -run '^$' \
 	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd' \
@@ -16,8 +26,18 @@ printf '%s\n' "$raw"
 
 printf '%s\n' "$raw" | awk \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-	-v procs="$(nproc 2>/dev/null || echo 1)" '
-BEGIN { printf "{\n  \"date\": \"%s\",\n  \"cpus\": %s,\n  \"benchmarks\": [\n", date, procs }
+	-v procs="$gomaxprocs" \
+	-v go_version="$go_version" \
+	-v cpu_model="$cpu_model" \
+	-v git_sha="$git_sha$git_dirty" '
+BEGIN {
+	printf "{\n  \"date\": \"%s\",\n", date
+	printf "  \"go_version\": \"%s\",\n", go_version
+	printf "  \"gomaxprocs\": %s,\n", procs
+	printf "  \"cpu_model\": \"%s\",\n", cpu_model
+	printf "  \"git_sha\": \"%s\",\n", git_sha
+	printf "  \"benchmarks\": [\n"
+}
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
