@@ -1,13 +1,17 @@
 # Build/test entry points. `make check` is the tier-1 gate; `make race`
 # exercises the concurrent packages (the analysis engine's worker
 # pools, sharded classification, and the study fan-out) under the race
-# detector. `make profile` runs the engine benchmark under the CPU and
-# heap profilers and prints the top-10 hot spots from each.
+# detector. `make chaos` is the robustness tier: the fault-injection
+# suites (salvage decoding, lenient rebuild, engine panic containment)
+# plus a fuzz smoke pass over the salvage decoders. `make profile` runs
+# the engine benchmark under the CPU and heap profilers and prints the
+# top-10 hot spots from each.
 
 GO ?= go
 PROFILE_DIR ?= profiles
+FUZZTIME ?= 30s
 
-.PHONY: build test check race vet bench profile
+.PHONY: build test check race chaos vet bench profile
 
 build:
 	$(GO) build ./...
@@ -19,6 +23,15 @@ check: build test
 
 race:
 	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs
+
+chaos:
+	$(GO) test ./internal/faultinject ./internal/lila ./internal/treebuild \
+		-run 'Salvage|Lenient|Robust|Fault|Panic|Budget'
+	$(GO) test ./internal/engine ./internal/report -run 'Robust|Panic|Cancel|Damaged|Salvaged' -race
+	$(GO) test -run TestCLIFaultTolerance .
+	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageText -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,14 @@
 //
 // Global profiling flags (-cpuprofile, -memprofile, -trace) go before
 // the subcommand: lagalyzer -cpuprofile cpu.out stats trace.lila
+//
+// The global -salvage flag tolerates damaged traces: the decoders
+// resynchronize past wire damage, sessions are rebuilt leniently, and
+// files that still cannot contribute anything are skipped with a note
+// on stderr instead of aborting the run.
+//
+// Exit codes: 0 success, 1 total failure, 2 usage error, 3 partial
+// success (-salvage skipped at least one input file entirely).
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/browser"
 	"lagalyzer/internal/diff"
+	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/stream"
@@ -37,17 +46,32 @@ import (
 	"lagalyzer/internal/viz"
 )
 
+// salvageMode mirrors the global -salvage flag; lostInputs counts the
+// files that contributed nothing even under salvage (→ exit 3).
+var (
+	salvageMode bool
+	lostInputs  int
+)
+
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a return code, so deferred cleanups (the
+// profile writers) execute before the process exits.
+func run() int {
+	salvage := flag.Bool("salvage", false, "tolerate damaged traces: resynchronize past wire damage, rebuild leniently, skip unrecoverable files")
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
+	salvageMode = *salvage
 	if flag.NArg() < 1 {
 		usage()
 	}
 	stopProfiles, err := profiler.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lagalyzer:", err)
-		os.Exit(1)
+		return 1
 	}
 	defer stopProfiles()
 
@@ -75,8 +99,13 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lagalyzer:", err)
-		os.Exit(1)
+		return 1
 	}
+	if lostInputs > 0 {
+		fmt.Fprintf(os.Stderr, "lagalyzer: partial results — %d input file(s) skipped; exiting 3\n", lostInputs)
+		return 3
+	}
+	return 0
 }
 
 func usage() {
@@ -90,9 +119,12 @@ func usage() {
   lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns
 
 global flags (before the subcommand):
+  -salvage           tolerate damaged traces (skip unrecoverable files; exit 3 if any)
   -cpuprofile file   write a CPU profile
   -memprofile file   write a heap profile at exit
-  -trace file        write a runtime execution trace`)
+  -trace file        write a runtime execution trace
+
+exit codes: 0 success, 1 total failure, 2 usage, 3 partial success`)
 	os.Exit(2)
 }
 
@@ -102,18 +134,55 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 	}
 	var sessions []*trace.Session
 	for _, path := range paths {
-		f, err := os.Open(path)
+		s, err := loadSession(path)
 		if err != nil {
-			return nil, err
-		}
-		s, err := treebuild.ReadSession(f)
-		f.Close()
-		if err != nil {
+			if salvageMode {
+				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", path, err)
+				lostInputs++
+				continue
+			}
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		sessions = append(sessions, s)
 	}
+	if len(sessions) == 0 {
+		return nil, fmt.Errorf("no loadable trace sessions (%d file(s) skipped)", lostInputs)
+	}
 	return sessions, nil
+}
+
+// loadSession ingests one trace file, strictly by default; in salvage
+// mode it decodes leniently and reports any damage worked around on
+// stderr.
+func loadSession(path string) (*trace.Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !salvageMode {
+		return treebuild.ReadSession(f)
+	}
+	s, sh, err := treebuild.ReadSessionOptions(f,
+		lila.ReaderOptions{Salvage: true}, treebuild.Options{Lenient: true})
+	if err != nil {
+		return nil, err
+	}
+	if sh != nil && sh.Degraded() {
+		if sh.Salvage.Damaged() {
+			fmt.Fprintf(os.Stderr, "lagalyzer: %s: salvage: %s\n", path, sh.Salvage)
+		}
+		if sh.Diag.Degraded() {
+			d := sh.Diag
+			msg := fmt.Sprintf("skipped %d records, dropped %d open intervals, %d episodes",
+				d.SkippedRecords, d.DroppedOpenIntervals, d.DroppedEpisodes)
+			if d.SynthesizedEnd {
+				msg += ", synthesized end"
+			}
+			fmt.Fprintf(os.Stderr, "lagalyzer: %s: rebuild: %s\n", path, msg)
+		}
+	}
+	return s, nil
 }
 
 func runStats(args []string) error {
@@ -195,13 +264,13 @@ func runTimeline(args []string) error {
 
 func runStream(args []string) error {
 	for _, path := range args {
-		f, err := os.Open(path)
+		st, err := streamOne(path)
 		if err != nil {
-			return err
-		}
-		st, err := stream.AnalyzeStream(f, 0)
-		f.Close()
-		if err != nil {
+			if salvageMode {
+				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", path, err)
+				lostInputs++
+				continue
+			}
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		fmt.Printf("%s/%d: E2E %v, %d episodes (+%d short), %d perceptible, mean %.1fms max %.1fms\n",
@@ -219,6 +288,37 @@ func runStream(args []string) error {
 		return fmt.Errorf("no trace files given")
 	}
 	return nil
+}
+
+// streamOne runs the single-pass analyzer over one trace file,
+// leniently (salvage decoding, rejected records skipped) when
+// -salvage is set.
+func streamOne(path string) (*stream.Stats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if !salvageMode {
+		return stream.AnalyzeStream(f, 0)
+	}
+	cr := obs.NewCountingReader(f, nil)
+	lr, err := lila.NewReaderOptions(cr, lila.ReaderOptions{Salvage: true})
+	if err != nil {
+		return nil, err
+	}
+	st, skipped, err := stream.AnalyzeLenient(lr, 0)
+	if err != nil {
+		return nil, err
+	}
+	st.Bytes = cr.Bytes()
+	if rep := lila.SalvageOf(lr); rep.Damaged() {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: salvage: %s\n", path, rep)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: %d records rejected by the analyzer\n", path, skipped)
+	}
+	return st, nil
 }
 
 func runPatterns(args []string) error {

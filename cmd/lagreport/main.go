@@ -10,11 +10,17 @@
 //	lagreport -sessions 2 -seed 7     # scaled down
 //	lagreport -out results/           # also write SVGs + experiments.md + report.html + runmeta.json
 //	lagreport -traces dir/            # analyze recorded traces instead
+//	lagreport -traces dir/ -salvage   # tolerate damaged traces (resync + lenient rebuild)
+//	lagreport -traces dir/ -strict    # historical fail-fast: first bad file aborts
 //	lagreport -only table3,fig5      # subset of sections
 //	lagreport -progress               # per-session progress + ETA on stderr
 //	lagreport -phases                 # per-phase span summary on stderr
 //	lagreport -debug-addr :6060       # live pprof + /metrics while running
 //	lagreport -cpuprofile cpu.out     # also -memprofile, -trace
+//
+// Exit codes: 0 success, 1 total failure, 2 usage error, 3 partial
+// success (the study completed but lost whole sessions or apps; see
+// the Health section).
 package main
 
 import (
@@ -33,11 +39,19 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a return code, so deferred cleanups (profile
+// writers, the debug server) execute before the process exits.
+func run() int {
 	var (
 		sessions  = flag.Int("sessions", 4, "sessions per application")
 		seed      = flag.Uint64("seed", 42, "base random seed")
 		seconds   = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
 		traces    = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
+		salvage   = flag.Bool("salvage", false, "with -traces: salvage damaged trace files (resynchronize past wire damage, rebuild leniently)")
+		strict    = flag.Bool("strict", false, "with -traces: fail fast on the first unloadable trace file")
 		outDir    = flag.String("out", "", "directory for SVG figures, experiments.md, and runmeta.json (empty = text only)")
 		only      = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
 		progress  = flag.Bool("progress", false, "print per-session study progress with an ETA to stderr")
@@ -76,9 +90,14 @@ func main() {
 	var res *report.StudyResult
 	if *traces != "" {
 		var suites []*trace.Suite
-		suites, err = report.LoadTraceDir(*traces)
+		var loadHealth *report.StudyHealth
+		suites, loadHealth, err = report.LoadTraceDirOptions(*traces, report.LoadOptions{
+			Salvage: *salvage,
+			Strict:  *strict,
+		})
 		if err == nil {
 			res = report.AnalyzeSuitesContext(ctx, suites, 0, progressW)
+			res.Health.Merge(loadHealth)
 		}
 	} else {
 		res, err = report.RunStudyContext(ctx, report.StudyConfig{
@@ -127,6 +146,9 @@ func main() {
 			fmt.Println(sections[s]())
 		}
 	}
+	if res.Health.Degraded() {
+		fmt.Println("== Health: inputs lost or degraded ==\n" + report.FormatHealth(res.Health))
+	}
 	fmt.Printf("analyzed %d traced episodes across %d applications in %v\n",
 		res.TotalEpisodes(), len(res.Apps), elapsed.Round(time.Millisecond))
 	fmt.Println("(the paper: ~250'000 episodes from 7.5 h of sessions analyzed in 15 minutes)")
@@ -136,7 +158,7 @@ func main() {
 	}
 
 	if *outDir == "" {
-		return
+		return exitCode(res)
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
@@ -153,12 +175,26 @@ func main() {
 	if err := os.WriteFile(filepath.Join(*outDir, "report.html"), []byte(report.FormatHTML(res)), 0o644); err != nil {
 		fail(err)
 	}
+	if res.Health.Degraded() {
+		meta.Health = res.Health
+	}
 	meta.Finish(tr, nil)
 	if err := meta.WriteFile(filepath.Join(*outDir, "runmeta.json")); err != nil {
 		fail(err)
 	}
 	fmt.Printf("wrote %d figures, experiments.md, report.html, and runmeta.json to %s\n",
 		len(report.Figures(res)), *outDir)
+	return exitCode(res)
+}
+
+// exitCode maps a finished study to the process exit code: 3 when a
+// whole unit of work (a session or an app) was lost, 0 otherwise.
+func exitCode(res *report.StudyResult) int {
+	if res.Health.Partial() {
+		fmt.Fprintln(os.Stderr, "lagreport: partial results — some inputs were lost (see the Health section); exiting 3")
+		return 3
+	}
+	return 0
 }
 
 func fail(err error) {

@@ -8,6 +8,10 @@
 //	lilasim -list
 //	lilasim -app Jmol -seconds 60 -seed 7 -format binary -o jmol.lila
 //	lilasim -app GanttProject -session 2 > gantt.lila.txt
+//
+// Exit codes: 0 success, 1 total failure, 2 usage error (the shared
+// convention across lagalyzer, lagreport, and lilasim; the generator
+// has no partial-success mode, so it never exits 3).
 package main
 
 import (

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"lagalyzer/internal/faultinject"
 )
 
 // buildTools compiles the three commands once per test binary run.
@@ -224,6 +226,128 @@ func TestCLIObservability(t *testing.T) {
 	}
 	if fi, err := os.Stat(memOut); err != nil || fi.Size() == 0 {
 		t.Errorf("lagalyzer -memprofile produced nothing: %v", err)
+	}
+}
+
+// runCode runs a built tool and returns its exit code and combined
+// output, failing only when the process could not be started at all.
+func runCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+	return 0, string(out)
+}
+
+// TestCLIFaultTolerance drives the robustness surface end to end: a
+// trace directory holding one intact, one truncated, and one
+// bit-flipped file must still produce a study. By default the damaged
+// files are skipped and lagreport exits 3 (partial success); -strict
+// aborts on the first bad file; -salvage decodes past the damage and
+// keeps every session, reporting what was lost in the Health section
+// and runmeta.json.
+func TestCLIFaultTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	traceDir := t.TempDir()
+	intact := filepath.Join(traceDir, "a_jedit.lila")
+	truncated := filepath.Join(traceDir, "b_trunc.lila")
+	flipped := filepath.Join(traceDir, "c_flip.lila")
+	run(t, tool(t, "lilasim"), "", "-app", "JEdit", "-seconds", "15", "-format", "binary", "-o", intact)
+	run(t, tool(t, "lilasim"), "", "-app", "CrosswordSage", "-seconds", "15", "-format", "binary", "-o", truncated)
+	run(t, tool(t, "lilasim"), "", "-app", "CrosswordSage", "-session", "1", "-seconds", "15", "-format", "binary", "-o", flipped)
+
+	damage := func(path string, f func([]byte) []byte) {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, f(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	damage(truncated, func(b []byte) []byte { return faultinject.TruncateFrac(b, 0.55) })
+	damage(flipped, func(b []byte) []byte { return faultinject.FlipBits(b, 7, 12, 64, len(b)) })
+
+	// Default: damaged files are skipped, the intact session is
+	// analyzed, and the partial loss surfaces as exit code 3.
+	code, out := runCode(t, tool(t, "lagreport"), "-traces", traceDir, "-only", "table3")
+	if code != 3 {
+		t.Errorf("default over damaged dir: exit %d, want 3\n%s", code, out)
+	}
+	for _, want := range []string{"JEdit", "Health: inputs lost or degraded", "partial results"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("default output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -strict restores the historical fail-fast contract.
+	code, out = runCode(t, tool(t, "lagreport"), "-traces", traceDir, "-only", "table3", "-strict")
+	if code != 1 {
+		t.Errorf("-strict over damaged dir: exit %d, want 1\n%s", code, out)
+	}
+
+	// -salvage keeps all three sessions: damage is worked around at the
+	// record level, so no whole unit is lost and the run succeeds.
+	outDir := t.TempDir()
+	code, out = runCode(t, tool(t, "lagreport"), "-traces", traceDir, "-only", "table3", "-salvage", "-out", outDir)
+	if code != 0 {
+		t.Errorf("-salvage over damaged dir: exit %d, want 0\n%s", code, out)
+	}
+	for _, want := range []string{"JEdit", "CrosswordSage", "Health: inputs lost or degraded", "salvage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-salvage output missing %q:\n%s", want, out)
+		}
+	}
+	meta, err := os.ReadFile(filepath.Join(outDir, "runmeta.json"))
+	if err != nil {
+		t.Fatalf("runmeta.json: %v", err)
+	}
+	for _, want := range []string{`"health"`, `"salvage"`, `"lila_records_salvaged_total"`} {
+		if !strings.Contains(string(meta), want) {
+			t.Errorf("runmeta.json missing %s", want)
+		}
+	}
+	page, err := os.ReadFile(filepath.Join(outDir, "report.html"))
+	if err != nil {
+		t.Fatalf("report.html: %v", err)
+	}
+	if !strings.Contains(string(page), "Health — inputs lost or degraded") {
+		t.Error("HTML report missing the Health section")
+	}
+
+	// lagalyzer: strict by default (exit 1), salvages with -salvage
+	// (exit 0, damage notes on stderr), and skips unrecoverable files
+	// under -salvage with exit 3.
+	code, _ = runCode(t, tool(t, "lagalyzer"), "stats", truncated)
+	if code != 1 {
+		t.Errorf("lagalyzer stats on truncated trace: exit %d, want 1", code)
+	}
+	code, out = runCode(t, tool(t, "lagalyzer"), "-salvage", "stats", truncated)
+	if code != 0 {
+		t.Errorf("lagalyzer -salvage stats on truncated trace: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "CrosswordSage/0") || !strings.Contains(out, "salvage") {
+		t.Errorf("lagalyzer -salvage output:\n%s", out)
+	}
+	junk := filepath.Join(t.TempDir(), "junk.lila")
+	if err := os.WriteFile(junk, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = runCode(t, tool(t, "lagalyzer"), "-salvage", "stats", junk, intact)
+	if code != 3 {
+		t.Errorf("lagalyzer -salvage with unrecoverable file: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "skipped") || !strings.Contains(out, "JEdit/0") {
+		t.Errorf("lagalyzer -salvage partial output:\n%s", out)
 	}
 }
 

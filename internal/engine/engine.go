@@ -15,6 +15,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,8 @@ var (
 		"fixed-size episode chunks processed")
 	mShardsMerged = obs.NewCounter("engine_shards_merged_total",
 		"shard accumulators merged into the deterministic result")
+	mPanicsRecovered = obs.NewCounter("engine_panics_recovered_total",
+		"worker panics contained and converted to attributed errors")
 )
 
 // Options configure an engine run. The zero value reproduces
@@ -213,6 +216,22 @@ func Analyze(suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
 // trace installed the span calls are allocation-free no-ops; the only
 // residual cost is three atomic counter adds per run.
 func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur, opts Options) *Result {
+	r, err := AnalyzeContextErr(ctx, suite, threshold, opts)
+	if err != nil {
+		// The error-free signature predates panic containment; its
+		// callers have no error channel, so a contained panic (or a
+		// cancelled context) surfaces the old way.
+		panic(err)
+	}
+	return r
+}
+
+// AnalyzeContextErr is AnalyzeContext with fault containment: a panic
+// inside a worker is recovered, counted, and returned as an error
+// attributed to its chunk, and context cancellation stops the chunk
+// fan-out between pickups. The happy path is bit-for-bit identical to
+// AnalyzeContext.
+func AnalyzeContextErr(ctx context.Context, suite *trace.Suite, threshold trace.Dur, opts Options) (_ *Result, err error) {
 	ctx, endEngine := obs.PhaseSpan(ctx, "engine")
 	defer endEngine()
 
@@ -236,6 +255,7 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 
 	chunks := (len(items) + chunkSize - 1) / chunkSize
 	shards := make([]*shard, chunks)
+	chunkErrs := make([]error, chunks)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -246,6 +266,12 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 	}
 
 	runChunk := func(wctx context.Context, ci int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mPanicsRecovered.Add(1)
+				chunkErrs[ci] = fmt.Errorf("engine: panic in chunk %d of app %s: %v", ci, suite.App, r)
+			}
+		}()
 		_, endChunk := obs.Span(wctx, "chunk")
 		sh := &shard{builder: patterns.NewBuilder(opts.Patterns)}
 		shards[ci] = sh
@@ -261,7 +287,7 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 	cctx, endClassify := obs.Span(ctx, "classify")
 	if workers <= 1 {
 		wctx := obs.WithWorker(cctx, 0)
-		for ci := 0; ci < chunks; ci++ {
+		for ci := 0; ci < chunks && ctx.Err() == nil; ci++ {
 			runChunk(wctx, ci)
 		}
 	} else {
@@ -272,7 +298,7 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 			go func(w int) {
 				defer wg.Done()
 				wctx := obs.WithWorker(cctx, w)
-				for {
+				for ctx.Err() == nil {
 					ci := int(next.Add(1)) - 1
 					if ci >= chunks {
 						return
@@ -284,6 +310,16 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 		wg.Wait()
 	}
 	endClassify()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Attribute failures deterministically: the lowest-indexed failing
+	// chunk wins no matter which worker hit it first.
+	for _, cerr := range chunkErrs {
+		if cerr != nil {
+			return nil, cerr
+		}
+	}
 	mEpisodes.Add(int64(len(items)))
 	mChunks.Add(int64(chunks))
 
@@ -319,7 +355,7 @@ func AnalyzeContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur
 	r.ConcurrencyAll, r.TicksAll = merged.pop[0].concurrency()
 	r.ConcurrencyLong, r.TicksLong = merged.pop[1].concurrency()
 	endOverview()
-	return r
+	return r, nil
 }
 
 // analyzeItem folds one episode into the shard: one tree walk (canon +

@@ -1,0 +1,53 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lagalyzer/internal/engine"
+	"lagalyzer/internal/trace"
+)
+
+// brokenSuite returns a suite whose single episode has a nil root —
+// walking it panics, which the engine must contain.
+func brokenSuite() *trace.Suite {
+	s := &trace.Session{App: "broken", Start: 0, End: 1000}
+	s.Episodes = []*trace.Episode{{Thread: 1, Root: nil}}
+	return &trace.Suite{App: "broken", Sessions: []*trace.Session{s}}
+}
+
+func TestEnginePanicContained(t *testing.T) {
+	_, err := engine.AnalyzeContextErr(context.Background(), brokenSuite(), 0, engine.Options{})
+	if err == nil {
+		t.Fatal("panic in walker not surfaced as error")
+	}
+	if !strings.Contains(err.Error(), "panic in chunk 0") || !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error not attributed to chunk and app: %v", err)
+	}
+	// The same failure under a parallel pool must yield the same error.
+	_, perr := engine.AnalyzeContextErr(context.Background(), brokenSuite(), 0, engine.Options{Workers: 4})
+	if perr == nil || perr.Error() != err.Error() {
+		t.Errorf("parallel error %v differs from sequential %v", perr, err)
+	}
+}
+
+func TestEngineLegacyAPIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("error-free AnalyzeContext swallowed the failure")
+		}
+	}()
+	engine.AnalyzeContext(context.Background(), brokenSuite(), 0, engine.Options{})
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	suite := &trace.Suite{App: "x", Sessions: []*trace.Session{{App: "x", End: 1000}}}
+	_, err := engine.AnalyzeContextErr(ctx, suite, 0, engine.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package faultinject produces deterministic, seeded input faults for
+// robustness testing of the trace ingest pipeline.
+//
+// Real LiLa traces arrive from the field truncated (the profiled app
+// or the profiler died), bit-flipped (flaky storage or transfer), and
+// delivered through readers with awkward framing (short reads, network
+// stalls). The salvage decoder and the graceful-degradation paths must
+// survive all of that; this package manufactures the damage on demand
+// so tests and the `make chaos` target can assert exactly what is
+// recovered.
+//
+// Every scenario is a pure function of its inputs and seed: the same
+// (data, seed) pair always yields the same corrupted bytes, so golden
+// tests over salvaged traces stay reproducible.
+package faultinject
+
+import (
+	"io"
+	"time"
+)
+
+// rng is a splitmix64 generator — tiny, seedable, and stable across Go
+// releases (unlike math/rand's unexported stream ordering guarantees,
+// this sequence is pinned by the algorithm itself).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a deterministic value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Truncate returns the first n bytes of data (a copy). n past the end
+// returns the whole input; negative n returns an empty slice.
+func Truncate(data []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return out
+}
+
+// TruncateFrac truncates data to the given fraction of its length
+// (0 ≤ frac ≤ 1).
+func TruncateFrac(data []byte, frac float64) []byte {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return Truncate(data, int(float64(len(data))*frac))
+}
+
+// FlipBits returns a copy of data with n single-bit flips at
+// deterministic, seed-derived positions within [lo, hi) (hi ≤ 0 means
+// len(data)). Use lo to protect a header from damage when the test
+// wants mid-stream corruption only.
+func FlipBits(data []byte, seed uint64, n, lo, hi int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if hi <= 0 || hi > len(out) {
+		hi = len(out)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return out
+	}
+	r := newRNG(seed)
+	for i := 0; i < n; i++ {
+		pos := lo + r.intn(hi-lo)
+		out[pos] ^= 1 << r.intn(8)
+	}
+	return out
+}
+
+// CorruptRange overwrites [lo, hi) of a copy of data with seed-derived
+// garbage — a burst error, as opposed to FlipBits' point errors.
+func CorruptRange(data []byte, seed uint64, lo, hi int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if hi > len(out) {
+		hi = len(out)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	r := newRNG(seed)
+	for i := lo; i < hi; i++ {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+// NewTruncatingReader reads from r and reports io.ErrUnexpectedEOF
+// after n bytes, simulating a connection or process that died
+// mid-transfer.
+func NewTruncatingReader(r io.Reader, n int64) io.Reader {
+	return &truncatingReader{r: r, remaining: n}
+}
+
+type truncatingReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (t *truncatingReader) Read(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.remaining {
+		p = p[:t.remaining]
+	}
+	n, err := t.r.Read(p)
+	t.remaining -= int64(n)
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	if t.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// NewShortReader reads from r but returns deterministically short
+// reads (1..8 bytes at a time, seed-derived), exercising every
+// resumption point in a decoder's buffering.
+func NewShortReader(r io.Reader, seed uint64) io.Reader {
+	return &shortReader{r: r, rng: newRNG(seed)}
+}
+
+type shortReader struct {
+	r   io.Reader
+	rng *rng
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.r.Read(p)
+	}
+	n := 1 + s.rng.intn(8)
+	if n > len(p) {
+		n = len(p)
+	}
+	return s.r.Read(p[:n])
+}
+
+// NewStallReader reads from r but sleeps for delay before every
+// chunkth read (chunk ≤ 0 means every read) — a slow producer for
+// deadline and cancellation tests. Keep delay tiny in tests.
+func NewStallReader(r io.Reader, chunk int, delay time.Duration) io.Reader {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return &stallReader{r: r, chunk: chunk, delay: delay}
+}
+
+type stallReader struct {
+	r     io.Reader
+	chunk int
+	calls int
+	delay time.Duration
+}
+
+func (s *stallReader) Read(p []byte) (int, error) {
+	s.calls++
+	if s.calls%s.chunk == 0 {
+		time.Sleep(s.delay)
+	}
+	return s.r.Read(p)
+}

@@ -147,19 +147,38 @@ func b2byte(b bool) byte {
 	return 0
 }
 
-// BinaryReader reads a trace in the binary format.
+// BinaryReader reads a trace in the binary format (fail-stop; for the
+// damage-tolerant variant see NewBinaryReaderOptions with Salvage).
 type BinaryReader struct {
 	r        *bufio.Reader
 	h        Header
 	strings  []string
 	lastTime trace.Time
+	limits   Limits
+	records  int
 	done     bool
 }
 
 // NewBinaryReader parses the header from r and returns a reader for
 // the record stream.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
-	br := &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	return newBinaryReaderLimits(r, Limits{})
+}
+
+// NewBinaryReaderOptions is NewBinaryReader with explicit options.
+// With o.Salvage set it returns a salvage-mode reader that buffers the
+// record stream and resynchronizes past damage (see BinarySalvageReader);
+// otherwise it returns the streaming fail-stop reader with o.Limits
+// applied.
+func NewBinaryReaderOptions(r io.Reader, o ReaderOptions) (Reader, error) {
+	if o.Salvage {
+		return NewBinarySalvageReader(r, o.Limits)
+	}
+	return newBinaryReaderLimits(r, o.Limits)
+}
+
+func newBinaryReaderLimits(r io.Reader, limits Limits) (*BinaryReader, error) {
+	br := &BinaryReader{r: bufio.NewReaderSize(r, 1<<16), limits: limits.WithDefaults()}
 	var magic [5]byte
 	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
 		return nil, fmt.Errorf("lila: reading binary magic: %w", err)
@@ -192,7 +211,7 @@ func (br *BinaryReader) readString() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
+	if n > uint64(br.limits.MaxStringLen) {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
 	buf := make([]byte, n)
@@ -211,6 +230,9 @@ func (br *BinaryReader) readRef() (string, error) {
 		s, err := br.readString()
 		if err != nil {
 			return "", err
+		}
+		if len(br.strings) >= br.limits.MaxStringTable {
+			return "", fmt.Errorf("string table exceeds limit %d", br.limits.MaxStringTable)
 		}
 		br.strings = append(br.strings, s)
 		return s, nil
@@ -238,6 +260,10 @@ func (br *BinaryReader) Read() (*Record, error) {
 	if br.done {
 		return nil, io.EOF
 	}
+	if br.records >= br.limits.MaxRecords {
+		br.done = true
+		return nil, fmt.Errorf("lila: record limit %d exceeded", br.limits.MaxRecords)
+	}
 	rec, err := br.read()
 	if err != nil {
 		if err == io.EOF {
@@ -246,6 +272,7 @@ func (br *BinaryReader) Read() (*Record, error) {
 		}
 		return nil, err
 	}
+	br.records++
 	if rec.Type == RecEnd {
 		br.done = true
 	}
@@ -336,7 +363,7 @@ func (br *BinaryReader) read() (*Record, error) {
 		if err != nil {
 			return fail(err)
 		}
-		if n > 1<<16 {
+		if n > uint64(br.limits.MaxStackDepth) {
 			return fail(fmt.Errorf("implausible stack depth %d", n))
 		}
 		if n > 0 {

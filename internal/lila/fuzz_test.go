@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"lagalyzer/internal/faultinject"
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/stream"
 	"lagalyzer/internal/trace"
@@ -87,6 +88,82 @@ func FuzzReader(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		drain(data)
+	})
+}
+
+// drainSalvage pushes arbitrary bytes through the salvage-mode reader
+// and the lenient session builder — the full damaged-trace ingest
+// path. The property is "no panic, no hang" plus report consistency.
+func drainSalvage(t *testing.T, data []byte) {
+	r, err := lila.NewReaderOptions(bytes.NewReader(data), lila.ReaderOptions{Salvage: true})
+	if err != nil {
+		return // header damage is allowed to fail
+	}
+	var recs []*lila.Record
+	for i := 0; i < 1<<17; i++ { // hard cap: fuzz inputs must terminate
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	rep := lila.SalvageOf(r)
+	if rep == nil {
+		t.Fatal("salvage-mode reader has no report")
+	}
+	if rep.RecordsKept < len(recs) {
+		t.Fatalf("report kept %d < yielded %d", rep.RecordsKept, len(recs))
+	}
+	if rep.BytesSkipped < 0 || rep.BytesSkipped > int64(len(data)) {
+		t.Fatalf("skipped %d bytes of a %d-byte input", rep.BytesSkipped, len(data))
+	}
+	_, _, _ = treebuild.BuildRecordsOptions(r.Header(), recs, treebuild.Options{Lenient: true})
+}
+
+// salvageSeeds augments the shared corpus with faultinject-damaged
+// variants of the valid traces so the fuzzers start near the
+// interesting resynchronization paths.
+func salvageSeeds(t testing.TB) [][]byte {
+	seeds := corpus(t)
+	var out [][]byte
+	for _, s := range seeds {
+		out = append(out, s)
+		if len(s) < 16 {
+			continue
+		}
+		out = append(out,
+			faultinject.TruncateFrac(s, 0.5),
+			faultinject.FlipBits(s, 1, 4, len(s)/4, 0),
+			faultinject.CorruptRange(s, 2, len(s)/3, len(s)/2),
+		)
+	}
+	return out
+}
+
+// FuzzSalvageText fuzzes the text salvage path.
+func FuzzSalvageText(f *testing.F) {
+	for _, seed := range salvageSeeds(f) {
+		if len(seed) > 0 && seed[0] == '#' {
+			f.Add(seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drainSalvage(t, data)
+	})
+}
+
+// FuzzSalvageBinary fuzzes the binary salvage path, including the
+// forward-scan resynchronization. The corpus split (text seeds above,
+// binary seeds here) just points each fuzzer at its format; the
+// sniffing entry point is shared, so crossover mutations still run.
+func FuzzSalvageBinary(f *testing.F) {
+	for _, seed := range salvageSeeds(f) {
+		if len(seed) == 0 || seed[0] != '#' {
+			f.Add(seed)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		drainSalvage(t, data)
 	})
 }
 

@@ -182,23 +182,66 @@ func parseStack(s string) ([]trace.Frame, error) {
 
 // TextReader reads a trace in the text format.
 type TextReader struct {
-	s      *bufio.Scanner
-	h      Header
-	line   int
-	done   bool
-	sawEnd bool
+	s            *bufio.Scanner
+	h            Header
+	line         int
+	done         bool
+	sawEnd       bool
+	unterminated bool // final line had no newline (set by the split func)
+	limits       Limits
+	report       *SalvageReport // nil outside salvage mode
+	records      int
+	flushed      bool
 }
 
 // NewTextReader parses the header from r and returns a reader for the
 // record stream.
 func NewTextReader(r io.Reader) (*TextReader, error) {
+	return NewTextReaderOptions(r, ReaderOptions{})
+}
+
+// NewTextReaderOptions is NewTextReader with explicit options. In
+// salvage mode a malformed record line is skipped (accounted in the
+// SalvageReport) instead of failing the stream, and a missing end
+// record yields a truncated-tail report instead of an error. The
+// header block must still parse — a trace whose header is destroyed
+// cannot be attributed to a session and fails either way.
+func NewTextReaderOptions(r io.Reader, o ReaderOptions) (*TextReader, error) {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	tr := &TextReader{s: s}
+	tr := &TextReader{s: s, limits: o.Limits.WithDefaults()}
+	// Track whether the stream's final line lost its newline: a
+	// truncation can cut a record mid-line yet leave a shorter,
+	// still-parseable prefix (a sample line minus half its stack), so
+	// salvage mode must distrust an unterminated final line.
+	s.Split(func(data []byte, atEOF bool) (int, []byte, error) {
+		adv, tok, err := bufio.ScanLines(data, atEOF)
+		if atEOF && err == nil && tok != nil && adv == len(data) &&
+			len(data) > 0 && data[len(data)-1] != '\n' {
+			tr.unterminated = true
+		}
+		return adv, tok, err
+	})
+	if o.Salvage {
+		tr.report = &SalvageReport{}
+	}
 	if err := tr.readHeader(); err != nil {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// Salvage implements SalvageReporter; it returns nil unless the reader
+// was opened in salvage mode.
+func (tr *TextReader) Salvage() *SalvageReport { return tr.report }
+
+// finishStream publishes salvage metrics exactly once per trace.
+func (tr *TextReader) finishStream() {
+	if tr.flushed || tr.report == nil {
+		return
+	}
+	tr.flushed = true
+	tr.report.flushMetrics()
 }
 
 func (tr *TextReader) readHeader() error {
@@ -261,24 +304,71 @@ func (tr *TextReader) Read() (*Record, error) {
 	}
 	for tr.s.Scan() {
 		tr.line++
-		line := strings.TrimSpace(tr.s.Text())
+		raw := tr.s.Text()
+		line := strings.TrimSpace(raw)
+		if tr.unterminated && tr.report != nil {
+			// Truncation cut this line short; even if its prefix still
+			// parses, trusting it would smuggle a mutilated record
+			// (e.g. a sample missing half its stack) into the session.
+			tr.done = true
+			tr.report.TruncatedTail = true
+			if line != "" && !strings.HasPrefix(line, "#") {
+				tr.report.note(fmt.Errorf("lila: text line %d: unterminated final line", tr.line))
+				tr.report.RecordsDropped++
+				tr.report.BytesSkipped += int64(len(raw))
+			}
+			tr.finishStream()
+			return nil, io.EOF
+		}
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		if tr.records >= tr.limits.MaxRecords {
+			tr.done = true
+			tr.finishStream()
+			return nil, fmt.Errorf("lila: text line %d: record limit %d exceeded", tr.line, tr.limits.MaxRecords)
+		}
 		rec, err := tr.parseLine(line)
 		if err != nil {
-			return nil, fmt.Errorf("lila: text line %d: %w", tr.line, err)
+			err = fmt.Errorf("lila: text line %d: %w", tr.line, err)
+			if tr.report != nil {
+				// Salvage: drop the malformed line and resynchronize
+				// at the next one (lines are self-delimiting).
+				tr.report.note(err)
+				tr.report.RecordsDropped++
+				tr.report.BytesSkipped += int64(len(raw)) + 1
+				tr.report.Resyncs++
+				continue
+			}
+			return nil, err
+		}
+		tr.records++
+		if tr.report != nil {
+			tr.report.RecordsKept++
 		}
 		if rec.Type == RecEnd {
 			tr.done = true
 			tr.sawEnd = true
+			tr.finishStream()
 		}
 		return rec, nil
 	}
+	tr.done = true
 	if err := tr.s.Err(); err != nil {
+		if tr.report != nil {
+			tr.report.note(err)
+			tr.report.TruncatedTail = true
+			tr.finishStream()
+			return nil, io.EOF
+		}
 		return nil, fmt.Errorf("lila: reading text trace: %w", err)
 	}
-	tr.done = true
+	if tr.report != nil {
+		tr.report.note(errTruncated)
+		tr.report.TruncatedTail = true
+		tr.finishStream()
+		return nil, io.EOF
+	}
 	return nil, fmt.Errorf("lila: truncated trace: no end record")
 }
 
@@ -313,6 +403,9 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 			return nil, err
 		}
 		quoted := strings.Join(args[1:len(args)-1], " ")
+		if len(quoted) > tr.limits.MaxStringLen {
+			return nil, fmt.Errorf("thread name exceeds string limit %d", tr.limits.MaxStringLen)
+		}
 		if rec.Name, err = strconv.Unquote(quoted); err != nil {
 			return nil, fmt.Errorf("thread name %q: %w", quoted, err)
 		}
@@ -330,6 +423,9 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		}
 		if rec.Kind, err = trace.ParseKind(args[2]); err != nil {
 			return nil, err
+		}
+		if len(args[3]) > tr.limits.MaxStringLen || len(args[4]) > tr.limits.MaxStringLen {
+			return nil, fmt.Errorf("symbol exceeds string limit %d", tr.limits.MaxStringLen)
 		}
 		rec.Class = dashEmpty(args[3])
 		rec.Method = dashEmpty(args[4])
@@ -377,6 +473,9 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		}
 		if rec.Stack, err = parseStack(args[3]); err != nil {
 			return nil, err
+		}
+		if len(rec.Stack) > tr.limits.MaxStackDepth {
+			return nil, fmt.Errorf("stack depth %d exceeds limit %d", len(rec.Stack), tr.limits.MaxStackDepth)
 		}
 	case "E":
 		if err = need(2); err != nil {

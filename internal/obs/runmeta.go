@@ -29,6 +29,11 @@ type RunMeta struct {
 	// wall clock, counts, and alloc deltas).
 	Phases []SummaryRow `json:"phases,omitempty"`
 
+	// Health is the study's degradation ledger (report.StudyHealth):
+	// skipped files, salvaged records, failed apps. Omitted for clean
+	// runs. Declared as any to keep obs free of report types.
+	Health any `json:"health,omitempty"`
+
 	// Metrics is the registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
 }

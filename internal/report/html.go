@@ -60,6 +60,10 @@ func FormatHTML(res *StudyResult) string {
 		}
 	})
 
+	if res.Health.Degraded() {
+		section("Health — inputs lost or degraded", func() { pre(FormatHealth(res.Health)) })
+	}
+
 	section("Section IV findings — paper vs measured", func() {
 		b.WriteString("<table><tr><th>Experiment</th><th>Claim</th><th>Paper</th><th>Measured</th><th>Ratio</th></tr>\n")
 		for _, f := range Findings(res) {

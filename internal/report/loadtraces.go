@@ -2,6 +2,7 @@ package report
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,7 +10,9 @@ import (
 	"sort"
 
 	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/stream"
 	"lagalyzer/internal/trace"
 	"lagalyzer/internal/treebuild"
 )
@@ -19,12 +22,39 @@ import (
 var mTraceBytes = obs.NewCounter("report_trace_bytes_total",
 	"trace file bytes decoded by the trace-directory loader")
 
+// LoadOptions configure the trace-directory loader.
+type LoadOptions struct {
+	// Salvage enables damage-tolerant ingest end to end: salvage-mode
+	// decoding (resynchronize past wire damage), lenient session
+	// rebuild (skip inconsistent records, synthesize a missing end),
+	// and the streaming-analyzer fallback for over-budget sessions.
+	Salvage bool
+	// Strict restores the historical fail-fast contract: the first
+	// file that fails to load aborts the whole scan with its error.
+	Strict bool
+	// Limits are the resource guards; zero fields take defaults.
+	Limits lila.Limits
+}
+
 // LoadTraceDir reads every LiLa trace under dir (recursively; both
 // encodings, sniffed), groups the sessions into suites by application
 // name, and returns the suites ordered by name. It is the on-disk
 // counterpart of the simulator path: `lagreport -traces dir`
 // characterizes recorded traces exactly like simulated ones.
+//
+// A file that fails to load is skipped (use LoadTraceDirOptions to see
+// the per-file health, or Strict to fail fast); the scan errors only
+// when no session loads at all.
 func LoadTraceDir(dir string) ([]*trace.Suite, error) {
+	suites, _, err := LoadTraceDirOptions(dir, LoadOptions{})
+	return suites, err
+}
+
+// LoadTraceDirOptions is LoadTraceDir with explicit options and a
+// health ledger. The returned health is non-nil whenever the scan ran,
+// including alongside a no-sessions error; its Files list (ordered by
+// path, damaged files only) feeds the study's Health section.
+func LoadTraceDirOptions(dir string, o LoadOptions) ([]*trace.Suite, *StudyHealth, error) {
 	var paths []string
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -36,26 +66,30 @@ func LoadTraceDir(dir string) ([]*trace.Suite, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("report: scanning %s: %w", dir, err)
+		return nil, nil, fmt.Errorf("report: scanning %s: %w", dir, err)
 	}
 	sort.Strings(paths)
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("report: no trace files under %s", dir)
+		return nil, nil, fmt.Errorf("report: no trace files under %s", dir)
 	}
 
+	health := &StudyHealth{}
 	byApp := make(map[string]*trace.Suite)
 	var order []string
 	for _, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
+		s, fh := loadOne(path, o)
+		if fh.Error != "" && o.Strict {
+			return nil, nil, fmt.Errorf("report: %s: %s", path, fh.Error)
 		}
-		cr := obs.NewCountingReader(f, nil)
-		s, err := treebuild.ReadSession(cr)
-		f.Close()
-		mTraceBytes.Add(cr.Bytes())
-		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", path, err)
+		if fh.Damaged() {
+			health.Files = append(health.Files, fh)
+		}
+		if s == nil {
+			// Fatal file error or streaming-degraded session: either
+			// way the study loses one session.
+			health.SessionsSkipped++
+			mSessionsSkipped.Add(1)
+			continue
 		}
 		suite := byApp[s.App]
 		if suite == nil {
@@ -65,12 +99,77 @@ func LoadTraceDir(dir string) ([]*trace.Suite, error) {
 		}
 		suite.Sessions = append(suite.Sessions, s)
 	}
+	if len(order) == 0 {
+		return nil, health, fmt.Errorf("report: no loadable trace sessions under %s (%d files failed)",
+			dir, len(health.Files))
+	}
 	sort.Strings(order)
 	suites := make([]*trace.Suite, 0, len(order))
 	for _, app := range order {
 		suites = append(suites, byApp[app])
 	}
-	return suites, nil
+	return suites, health, nil
+}
+
+// loadOne ingests one trace file. A nil session with an empty
+// fh.Error means the session was degraded to streaming aggregates.
+func loadOne(path string, o LoadOptions) (*trace.Session, FileHealth) {
+	fh := FileHealth{Path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		fh.Error = err.Error()
+		return nil, fh
+	}
+	cr := obs.NewCountingReader(f, nil)
+	ro := lila.ReaderOptions{Salvage: o.Salvage, Limits: o.Limits}
+	bo := treebuild.Options{Lenient: o.Salvage, Limits: o.Limits}
+	s, sh, err := treebuild.ReadSessionOptions(cr, ro, bo)
+	f.Close()
+	mTraceBytes.Add(cr.Bytes())
+	if sh != nil {
+		if sh.Salvage.Damaged() {
+			fh.Salvage = sh.Salvage
+		}
+		if sh.Diag.Degraded() {
+			fh.Diagnostics = sh.Diag
+		}
+	}
+	if err == nil {
+		fh.App = s.App
+		return s, fh
+	}
+	if errors.Is(err, treebuild.ErrSessionTooLarge) && !o.Strict {
+		// The session tree would blow the memory budget; fall back to
+		// the single-pass streaming analyzer, which needs O(stack
+		// depth) memory, and keep its aggregate counts in the health.
+		if st, ok := streamFallback(path, o); ok {
+			fh.App = st.App
+			fh.DegradedToStream = true
+			fh.StreamEpisodes = st.Episodes
+			fh.StreamRecords = st.Records
+			return nil, fh
+		}
+	}
+	fh.Error = err.Error()
+	return nil, fh
+}
+
+// streamFallback re-reads path through the streaming analyzer.
+func streamFallback(path string, o LoadOptions) (*stream.Stats, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	lr, err := lila.NewReaderOptions(f, lila.ReaderOptions{Salvage: o.Salvage, Limits: o.Limits})
+	if err != nil {
+		return nil, false
+	}
+	st, _, err := stream.AnalyzeLenient(lr, 0)
+	if err != nil {
+		return nil, false
+	}
+	return st, true
 }
 
 // AnalyzeSuites runs the full per-application characterization over
@@ -81,7 +180,9 @@ func AnalyzeSuites(suites []*trace.Suite, threshold trace.Dur) *StudyResult {
 
 // AnalyzeSuitesContext is AnalyzeSuites with observability: phase
 // spans from a context-carried obs.Trace and per-app progress lines
-// with an ETA on progressW (nil = silent).
+// with an ETA on progressW (nil = silent). An app whose analysis
+// fails (a contained engine panic) is dropped into the result's
+// Health instead of taking the study down.
 func AnalyzeSuitesContext(ctx context.Context, suites []*trace.Suite, threshold trace.Dur, progressW io.Writer) *StudyResult {
 	ctx, endStudy := obs.PhaseSpan(ctx, "study")
 	defer endStudy()
@@ -90,13 +191,17 @@ func AnalyzeSuitesContext(ctx context.Context, suites []*trace.Suite, threshold 
 		threshold = trace.DefaultPerceptibleThreshold
 	}
 	pr := newProgress(progressW, len(suites))
-	res := &StudyResult{Config: StudyConfig{Threshold: threshold}}
+	res := &StudyResult{Config: StudyConfig{Threshold: threshold}, Health: &StudyHealth{}}
 	for _, suite := range suites {
 		actx, endApp := obs.Span(ctx, "app:"+suite.App)
-		a := analyzeSuite(actx, suite, threshold, 0)
+		a, err := analyzeSuite(actx, suite, threshold, 0)
 		endApp()
 		mSessions.Add(int64(len(suite.Sessions)))
 		pr.step("analyze " + suite.App)
+		if err != nil {
+			res.Health.Apps = append(res.Health.Apps, AppHealth{App: suite.App, Error: err.Error()})
+			continue
+		}
 		res.Apps = append(res.Apps, a)
 		res.Rows = append(res.Rows, a.Overview)
 	}

@@ -30,6 +30,10 @@ var (
 		"sessions simulated or loaded")
 	mPoolWait = obs.NewHistogram("report_pool_task_wait",
 		"delay from pool start to task pickup", nil)
+	// mPanicsRecovered shares its name with the engine's counter, so
+	// both layers' contained panics land in one time series.
+	mPanicsRecovered = obs.NewCounter("engine_panics_recovered_total",
+		"worker panics contained and converted to attributed errors")
 )
 
 // StudyConfig configures a characterization run.
@@ -57,6 +61,10 @@ type StudyConfig struct {
 	// progress lines with an ETA (lagreport points it at stderr).
 	// Progress output never influences results.
 	Progress io.Writer
+	// AppTimeout, when > 0, bounds each application's simulate+analyze
+	// phase; an app that exceeds it fails with context.DeadlineExceeded
+	// and is recorded in the study health like any other app failure.
+	AppTimeout time.Duration
 }
 
 func (c StudyConfig) apps() []*sim.Profile {
@@ -165,7 +173,15 @@ type StudyResult struct {
 	// Rows are the Table III rows in catalog order, with the Mean row
 	// appended.
 	Rows []analysis.Overview
+	// Health records everything the study survived: skipped files,
+	// salvaged records, degraded sessions, failed apps. Nil or empty
+	// means a fully clean run.
+	Health *StudyHealth
 }
+
+// Partial reports whether the study lost a whole unit of work (the
+// exit-code-3 condition for the CLIs).
+func (r *StudyResult) Partial() bool { return r.Health.Partial() }
 
 // AppByName returns one application's results.
 func (r *StudyResult) AppByName(name string) (*AppResult, bool) {
@@ -217,19 +233,45 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error)
 	pr := newProgress(cfg.Progress, len(profiles)*(cfg.sessions()+1))
 
 	runPool(cfg.workers(), len(profiles), func(w, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mPanicsRecovered.Add(1)
+				errs[i] = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		wctx := obs.WithWorker(ctx, w)
+		if cfg.AppTimeout > 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(wctx, cfg.AppTimeout)
+			defer cancel()
+		}
 		results[i], errs[i] = runApp(wctx, cfg, profiles[i], pr)
 	})
 	mApps.Add(int64(len(profiles)))
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("report: app %s: %w", profiles[i].Name, err)
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	res := &StudyResult{Config: cfg, Apps: results}
-	for _, a := range results {
-		res.Rows = append(res.Rows, a.Overview)
+	// Graceful degradation: a failed app is recorded in the health and
+	// the study continues with the survivors; only a study that loses
+	// every app is a total failure.
+	res := &StudyResult{Config: cfg, Health: &StudyHealth{}}
+	for i, err := range errs {
+		if err != nil {
+			res.Health.Apps = append(res.Health.Apps,
+				AppHealth{App: profiles[i].Name, Error: err.Error()})
+			continue
+		}
+		res.Apps = append(res.Apps, results[i])
+		res.Rows = append(res.Rows, results[i].Overview)
+	}
+	if len(res.Apps) == 0 {
+		return nil, fmt.Errorf("report: all %d apps failed (first: %s: %s)",
+			len(profiles), res.Health.Apps[0].App, res.Health.Apps[0].Error)
 	}
 	res.Rows = append(res.Rows, analysis.MeanOverview(res.Rows))
 	return res, nil
@@ -243,6 +285,16 @@ func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) 
 	sessions := make([]*trace.Session, n)
 	errs := make([]error, n)
 	runPool(cfg.workers(), n, func(w, i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mPanicsRecovered.Add(1)
+				errs[i] = fmt.Errorf("panic in session %d: %v", i, r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		_, endSim := obs.Span(obs.WithWorker(ctx, w), "simulate")
 		sessions[i], errs[i] = sim.Run(sim.Config{
 			Profile:        p,
@@ -260,7 +312,10 @@ func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) 
 		}
 	}
 	suite := &trace.Suite{App: p.Name, Sessions: sessions}
-	a := analyzeSuite(ctx, suite, cfg.threshold(), cfg.workers())
+	a, err := analyzeSuite(ctx, suite, cfg.threshold(), cfg.workers())
+	if err != nil {
+		return nil, err
+	}
 	a.Profile = p
 	pr.step("analyze " + p.Name)
 	return a, nil
@@ -269,19 +324,32 @@ func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) 
 // AnalyzeSuite computes the full per-application result for an
 // existing suite of sessions (simulated or loaded from trace files).
 // It runs the fused engine: one traversal per episode instead of nine
-// separate analysis passes over the suite.
+// separate analysis passes over the suite. Like the engine's
+// error-free entry point, a contained worker panic resurfaces as a
+// panic here; use AnalyzeSuitesContext for graceful degradation.
 func AnalyzeSuite(suite *trace.Suite, threshold trace.Dur) *AppResult {
-	return analyzeSuite(context.Background(), suite, threshold, 0)
+	a, err := analyzeSuite(context.Background(), suite, threshold, 0)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // AnalyzeSuiteContext is AnalyzeSuite under a context that may carry
 // an obs.Trace for phase spans.
 func AnalyzeSuiteContext(ctx context.Context, suite *trace.Suite, threshold trace.Dur) *AppResult {
-	return analyzeSuite(ctx, suite, threshold, 0)
+	a, err := analyzeSuite(ctx, suite, threshold, 0)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
-func analyzeSuite(ctx context.Context, suite *trace.Suite, threshold trace.Dur, workers int) *AppResult {
-	r := engine.AnalyzeContext(ctx, suite, threshold, engine.Options{Workers: workers})
+func analyzeSuite(ctx context.Context, suite *trace.Suite, threshold trace.Dur, workers int) (*AppResult, error) {
+	r, err := engine.AnalyzeContextErr(ctx, suite, threshold, engine.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
 	return &AppResult{
 		Suite:      suite,
 		Overview:   r.Overview,
@@ -297,7 +365,7 @@ func analyzeSuite(ctx context.Context, suite *trace.Suite, threshold trace.Dur, 
 		CausesLong:      r.CausesLong,
 		ConcurrencyAll:  r.ConcurrencyAll,
 		ConcurrencyLong: r.ConcurrencyLong,
-	}
+	}, nil
 }
 
 // OccurrenceFracs converts pattern occurrence counts into the

@@ -171,6 +171,10 @@ func FormatAll(res *StudyResult) string {
 		{"Figure 7: concurrency in episodes", FormatFigure7(res)},
 		{"Figure 8: synchronization and sleep during episodes", FormatFigure8(res)},
 	}
+	if res.Health.Degraded() {
+		sections = append(sections, struct{ title, body string }{
+			"Health: inputs lost or degraded", FormatHealth(res.Health)})
+	}
 	for i, s := range sections {
 		if i > 0 {
 			fmt.Fprintln(&b)

@@ -428,6 +428,33 @@ func AnalyzeStream(rd io.Reader, threshold trace.Dur) (*Stats, error) {
 	return st, nil
 }
 
+// AnalyzeLenient consumes r like Analyze but skips records the
+// analyzer rejects (returns without calls, unbalanced GC brackets)
+// instead of failing, returning the skip count alongside the
+// statistics. Paired with a salvage-mode reader it is the degraded
+// path for traces that cannot support a full session rebuild.
+func AnalyzeLenient(r lila.Reader, threshold trace.Dur) (*Stats, int, error) {
+	start := time.Now()
+	a := NewAnalyzer(r.Header(), threshold)
+	skipped := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, skipped, err
+		}
+		if err := a.Add(rec); err != nil {
+			skipped++
+		}
+	}
+	st := a.Stats()
+	st.Elapsed = time.Since(start)
+	mRecords.Add(int64(st.Records))
+	return st, skipped, nil
+}
+
 // AnalyzeRecords is Analyze over an in-memory record slice.
 func AnalyzeRecords(h lila.Header, recs []*lila.Record, threshold trace.Dur) (*Stats, error) {
 	a := NewAnalyzer(h, threshold)

@@ -17,6 +17,7 @@
 package treebuild
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +25,12 @@ import (
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/trace"
 )
+
+// ErrSessionTooLarge is returned (wrapped) when a session's estimated
+// in-memory size exceeds Options.Limits.MaxSessionBytes. Callers that
+// can degrade — lagreport's trace loader falls back to the streaming
+// analyzer — test for it with errors.Is.
+var ErrSessionTooLarge = errors.New("treebuild: session exceeds memory budget")
 
 // Diagnostics reports recoverable oddities found while rebuilding a
 // session. They do not fail the build; real profilers produce them
@@ -44,12 +51,56 @@ type Diagnostics struct {
 	// threshold on the analysis side (in addition to the profiler's
 	// own ShortCount).
 	FilteredEpisodes int
+
+	// The remaining fields are only ever non-zero under
+	// Options.Lenient; a strict build fails instead.
+
+	// SkippedRecords counts records the lenient builder dropped
+	// because they were inconsistent with the session state (returns
+	// without calls, out-of-order times, nested GC brackets, ...).
+	SkippedRecords int
+	// FirstSkipError describes the first record skipped.
+	FirstSkipError string
+	// DroppedOpenIntervals counts intervals still open when a
+	// truncated stream ended; the episodes they belong to are lost.
+	DroppedOpenIntervals int
+	// DroppedEpisodes counts completed episodes discarded because the
+	// salvaged timeline pushed them outside the session bounds.
+	DroppedEpisodes int
+	// SynthesizedEnd is set when the stream had no end record and the
+	// lenient builder closed the session at the last seen time stamp.
+	SynthesizedEnd bool
+}
+
+// Degraded reports whether the lenient builder had to drop anything.
+func (d *Diagnostics) Degraded() bool {
+	return d != nil && (d.SkippedRecords > 0 || d.DroppedOpenIntervals > 0 ||
+		d.DroppedEpisodes > 0 || d.SynthesizedEnd)
+}
+
+// Options configure a session build beyond the fail-stop defaults.
+type Options struct {
+	// Lenient switches the builder from fail-stop to best-effort: an
+	// inconsistent record is skipped (and counted) instead of failing
+	// the build, and a stream that ends without its end record yields
+	// the session prefix with a synthesized end instead of an error.
+	// Pair it with a salvage-mode lila reader to ingest damaged
+	// traces end to end.
+	Lenient bool
+	// Limits bound the rebuilt session's estimated memory
+	// (MaxSessionBytes); zero fields take lila.DefaultLimits values.
+	Limits lila.Limits
 }
 
 // Build consumes the record stream of r until its end record and
 // reconstructs the session.
 func Build(r lila.Reader) (*trace.Session, *Diagnostics, error) {
-	b := newBuilder(r.Header())
+	return BuildOptions(r, Options{})
+}
+
+// BuildOptions is Build with explicit options.
+func BuildOptions(r lila.Reader, o Options) (*trace.Session, *Diagnostics, error) {
+	b := newBuilder(r.Header(), o)
 	for {
 		rec, err := r.Read()
 		if err == io.EOF {
@@ -58,7 +109,7 @@ func Build(r lila.Reader) (*trace.Session, *Diagnostics, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := b.add(rec); err != nil {
+		if err := b.feed(rec); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -67,9 +118,14 @@ func Build(r lila.Reader) (*trace.Session, *Diagnostics, error) {
 
 // BuildRecords reconstructs a session from an in-memory record slice.
 func BuildRecords(h lila.Header, recs []*lila.Record) (*trace.Session, *Diagnostics, error) {
-	b := newBuilder(h)
+	return BuildRecordsOptions(h, recs, Options{})
+}
+
+// BuildRecordsOptions is BuildRecords with explicit options.
+func BuildRecordsOptions(h lila.Header, recs []*lila.Record, o Options) (*trace.Session, *Diagnostics, error) {
+	b := newBuilder(h, o)
 	for _, rec := range recs {
-		if err := b.add(rec); err != nil {
+		if err := b.feed(rec); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -80,16 +136,41 @@ func BuildRecords(h lila.Header, recs []*lila.Record) (*trace.Session, *Diagnost
 // the session, discarding diagnostics. It is the one-call path used by
 // the command-line tools.
 func ReadSession(rd io.Reader) (*trace.Session, error) {
-	lr, err := lila.NewReader(rd)
-	if err != nil {
-		return nil, err
-	}
-	s, _, err := Build(lr)
+	s, _, err := ReadSessionOptions(rd, lila.ReaderOptions{}, Options{})
 	return s, err
+}
+
+// SessionHealth bundles the per-file damage accounting from a lenient
+// ingest: what the salvage reader dropped on the wire and what the
+// lenient builder dropped while rebuilding. Either field may be nil
+// (strict reader / strict build).
+type SessionHealth struct {
+	Salvage *lila.SalvageReport `json:"salvage,omitempty"`
+	Diag    *Diagnostics        `json:"diagnostics,omitempty"`
+}
+
+// Degraded reports whether anything was lost on the way in.
+func (h *SessionHealth) Degraded() bool {
+	return h != nil && (h.Salvage.Damaged() || h.Diag.Degraded())
+}
+
+// ReadSessionOptions reads a trace from rd with ro applied to the
+// decoder and o applied to the rebuild, returning the session together
+// with its ingest health. On error the health (possibly partial) is
+// still returned when available so callers can attribute the failure.
+func ReadSessionOptions(rd io.Reader, ro lila.ReaderOptions, o Options) (*trace.Session, *SessionHealth, error) {
+	lr, err := lila.NewReaderOptions(rd, ro)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, diag, err := BuildOptions(lr, o)
+	h := &SessionHealth{Salvage: lila.SalvageOf(lr), Diag: diag}
+	return s, h, err
 }
 
 type builder struct {
 	h      lila.Header
+	opts   Options
 	s      *trace.Session
 	diag   Diagnostics
 	stacks map[trace.ThreadID][]*trace.Interval
@@ -97,11 +178,24 @@ type builder struct {
 	gc     *trace.Interval // open GC bracket, nil outside collections
 	last   trace.Time
 	ended  bool
+	est    int64 // estimated session bytes, checked against MaxSessionBytes
 }
 
-func newBuilder(h lila.Header) *builder {
+// Rough per-object costs for the session memory estimate. They only
+// need to be the right order of magnitude: the guard exists to catch
+// sessions that would balloon to gigabytes, not to meter allocations.
+const (
+	estIntervalBytes = 160 // Interval struct + child slice slot + episode overhead
+	estFrameBytes    = 48  // Frame struct + interned string headers
+	estSampleBytes   = 96  // ThreadSample + tick bookkeeping
+	estThreadBytes   = 128 // ThreadInfo + map entries
+)
+
+func newBuilder(h lila.Header, o Options) *builder {
+	o.Limits = o.Limits.WithDefaults()
 	return &builder{
-		h: h,
+		h:    h,
+		opts: o,
 		s: &trace.Session{
 			App:             h.App,
 			ID:              h.SessionID,
@@ -113,6 +207,35 @@ func newBuilder(h lila.Header) *builder {
 		stacks: make(map[trace.ThreadID][]*trace.Interval),
 		known:  make(map[trace.ThreadID]bool),
 	}
+}
+
+// charge adds n bytes to the session size estimate and trips the
+// memory guard when the budget is exceeded. The guard is fatal even
+// under Lenient — skipping records would silently bias the analysis —
+// but callers can errors.Is for ErrSessionTooLarge and fall back to
+// the streaming analyzer.
+func (b *builder) charge(n int64) error {
+	b.est += n
+	if b.est > b.opts.Limits.MaxSessionBytes {
+		return fmt.Errorf("%w: estimated %d bytes over budget %d",
+			ErrSessionTooLarge, b.est, b.opts.Limits.MaxSessionBytes)
+	}
+	return nil
+}
+
+// feed routes one record through add, applying the lenient skip
+// policy: inconsistent records are counted and dropped instead of
+// failing the build. Resource-guard trips stay fatal either way.
+func (b *builder) feed(rec *lila.Record) error {
+	err := b.add(rec)
+	if err == nil || !b.opts.Lenient || errors.Is(err, ErrSessionTooLarge) {
+		return err
+	}
+	b.diag.SkippedRecords++
+	if b.diag.FirstSkipError == "" {
+		b.diag.FirstSkipError = err.Error()
+	}
+	return nil
 }
 
 func (b *builder) ensureThread(id trace.ThreadID) {
@@ -143,9 +266,15 @@ func (b *builder) add(rec *lila.Record) error {
 		}
 		b.known[rec.Thread] = true
 		b.s.Threads = append(b.s.Threads, trace.ThreadInfo{ID: rec.Thread, Name: rec.Name, Daemon: rec.Daemon})
+		if err := b.charge(estThreadBytes + int64(len(rec.Name))); err != nil {
+			return err
+		}
 
 	case lila.RecCall:
 		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		if err := b.charge(estIntervalBytes); err != nil {
 			return err
 		}
 		b.ensureThread(rec.Thread)
@@ -209,18 +338,26 @@ func (b *builder) add(rec *lila.Record) error {
 		b.gc.End = rec.Time
 		// A GC stops all threads: add a copy of the interval to the
 		// tree of every thread that was inside an interval.
+		copies := int64(1)
 		for _, stack := range b.stacks {
 			if len(stack) == 0 {
 				continue
 			}
 			top := stack[len(stack)-1]
 			top.Children = append(top.Children, b.gc.Clone())
+			copies++
 		}
 		b.s.GCs = append(b.s.GCs, b.gc)
 		b.gc = nil
+		if err := b.charge(copies * estIntervalBytes); err != nil {
+			return err
+		}
 
 	case lila.RecSample:
 		if err := b.checkTime(rec.Time); err != nil {
+			return err
+		}
+		if err := b.charge(estSampleBytes + int64(len(rec.Stack))*estFrameBytes); err != nil {
 			return err
 		}
 		b.ensureThread(rec.Thread)
@@ -240,12 +377,22 @@ func (b *builder) add(rec *lila.Record) error {
 		}
 		for id, stack := range b.stacks {
 			if len(stack) > 0 {
-				return fmt.Errorf("treebuild: thread %d has %d open interval(s) at session end (innermost %s)",
-					id, len(stack), stack[len(stack)-1].Qualified())
+				if !b.opts.Lenient {
+					return fmt.Errorf("treebuild: thread %d has %d open interval(s) at session end (innermost %s)",
+						id, len(stack), stack[len(stack)-1].Qualified())
+				}
+				// Damaged trace lost the returns; the episodes those
+				// intervals belonged to are unfinishable.
+				b.diag.DroppedOpenIntervals += len(stack)
+				delete(b.stacks, id)
 			}
 		}
 		if b.gc != nil {
-			return fmt.Errorf("treebuild: collection open at session end")
+			if !b.opts.Lenient {
+				return fmt.Errorf("treebuild: collection open at session end")
+			}
+			b.diag.DroppedOpenIntervals++
+			b.gc = nil
 		}
 		b.s.End = rec.Time
 		b.s.ShortCount += rec.Count
@@ -259,7 +406,51 @@ func (b *builder) add(rec *lila.Record) error {
 
 func (b *builder) finish() (*trace.Session, *Diagnostics, error) {
 	if !b.ended {
-		return nil, nil, fmt.Errorf("treebuild: record stream had no end record")
+		if !b.opts.Lenient {
+			return nil, nil, fmt.Errorf("treebuild: record stream had no end record")
+		}
+		// Truncated stream: close the session at the last time stamp we
+		// saw and drop whatever was still open.
+		b.diag.SynthesizedEnd = true
+		for id, stack := range b.stacks {
+			if len(stack) > 0 {
+				b.diag.DroppedOpenIntervals += len(stack)
+				delete(b.stacks, id)
+			}
+		}
+		if b.gc != nil {
+			b.diag.DroppedOpenIntervals++
+			b.gc = nil
+		}
+		end := b.last
+		if end < b.s.Start {
+			end = b.s.Start
+		}
+		b.s.End = end
+	}
+	if b.opts.Lenient {
+		// A salvage gap swallows time deltas with it (binary times are
+		// delta-coded), which can shift later absolute times ahead of
+		// the session start; drop episodes the shifted timeline pushed
+		// outside the session bounds rather than fail validation.
+		kept := b.s.Episodes[:0]
+		for _, e := range b.s.Episodes {
+			if e.Start() < b.s.Start || e.End() > b.s.End {
+				b.diag.DroppedEpisodes++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		b.s.Episodes = kept
+		keptGC := b.s.GCs[:0]
+		for _, gc := range b.s.GCs {
+			if gc.Start < b.s.Start || gc.End > b.s.End {
+				b.diag.DroppedEpisodes++
+				continue
+			}
+			keptGC = append(keptGC, gc)
+		}
+		b.s.GCs = keptGC
 	}
 	sort.SliceStable(b.s.Episodes, func(i, j int) bool {
 		return b.s.Episodes[i].Start() < b.s.Episodes[j].Start()
