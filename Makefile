@@ -1,10 +1,12 @@
 # Build/test entry points. `make check` is the tier-1 gate; `make race`
 # exercises the concurrent packages (the analysis engine's worker
-# pools, sharded classification, and the study fan-out) under the race
-# detector. `make chaos` is the robustness tier: the fault-injection
-# suites (salvage decoding, lenient rebuild, engine panic containment)
-# plus a fuzz smoke pass over the salvage decoders. `make profile` runs
-# the engine benchmark under the CPU and heap profilers and prints the
+# pools, sharded classification, the study fan-out, and the lagd job
+# supervisor) under the race detector. `make chaos` is the robustness
+# tier: the fault-injection suites (salvage decoding, lenient rebuild,
+# engine panic containment, checkpoint-store corruption and stalled
+# reads, service shedding/retry/shutdown, CLI kill-and-resume) plus a
+# fuzz smoke pass over the salvage decoders. `make profile` runs the
+# engine benchmark under the CPU and heap profilers and prints the
 # top-10 hot spots from each.
 
 GO ?= go
@@ -22,13 +24,17 @@ test:
 check: build test
 
 race:
-	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs
+	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs \
+		./internal/serve ./internal/checkpoint
 
 chaos:
 	$(GO) test ./internal/faultinject ./internal/lila ./internal/treebuild \
 		-run 'Salvage|Lenient|Robust|Fault|Panic|Budget'
-	$(GO) test ./internal/engine ./internal/report -run 'Robust|Panic|Cancel|Damaged|Salvaged' -race
+	$(GO) test ./internal/engine ./internal/report -run 'Robust|Panic|Cancel|Damaged|Salvaged|Resume|TimedOut' -race
+	$(GO) test ./internal/checkpoint ./internal/serve \
+		-run 'Fault|Corrupt|Truncat|Orphan|Resume|Shed|Panic|Retry|Shutdown|Deadline' -race
 	$(GO) test -run TestCLIFaultTolerance .
+	$(GO) test -run TestCLICheckpointKillResume .
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageText -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinary -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME)

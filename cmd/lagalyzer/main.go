@@ -27,11 +27,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"lagalyzer/internal/analysis"
@@ -48,9 +51,13 @@ import (
 
 // salvageMode mirrors the global -salvage flag; lostInputs counts the
 // files that contributed nothing even under salvage (→ exit 3).
+// runCtx is canceled by SIGINT/SIGTERM: the per-file loops stop at the
+// next boundary, completed work is printed, and the run exits with the
+// partial-success code instead of dying mid-write.
 var (
 	salvageMode bool
 	lostInputs  int
+	runCtx      context.Context = context.Background()
 )
 
 func main() {
@@ -74,6 +81,10 @@ func run() int {
 		return 1
 	}
 	defer stopProfiles()
+
+	var stopSignals context.CancelFunc
+	runCtx, stopSignals = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
@@ -133,7 +144,15 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 		return nil, fmt.Errorf("no trace files given")
 	}
 	var sessions []*trace.Session
-	for _, path := range paths {
+	for i, path := range paths {
+		// A signal stops ingest at the next file boundary; the files
+		// not reached count as lost inputs, so the run finishes its
+		// output over what loaded and exits 3.
+		if runCtx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", len(paths)-i)
+			lostInputs += len(paths) - i
+			break
+		}
 		s, err := loadSession(path)
 		if err != nil {
 			if salvageMode {
@@ -251,7 +270,7 @@ func runTimeline(args []string) error {
 	}
 	for _, s := range sessions {
 		if *svgOut != "" {
-			if err := os.WriteFile(*svgOut, []byte(viz.Timeline(s, viz.TimelineOptions{})), 0o644); err != nil {
+			if err := obs.WriteFileAtomic(*svgOut, []byte(viz.Timeline(s, viz.TimelineOptions{})), 0o644); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *svgOut)
@@ -263,7 +282,12 @@ func runTimeline(args []string) error {
 }
 
 func runStream(args []string) error {
-	for _, path := range args {
+	for i, path := range args {
+		if runCtx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", len(args)-i)
+			lostInputs += len(args) - i
+			break
+		}
 		st, err := streamOne(path)
 		if err != nil {
 			if salvageMode {
@@ -372,7 +396,7 @@ func runSketch(args []string) error {
 		}
 	}
 	if *svgOut != "" {
-		if err := os.WriteFile(*svgOut, []byte(viz.Sketch(s, e, viz.SketchOptions{})), 0o644); err != nil {
+		if err := obs.WriteFileAtomic(*svgOut, []byte(viz.Sketch(s, e, viz.SketchOptions{})), 0o644); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (episode %d, %v)\n", *svgOut, e.Index, e.Dur())
@@ -491,7 +515,7 @@ func runBrowse(args []string) error {
 				fmt.Println("svg needs a file name")
 				continue
 			}
-			if err := os.WriteFile(arg, []byte(svg), 0o644); err != nil {
+			if err := obs.WriteFileAtomic(arg, []byte(svg), 0o644); err != nil {
 				fmt.Println(err)
 				continue
 			}

@@ -1,0 +1,121 @@
+// Command lagd is the supervised LagAlyzer analysis service: a
+// long-lived HTTP daemon that accepts analysis jobs (simulated profile
+// studies or recorded trace directories), runs them on a bounded
+// worker pool with per-job deadlines, retries transient failures with
+// exponential backoff, sheds load with 429 + Retry-After when the
+// queue or memory budget fills, isolates worker panics, and on
+// SIGINT/SIGTERM drains in-flight jobs and checkpoints the rest so a
+// restarted daemon picks up where it left off.
+//
+// Usage:
+//
+//	lagd -addr :8077 -state /var/lib/lagd
+//
+//	# submit a study job
+//	curl -s -X POST localhost:8077/jobs \
+//	  -d '{"kind":"study","apps":["Jmol"],"sessions":2,"seed":7}'
+//	# poll it
+//	curl -s localhost:8077/jobs/job-1
+//	# fetch the result
+//	curl -s 'localhost:8077/jobs/job-1/result?format=text'
+//
+// Exit codes: 0 clean drain (every accepted job finished), 1 fatal
+// error, 2 usage error, 3 partial (accepted jobs were checkpointed for
+// the next instance rather than finished).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8077", "HTTP listen address")
+		workers  = flag.Int("workers", 2, "job worker pool size")
+		queue    = flag.Int("queue", 16, "pending-job queue depth (full queue sheds with 429)")
+		deadline = flag.Duration("deadline", 2*time.Minute, "default per-job execution deadline")
+		retries  = flag.Int("retries", 2, "retries granted to retryable job failures")
+		grace    = flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight jobs before their contexts are canceled")
+		stateDir = flag.String("state", "", "state directory for checkpoints and pending jobs (empty = no persistence)")
+		memMB    = flag.Int64("mem-budget-mb", 0, "admission-control memory budget in MiB (0 = lila default)")
+	)
+	profiler := obs.AddProfileFlags(flag.CommandLine)
+	flag.Parse()
+
+	stopProfiles, err := profiler.Start()
+	if err != nil {
+		return fatal(err)
+	}
+	defer stopProfiles()
+
+	srv, err := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxRetries:      *retries,
+		ShutdownGrace:   *grace,
+		StateDir:        *stateDir,
+		MemoryBudget:    *memMB << 20,
+	})
+	if err != nil {
+		return fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "lagd: serving on http://%s (POST /jobs, GET /jobs/{id}, /metrics, /healthz)\n",
+		ln.Addr())
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		return fatal(fmt.Errorf("http server: %w", err))
+	}
+	stopSignals()
+	fmt.Fprintln(os.Stderr, "lagd: signal received — draining")
+
+	// Stop accepting connections first, then drain the job queue. The
+	// whole shutdown is bounded by twice the grace (listener close plus
+	// in-flight drain plus persistence).
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2**grace+10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+
+	checkpointed, err := srv.Shutdown(shutCtx)
+	if err != nil {
+		return fatal(err)
+	}
+	if checkpointed > 0 {
+		fmt.Fprintf(os.Stderr, "lagd: drained with %d job(s) checkpointed for the next run; exiting 3\n", checkpointed)
+		return 3
+	}
+	fmt.Fprintln(os.Stderr, "lagd: drained cleanly")
+	return 0
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "lagd:", err)
+	return 1
+}

@@ -18,6 +18,11 @@
 //	lagreport -debug-addr :6060       # live pprof + /metrics while running
 //	lagreport -cpuprofile cpu.out     # also -memprofile, -trace
 //
+// With -out the study is also crash-safe: each completed application
+// is checkpointed under <out>/.checkpoint, SIGINT/SIGTERM flush the
+// completed part as a partial report, and rerunning with the same
+// flags resumes from the checkpoints to byte-identical final output.
+//
 // Exit codes: 0 success, 1 total failure, 2 usage error, 3 partial
 // success (the study completed but lost whole sessions or apps; see
 // the Health section).
@@ -29,8 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"lagalyzer/internal/obs"
@@ -81,9 +88,23 @@ func run() int {
 
 	tr := obs.NewTrace()
 	ctx := obs.WithTrace(context.Background(), tr)
+	// SIGINT/SIGTERM cancel the study context instead of killing the
+	// process mid-write: completed apps are flushed as a partial report
+	// (exit code 3), and with -out their checkpoints survive for the
+	// next run to resume.
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	var progressW io.Writer
 	if *progress {
 		progressW = os.Stderr
+	}
+
+	// The out directory must exist before the study so the checkpoint
+	// store can live under it from the first completed app.
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
 	}
 
 	start := time.Now()
@@ -100,15 +121,25 @@ func run() int {
 			res.Health.Merge(loadHealth)
 		}
 	} else {
-		res, err = report.RunStudyContext(ctx, report.StudyConfig{
+		cfg := report.StudyConfig{
 			Seed:           *seed,
 			SessionsPerApp: *sessions,
 			SessionSeconds: *seconds,
 			Progress:       progressW,
-		})
+		}
+		if *outDir != "" {
+			cfg.CheckpointDir = filepath.Join(*outDir, ".checkpoint")
+		}
+		res, err = report.RunStudyContext(ctx, cfg)
 	}
 	if err != nil {
-		fail(err)
+		if res == nil {
+			fail(err)
+		}
+		// Canceled mid-study with survivors: flush everything completed
+		// so the interruption costs no finished work.
+		fmt.Fprintln(os.Stderr,
+			"lagreport: interrupted — flushing partial results (rerun with the same flags to resume)")
 	}
 	elapsed := time.Since(start)
 
@@ -160,19 +191,16 @@ func run() int {
 	if *outDir == "" {
 		return exitCode(res)
 	}
-	if err := os.MkdirAll(*outDir, 0o755); err != nil {
-		fail(err)
-	}
 	for name, svg := range report.Figures(res) {
-		if err := os.WriteFile(filepath.Join(*outDir, name), []byte(svg), 0o644); err != nil {
+		if err := obs.WriteFileAtomic(filepath.Join(*outDir, name), []byte(svg), 0o644); err != nil {
 			fail(err)
 		}
 	}
 	md := report.FormatExperimentsMarkdown(res)
-	if err := os.WriteFile(filepath.Join(*outDir, "experiments.md"), []byte(md), 0o644); err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(*outDir, "experiments.md"), []byte(md), 0o644); err != nil {
 		fail(err)
 	}
-	if err := os.WriteFile(filepath.Join(*outDir, "report.html"), []byte(report.FormatHTML(res)), 0o644); err != nil {
+	if err := obs.WriteFileAtomic(filepath.Join(*outDir, "report.html"), []byte(report.FormatHTML(res)), 0o644); err != nil {
 		fail(err)
 	}
 	if res.Health.Degraded() {

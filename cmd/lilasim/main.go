@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/lila"
@@ -76,18 +77,19 @@ func main() {
 		fail(err)
 	}
 
+	// Stream to a temp file in the target directory and rename on
+	// success, so a killed lilasim never leaves a truncated trace under
+	// the final name (tools downstream treat presence as completeness).
 	w := os.Stdout
+	var tmp *os.File
 	if *out != "" {
-		file, err := os.Create(*out)
+		dir := filepath.Dir(*out)
+		tmp, err = os.CreateTemp(dir, "."+filepath.Base(*out)+".tmp-*")
 		if err != nil {
 			fail(err)
 		}
-		defer func() {
-			if err := file.Close(); err != nil {
-				fail(err)
-			}
-		}()
-		w = file
+		defer os.Remove(tmp.Name()) // no-op after the rename
+		w = tmp
 	}
 	lw, err := lila.NewWriter(w, f, header)
 	if err != nil {
@@ -100,6 +102,20 @@ func main() {
 	}
 	if err := lw.Close(); err != nil {
 		fail(err)
+	}
+	if tmp != nil {
+		if err := tmp.Sync(); err != nil {
+			fail(err)
+		}
+		if err := tmp.Close(); err != nil {
+			fail(err)
+		}
+		if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.Rename(tmp.Name(), *out); err != nil {
+			fail(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "lilasim: wrote %d records (%s/%d, %s format)\n", len(recs), profile.Name, *session, f)
 }

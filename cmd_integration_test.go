@@ -5,12 +5,15 @@ package lagalyzer
 // public interfaces.
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lagalyzer/internal/faultinject"
 )
@@ -348,6 +351,142 @@ func TestCLIFaultTolerance(t *testing.T) {
 	}
 	if !strings.Contains(out, "skipped") || !strings.Contains(out, "JEdit/0") {
 		t.Errorf("lagalyzer -salvage partial output:\n%s", out)
+	}
+}
+
+// TestCLICheckpointKillResume is the crash-safety golden test: a study
+// SIGKILLed mid-run and then rerun with the same flags must resume from
+// the -out/.checkpoint store and produce byte-identical final output to
+// an uninterrupted run — same stdout (modulo the elapsed time), same
+// figures, same experiments.md, same report.html, and an equivalent
+// runmeta.json once the volatile fields (timestamps, phase timings,
+// metric values, the differing -out flag) are stripped.
+func TestCLICheckpointKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := tool(t, "lagreport")
+	studyArgs := func(out string) []string {
+		return []string{"-sessions", "2", "-seconds", "60", "-seed", "7", "-out", out}
+	}
+
+	// Reference: the same study, uninterrupted.
+	dirA := t.TempDir()
+	outA := run(t, bin, "", studyArgs(dirA)...)
+
+	// Victim: start the study, wait for the first app checkpoint to
+	// land, then SIGKILL — no signal handler runs, no flush happens.
+	dirB := t.TempDir()
+	victim := exec.Command(bin, studyArgs(dirB)...)
+	if err := victim.Start(); err != nil {
+		t.Fatalf("starting victim run: %v", err)
+	}
+	manifest := filepath.Join(dirB, ".checkpoint", "manifest.json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(manifest); err == nil && strings.Contains(string(data), `"digest"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			victim.Process.Kill()
+			victim.Wait()
+			t.Fatal("no checkpoint appeared within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := victim.Process.Kill(); err != nil {
+		t.Logf("kill after completion (study finished before the signal): %v", err)
+	}
+	victim.Wait()
+
+	// Resume: rerunning with the same flags must pick up the surviving
+	// checkpoints and converge on the reference output.
+	outB := run(t, bin, "", studyArgs(dirB)...)
+
+	// The elapsed time and the -out directory are the only run-specific
+	// parts of the study's stdout; everything else must match exactly.
+	normalize := func(out string) string {
+		lines := strings.Split(out, "\n")
+		for i, ln := range lines {
+			if strings.HasPrefix(ln, "analyzed ") {
+				if cut := strings.LastIndex(ln, " in "); cut >= 0 {
+					lines[i] = ln[:cut]
+				}
+			}
+			if strings.HasPrefix(ln, "wrote ") {
+				if cut := strings.LastIndex(ln, " to "); cut >= 0 {
+					lines[i] = ln[:cut]
+				}
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if a, b := normalize(outA), normalize(outB); a != b {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", a, b)
+	}
+
+	// Every artifact except runmeta.json must be byte-identical.
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == "runmeta.json" {
+			continue
+		}
+		wantBytes, err := os.ReadFile(filepath.Join(dirA, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := os.ReadFile(filepath.Join(dirB, e.Name()))
+		if err != nil {
+			t.Errorf("resumed run missing artifact %s: %v", e.Name(), err)
+			continue
+		}
+		if !bytes.Equal(wantBytes, gotBytes) {
+			t.Errorf("artifact %s differs between uninterrupted and resumed runs", e.Name())
+		}
+		compared++
+	}
+	if compared < 3 { // at least the SVGs, experiments.md, and report.html
+		t.Errorf("compared only %d artifacts, expected the full figure set", compared)
+	}
+
+	// runmeta.json: equivalent after dropping the volatile fields.
+	loadMeta := func(dir string) map[string]any {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, "runmeta.json"))
+		if err != nil {
+			t.Fatalf("runmeta.json: %v", err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("runmeta.json: %v", err)
+		}
+		return m
+	}
+	metaA, metaB := loadMeta(dirA), loadMeta(dirB)
+
+	// The resumed run must have loaded at least one checkpoint instead
+	// of recomputing everything from scratch.
+	hits := func(m map[string]any) float64 {
+		counters, _ := m["metrics"].(map[string]any)["counters"].(map[string]any)
+		v, _ := counters["checkpoint_hits_total"].(float64)
+		return v
+	}
+	if got := hits(metaB); got < 1 {
+		t.Errorf("resumed run checkpoint_hits_total = %v, want >= 1", got)
+	}
+
+	for _, volatile := range []string{"started", "wall_clock", "phases", "metrics", "flags"} {
+		delete(metaA, volatile)
+		delete(metaB, volatile)
+	}
+	stableA, _ := json.Marshal(metaA)
+	stableB, _ := json.Marshal(metaB)
+	if !bytes.Equal(stableA, stableB) {
+		t.Errorf("runmeta.json stable fields differ:\n%s\nvs\n%s", stableA, stableB)
 	}
 }
 

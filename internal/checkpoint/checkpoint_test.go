@@ -1,0 +1,225 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/faultinject"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/trace"
+)
+
+// testSuite simulates a small deterministic suite to checkpoint.
+func testSuite(t *testing.T) *trace.Suite {
+	t.Helper()
+	p := apps.CrosswordSage()
+	var sessions []*trace.Session
+	for i := 0; i < 2; i++ {
+		s, err := sim.Run(sim.Config{Profile: p, SessionID: i, Seed: 7, SessionSeconds: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	return &trace.Suite{App: p.Name, Sessions: sessions}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+
+	st, err := Open(dir, "hash-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Load(suite.App); ok {
+		t.Fatal("Load hit on an empty store")
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopened store (the resume path) must reproduce the suite
+	// exactly: same sessions, structurally equal down to the episode
+	// trees and sampling ticks.
+	st2, err := Open(dir, "hash-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Load(suite.App)
+	if !ok {
+		t.Fatal("Load missed after Save + reopen")
+	}
+	if got.App != suite.App || len(got.Sessions) != len(suite.Sessions) {
+		t.Fatalf("suite shape: got %s/%d sessions, want %s/%d",
+			got.App, len(got.Sessions), suite.App, len(suite.Sessions))
+	}
+	for i := range suite.Sessions {
+		if !reflect.DeepEqual(got.Sessions[i], suite.Sessions[i]) {
+			t.Errorf("session %d differs after round trip", i)
+		}
+	}
+	if apps := st2.Apps(); len(apps) != 1 || apps[0] != suite.App {
+		t.Errorf("Apps() = %v, want [%s]", apps, suite.App)
+	}
+}
+
+func TestConfigHashMismatchInvalidatesStore(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "hash-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same directory, different configuration: the store must start
+	// empty and drop the stale payloads from disk.
+	st2, err := Open(dir, "hash-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Load(suite.App); ok {
+		t.Fatal("Load hit across a config-hash change")
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "apps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("stale payloads not cleaned: %d files remain", len(entries))
+	}
+}
+
+func TestCorruptPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip bits in the payload on disk: the digest check must turn the
+	// load into a miss, never a wrong result or a crash.
+	entries, err := os.ReadDir(filepath.Join(dir, "apps"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one payload file, got %d (err %v)", len(entries), err)
+	}
+	path := filepath.Join(dir, "apps", entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faultinject.FlipBits(data, 3, 8, 0, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Load(suite.App); ok {
+		t.Fatal("Load hit on a corrupted payload")
+	}
+}
+
+func TestTruncatedManifestResets(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn manifest (should be impossible given the atomic
+	// writes, but belt and suspenders for foreign tools): Open must
+	// degrade to an empty store, not fail.
+	mp := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, faultinject.TruncateFrac(data, 0.5), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, "h")
+	if err != nil {
+		t.Fatalf("Open failed on a torn manifest: %v", err)
+	}
+	if _, ok := st2.Load(suite.App); ok {
+		t.Fatal("Load hit through a torn manifest")
+	}
+}
+
+func TestOrphanPayloadGarbageCollected(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st
+	// A crash between the payload write and the manifest update leaves
+	// an unreferenced payload; the next Open collects it.
+	orphan := filepath.Join(dir, "apps", "deadbeef.gob")
+	if err := os.WriteFile(orphan, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "h"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan payload survived garbage collection (stat err %v)", err)
+	}
+}
+
+func TestFaultWrappedReaders(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stalling, short-read source still delivers the exact bytes —
+	// loads must succeed (slowly), proving the read path has no framing
+	// assumptions.
+	slow, err := OpenOptions(dir, "h", Options{
+		WrapReader: func(r io.Reader) io.Reader {
+			return faultinject.NewStallReader(faultinject.NewShortReader(r, 11), 512, time.Microsecond)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := slow.Load(suite.App); !ok {
+		t.Fatal("Load missed under stall+short-read injection")
+	}
+
+	// A source that dies mid-transfer must degrade to a miss.
+	cut, err := OpenOptions(dir, "h", Options{
+		WrapReader: func(r io.Reader) io.Reader {
+			return faultinject.NewTruncatingReader(r, 100)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cut.Load(suite.App); ok {
+		t.Fatal("Load hit through a truncated transfer")
+	}
+}

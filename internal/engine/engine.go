@@ -278,7 +278,15 @@ func AnalyzeContextErr(ctx context.Context, suite *trace.Suite, threshold trace.
 		w := newWalker(opts)
 		lo := ci * chunkSize
 		hi := min(lo+chunkSize, len(items))
-		for _, it := range items[lo:hi] {
+		for ii, it := range items[lo:hi] {
+			// Probe cancellation inside the chunk too (every 64 items),
+			// so a per-app deadline or shutdown interrupts within tens of
+			// episodes instead of only at chunk boundaries. The partial
+			// shard is discarded with the run, so determinism is intact.
+			if ii%64 == 0 && wctx.Err() != nil {
+				chunkErrs[ci] = wctx.Err()
+				break
+			}
 			analyzeItem(sh, w, it, threshold, opts.Library)
 		}
 		endChunk()

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 )
 
@@ -34,3 +36,35 @@ func (cr *CountingReader) Read(p []byte) (int, error) {
 
 // Bytes returns the number of bytes read so far.
 func (cr *CountingReader) Bytes() int64 { return cr.n.Load() }
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory followed by a rename, so a reader (or a crash — including
+// SIGKILL) never observes a truncated or partially written file: the
+// old content, if any, stays intact until the new content is durably
+// on disk. Every artifact the pipeline emits (runmeta.json, reports,
+// figures, checkpoints, benchmark trajectories) goes through this.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Flush file content before the rename publishes it; otherwise a
+	// power loss could leave a correctly named but empty file.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

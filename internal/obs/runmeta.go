@@ -2,7 +2,6 @@ package obs
 
 import (
 	"encoding/json"
-	"os"
 	"runtime"
 	"time"
 )
@@ -65,11 +64,13 @@ func (m *RunMeta) Finish(t *Trace, reg *Registry) {
 	m.Metrics = reg.Snapshot()
 }
 
-// WriteFile serializes the manifest as indented JSON to path.
+// WriteFile serializes the manifest as indented JSON to path. The
+// write is atomic (tmp+rename), so an interrupted run never leaves a
+// truncated manifest behind.
 func (m *RunMeta) WriteFile(path string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

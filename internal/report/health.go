@@ -46,10 +46,27 @@ func (f *FileHealth) Damaged() bool {
 		f.Salvage.Damaged() || f.Diagnostics.Degraded()
 }
 
+// Loss reasons distinguish why an app failed in the health ledger.
+// Generic failures (panic, ingest error) leave Reason empty; the
+// constants mark the two execution-control causes, which callers like
+// the serve retry classifier and the report's Health section treat
+// differently from data-dependent failures.
+const (
+	// LossTimedOut marks an app that exceeded StudyConfig.AppTimeout
+	// while the study as a whole kept running.
+	LossTimedOut = "timed_out"
+	// LossCanceled marks an app abandoned because the whole study's
+	// context was canceled (signal, shutdown, parent deadline).
+	LossCanceled = "canceled"
+)
+
 // AppHealth is the analysis outcome of one failed application.
 type AppHealth struct {
 	App   string `json:"app"`
 	Error string `json:"error"`
+	// Reason is one of the Loss* constants, or empty for generic
+	// failures.
+	Reason string `json:"reason,omitempty"`
 }
 
 // StudyHealth aggregates everything a study survived.
@@ -142,7 +159,11 @@ func FormatHealth(h *StudyHealth) string {
 		}
 	}
 	for _, a := range h.Apps {
-		fmt.Fprintf(&b, "app %s failed: %s\n", a.App, a.Error)
+		if a.Reason != "" {
+			fmt.Fprintf(&b, "app %s failed [%s]: %s\n", a.App, a.Reason, a.Error)
+		} else {
+			fmt.Fprintf(&b, "app %s failed: %s\n", a.App, a.Error)
+		}
 	}
 	return b.String()
 }

@@ -193,13 +193,21 @@ func AnalyzeSuitesContext(ctx context.Context, suites []*trace.Suite, threshold 
 	pr := newProgress(progressW, len(suites))
 	res := &StudyResult{Config: StudyConfig{Threshold: threshold}, Health: &StudyHealth{}}
 	for _, suite := range suites {
+		// Cancellation (signal, job deadline): record every remaining
+		// app as canceled so the partial health ledger is complete.
+		if cerr := ctx.Err(); cerr != nil {
+			res.Health.Apps = append(res.Health.Apps,
+				AppHealth{App: suite.App, Error: cerr.Error(), Reason: LossCanceled})
+			continue
+		}
 		actx, endApp := obs.Span(ctx, "app:"+suite.App)
 		a, err := analyzeSuite(actx, suite, threshold, 0)
 		endApp()
 		mSessions.Add(int64(len(suite.Sessions)))
 		pr.step("analyze " + suite.App)
 		if err != nil {
-			res.Health.Apps = append(res.Health.Apps, AppHealth{App: suite.App, Error: err.Error()})
+			res.Health.Apps = append(res.Health.Apps,
+				AppHealth{App: suite.App, Error: err.Error(), Reason: lossReason(ctx, StudyConfig{}, err)})
 			continue
 		}
 		res.Apps = append(res.Apps, a)

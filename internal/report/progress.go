@@ -30,6 +30,19 @@ func newProgress(w io.Writer, total int) *progress {
 	return &progress{w: w, total: total, start: time.Now()}
 }
 
+// skip advances the counter by n units without printing one line per
+// unit — used when a checkpoint resume satisfies a whole app's
+// simulation at once — then prints a single line for the batch.
+func (p *progress) skip(n int, label string) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.done += n - 1
+	p.mu.Unlock()
+	p.step(label)
+}
+
 // step records one completed unit and prints the updated state.
 func (p *progress) step(label string) {
 	if p == nil {

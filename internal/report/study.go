@@ -2,6 +2,9 @@ package report
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -12,6 +15,7 @@ import (
 
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/apps"
+	"lagalyzer/internal/checkpoint"
 	"lagalyzer/internal/engine"
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/patterns"
@@ -63,8 +67,37 @@ type StudyConfig struct {
 	Progress io.Writer
 	// AppTimeout, when > 0, bounds each application's simulate+analyze
 	// phase; an app that exceeds it fails with context.DeadlineExceeded
-	// and is recorded in the study health like any other app failure.
+	// and is recorded in the study health with the LossTimedOut reason.
 	AppTimeout time.Duration
+
+	// CheckpointDir, when non-empty, makes the study crash-safe: each
+	// app's completed session suite is persisted to a content-addressed
+	// store rooted there (lagreport uses <out>/.checkpoint), and a
+	// restart with an identical configuration (same Hash) loads
+	// checkpointed apps instead of re-running them. Because the engine's
+	// analysis is a deterministic function of the sessions, a resumed
+	// study's output is byte-identical to an uninterrupted run.
+	CheckpointDir string
+	// Checkpoint supplies a pre-opened store (tests use it to inject
+	// fault-wrapped readers); it takes precedence over CheckpointDir.
+	Checkpoint *checkpoint.Store
+}
+
+// Hash fingerprints every configuration field that influences the
+// checkpointed payload: the app list, session count, seed, threshold,
+// and session length. Execution-shape knobs (Sequential, Progress,
+// AppTimeout, the checkpoint fields themselves) are deliberately
+// excluded — they cannot change the simulated sessions, so a resume
+// across e.g. a worker-count change still hits.
+func (c StudyConfig) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "lagalyzer-study-v1\n")
+	fmt.Fprintf(h, "sessions=%d seed=%d threshold=%d seconds=%g\n",
+		c.sessions(), c.Seed, int64(c.threshold()), c.SessionSeconds)
+	for _, p := range c.apps() {
+		fmt.Fprintf(h, "app=%s\n", p.Name)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 func (c StudyConfig) apps() []*sim.Profile {
@@ -214,12 +247,19 @@ func RunStudy(cfg StudyConfig) (*StudyResult, error) {
 	return RunStudyContext(context.Background(), cfg)
 }
 
-// RunStudyContext is RunStudy with observability: a context carrying
-// an obs.Trace collects a "study" phase span with per-app, simulate,
-// and engine child spans (attributed to pool workers), and
-// cfg.Progress receives per-unit progress lines with an ETA. Neither
-// affects results — rows remain byte-identical to an untraced
-// sequential run.
+// RunStudyContext is RunStudy with observability and crash safety: a
+// context carrying an obs.Trace collects a "study" phase span with
+// per-app, simulate, and engine child spans (attributed to pool
+// workers), cfg.Progress receives per-unit progress lines with an ETA,
+// and cfg.CheckpointDir persists completed apps for resume. None of
+// these affect results — rows remain byte-identical to an untraced
+// sequential run from scratch.
+//
+// On cancellation (signal, deadline) with at least one completed app,
+// RunStudyContext returns BOTH a partial result and the context's
+// error: the result carries the survivors plus a health ledger marking
+// the abandoned apps LossCanceled, so callers can flush partial output
+// before exiting with the partial-success code.
 func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error) {
 	ctx, endStudy := obs.PhaseSpan(ctx, "study")
 	defer endStudy()
@@ -227,6 +267,16 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error)
 	profiles := cfg.apps()
 	results := make([]*AppResult, len(profiles))
 	errs := make([]error, len(profiles))
+
+	// Crash safety: open (or create) the checkpoint store bound to this
+	// configuration's hash. A store that cannot be opened degrades the
+	// run to non-checkpointed — a broken disk never blocks analysis.
+	store := cfg.Checkpoint
+	if store == nil && cfg.CheckpointDir != "" {
+		if st, err := checkpoint.Open(cfg.CheckpointDir, cfg.Hash()); err == nil {
+			store = st
+		}
+	}
 
 	// One progress unit per simulated session plus one per app
 	// analysis.
@@ -249,12 +299,29 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error)
 			wctx, cancel = context.WithTimeout(wctx, cfg.AppTimeout)
 			defer cancel()
 		}
+		if store != nil {
+			if suite, ok := store.Load(profiles[i].Name); ok {
+				// Resume: the expensive simulation is skipped; the
+				// deterministic engine re-derives the identical analysis.
+				if a, err := analyzeSuite(wctx, suite, cfg.threshold(), cfg.workers()); err == nil {
+					a.Profile = profiles[i]
+					pr.skip(cfg.sessions(), "resume "+profiles[i].Name)
+					pr.step("analyze " + profiles[i].Name)
+					results[i] = a
+					return
+				}
+				// Analysis of the checkpointed suite failed (cancellation
+				// or contained panic): fall through to a fresh run, which
+				// will classify the error normally.
+			}
+		}
 		results[i], errs[i] = runApp(wctx, cfg, profiles[i], pr)
+		if store != nil && errs[i] == nil && results[i] != nil {
+			// Best-effort: a failed save costs only resumability.
+			_ = store.Save(results[i].Suite)
+		}
 	})
 	mApps.Add(int64(len(profiles)))
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 
 	// Graceful degradation: a failed app is recorded in the health and
 	// the study continues with the survivors; only a study that loses
@@ -262,19 +329,43 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error)
 	res := &StudyResult{Config: cfg, Health: &StudyHealth{}}
 	for i, err := range errs {
 		if err != nil {
-			res.Health.Apps = append(res.Health.Apps,
-				AppHealth{App: profiles[i].Name, Error: err.Error()})
+			res.Health.Apps = append(res.Health.Apps, AppHealth{
+				App:    profiles[i].Name,
+				Error:  err.Error(),
+				Reason: lossReason(ctx, cfg, err),
+			})
 			continue
 		}
 		res.Apps = append(res.Apps, results[i])
 		res.Rows = append(res.Rows, results[i].Overview)
 	}
+	cancelErr := ctx.Err()
 	if len(res.Apps) == 0 {
+		if cancelErr != nil {
+			return nil, cancelErr
+		}
 		return nil, fmt.Errorf("report: all %d apps failed (first: %s: %s)",
 			len(profiles), res.Health.Apps[0].App, res.Health.Apps[0].Error)
 	}
 	res.Rows = append(res.Rows, analysis.MeanOverview(res.Rows))
+	if cancelErr != nil {
+		return res, cancelErr
+	}
 	return res, nil
+}
+
+// lossReason classifies an app failure for the health ledger: a
+// deadline hit while the study's own context was still live is the
+// per-app timeout firing; any cancellation-shaped error under a dead
+// study context means the whole run was being torn down.
+func lossReason(ctx context.Context, cfg StudyConfig, err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) && cfg.AppTimeout > 0 && ctx.Err() == nil:
+		return LossTimedOut
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		return LossCanceled
+	}
+	return ""
 }
 
 func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) (*AppResult, error) {

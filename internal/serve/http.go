@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/report"
+)
+
+// Handler exposes the job API:
+//
+//	POST /jobs                  submit a JobSpec       → 202 {"id": ...}
+//	GET  /jobs                  list jobs              → 200 [Status]
+//	GET  /jobs/{id}             poll one job           → 200 Status
+//	GET  /jobs/{id}/result      fetch the result       → 200 (text|html|json)
+//	GET  /healthz               liveness + drain state
+//	GET  /metrics               obs registry snapshot (text)
+//
+// Shed submissions answer 429 with a Retry-After hint; a draining
+// server answers 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, obs.Default().Snapshot().Format())
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrShed):
+		// Back-pressure to the client: try again once the queue has
+		// drained a job or memory was released.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]string{"id": job.ID})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	res, ok := s.Result(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("job %s has no result yet (state %s)", id, st.State),
+			http.StatusConflict)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, report.FormatAll(res))
+	case "html":
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, report.FormatHTML(res))
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Status Status              `json:"status"`
+			Rows   any                 `json:"rows"`
+			Health *report.StudyHealth `json:"health,omitempty"`
+		}{st, res.Rows, res.Health})
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"ok":       true,
+		"draining": s.Draining(),
+	})
+}

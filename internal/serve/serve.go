@@ -1,0 +1,699 @@
+// Package serve is the supervised analysis service behind cmd/lagd:
+// a bounded job queue feeding panic-isolated workers that run profile
+// studies and trace-directory analyses with per-job deadlines,
+// retry-with-backoff for transient failures, admission control that
+// sheds load before memory is committed, and a graceful shutdown that
+// drains in-flight work and checkpoints the rest.
+//
+// The supervision model is per-job, not per-process: a job that
+// panics, times out, or trips a resource guard fails (or retries)
+// alone, and the server keeps serving. Combined with the
+// report-layer's crash-safe study checkpoints, a restarted server
+// resumes persisted jobs without repeating completed per-app work.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/trace"
+)
+
+// Serve metrics (ISSUE 4): inflight is a gauge over running jobs; shed
+// counts admissions refused by load control; retries counts re-runs of
+// retryable failures. checkpoint_hits_total lives in the checkpoint
+// package.
+var (
+	mInflight = obs.NewGauge("serve_jobs_inflight",
+		"jobs currently executing on a worker")
+	mShed = obs.NewCounter("serve_jobs_shed_total",
+		"job submissions refused by admission control (queue full or memory budget)")
+	mRetries = obs.NewCounter("serve_retries_total",
+		"job attempts re-run after a retryable failure")
+	mAccepted = obs.NewCounter("serve_jobs_accepted_total",
+		"job submissions admitted to the queue")
+	mPanics = obs.NewCounter("engine_panics_recovered_total",
+		"worker panics contained and converted to attributed errors")
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+	// StateCheckpointed marks a job the server accepted but persisted
+	// for the next process instead of finishing (graceful shutdown).
+	StateCheckpointed JobState = "checkpointed"
+)
+
+// JobSpec describes one unit of analysis work, as submitted over the
+// HTTP API.
+type JobSpec struct {
+	// Kind selects the pipeline: "study" simulates and characterizes a
+	// profile study; "traces" ingests and characterizes a directory of
+	// recorded LiLa traces.
+	Kind string `json:"kind"`
+
+	// Study parameters (Kind "study"). Empty Apps means the full
+	// catalog.
+	Apps     []string `json:"apps,omitempty"`
+	Sessions int      `json:"sessions,omitempty"`
+	Seed     uint64   `json:"seed,omitempty"`
+	Seconds  float64  `json:"seconds,omitempty"`
+
+	// Trace parameters (Kind "traces").
+	Dir     string `json:"dir,omitempty"`
+	Salvage bool   `json:"salvage,omitempty"`
+
+	// DeadlineMS bounds the job's execution (per attempt); 0 takes the
+	// server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Job is one accepted unit of work. Fields other than Result are
+// guarded by the server mutex; read them through Status.
+type Job struct {
+	ID       string
+	Spec     JobSpec
+	State    JobState
+	Attempts int
+	Err      string
+	// Result holds the (possibly partial) study outcome once the job
+	// ran; nil until then.
+	Result *report.StudyResult
+
+	estimate int64
+}
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	ID       string   `json:"id"`
+	Kind     string   `json:"kind"`
+	State    JobState `json:"state"`
+	Attempts int      `json:"attempts,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	// Partial marks a done job whose study lost whole units of work
+	// (the HTTP analogue of exit code 3).
+	Partial bool `json:"partial,omitempty"`
+}
+
+// Runner executes one job attempt. Tests substitute fakes; production
+// uses the server's built-in pipeline dispatch.
+type Runner func(ctx context.Context, spec JobSpec) (*report.StudyResult, error)
+
+// Config tunes the server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the worker pool size (default 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 16); a full
+	// queue sheds with 429.
+	QueueDepth int
+	// DefaultDeadline bounds each job attempt when the spec does not
+	// (default 2 minutes).
+	DefaultDeadline time.Duration
+	// MaxRetries is the number of re-runs granted to retryable
+	// failures (default 2; 3 attempts total).
+	MaxRetries int
+	// RetryBase scales the exponential backoff (default 100ms; tests
+	// shrink it).
+	RetryBase time.Duration
+	// ShutdownGrace is how long Shutdown lets in-flight jobs finish
+	// before canceling their contexts (default 5s). The deadline passed
+	// to Shutdown caps the whole sequence.
+	ShutdownGrace time.Duration
+	// StateDir, when non-empty, persists shutdown-checkpointed jobs to
+	// pending.json and roots the per-study checkpoint stores; a new
+	// server over the same StateDir restores and re-queues them.
+	StateDir string
+	// MemoryBudget bounds the summed memory estimates of admitted,
+	// unfinished jobs (default lila.DefaultLimits().MaxSessionBytes).
+	MemoryBudget int64
+	// Limits are the ingest resource guards for trace jobs; zero
+	// fields take lila defaults.
+	Limits lila.Limits
+	// Runner overrides job execution (tests); nil runs the real
+	// pipelines.
+	Runner Runner
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return 2
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 16
+}
+
+func (c Config) defaultDeadline() time.Duration {
+	if c.DefaultDeadline > 0 {
+		return c.DefaultDeadline
+	}
+	return 2 * time.Minute
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 2
+}
+
+func (c Config) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (c Config) shutdownGrace() time.Duration {
+	if c.ShutdownGrace > 0 {
+		return c.ShutdownGrace
+	}
+	return 5 * time.Second
+}
+
+func (c Config) memoryBudget() int64 {
+	if c.MemoryBudget > 0 {
+		return c.MemoryBudget
+	}
+	return lila.DefaultLimits().MaxSessionBytes
+}
+
+// Submission errors. ErrShed carries the 429 semantics (the client
+// should back off and retry); ErrDraining the 503 (the server is going
+// away).
+var (
+	ErrShed     = errors.New("serve: load shed, retry later")
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+)
+
+// Server is the supervised job service.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+
+	// runCtx cancels every job attempt; Shutdown cancels it when the
+	// grace period expires.
+	runCtx    context.Context
+	cancelRun context.CancelFunc
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	inflight int
+	memInUse int64
+	// pending collects jobs to persist at shutdown: still-queued ones
+	// plus in-flight jobs cut off by the grace deadline.
+	pending []*Job
+	// idle is signalled whenever inflight drops to zero.
+	idle chan struct{}
+}
+
+// New starts a server: spawns the worker pool and, when cfg.StateDir
+// holds a pending.json from a previous shutdown, restores and
+// re-queues those jobs.
+func New(cfg Config) (*Server, error) {
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.queueDepth()),
+		jobs:  map[string]*Job{},
+		idle:  make(chan struct{}, 1),
+	}
+	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
+	if err := s.restorePending(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits a job or sheds it. The returned job is queued;
+// progress is observed through Status.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	est := estimateMemory(spec, s.cfg)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Admission control, memory axis: refuse work whose estimated
+	// footprint would push the admitted total past the budget. The
+	// estimate is deliberately pessimistic — shedding is cheap,
+	// thrashing is not.
+	if s.memInUse+est > s.cfg.memoryBudget() {
+		s.mu.Unlock()
+		mShed.Inc()
+		return nil, fmt.Errorf("%w (estimated %d bytes over budget)", ErrShed, est)
+	}
+	s.nextID++
+	job := &Job{
+		ID:       fmt.Sprintf("job-%d", s.nextID),
+		Spec:     spec,
+		State:    StateQueued,
+		estimate: est,
+	}
+	// Admission control, queue axis: a full queue sheds instead of
+	// blocking the submitter.
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		mShed.Inc()
+		return nil, fmt.Errorf("%w (queue full)", ErrShed)
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.memInUse += est
+	s.mu.Unlock()
+	mAccepted.Inc()
+	return job, nil
+}
+
+// Status returns a job's snapshot.
+func (s *Server) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return statusOf(job), true
+}
+
+// Jobs lists every known job in submission order.
+func (s *Server) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, statusOf(s.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a finished job's study result (possibly partial).
+func (s *Server) Result(id string) (*report.StudyResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.Result == nil {
+		return nil, false
+	}
+	return job.Result, true
+}
+
+func statusOf(job *Job) Status {
+	st := Status{
+		ID:       job.ID,
+		Kind:     job.Spec.Kind,
+		State:    job.State,
+		Attempts: job.Attempts,
+		Error:    job.Err,
+	}
+	if job.Result != nil {
+		st.Partial = job.Result.Partial()
+	}
+	return st
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func validateSpec(spec JobSpec) error {
+	switch spec.Kind {
+	case "study":
+		for _, name := range spec.Apps {
+			if _, err := apps.ByName(name); err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
+		}
+		return nil
+	case "traces":
+		if spec.Dir == "" {
+			return errors.New("serve: traces job needs dir")
+		}
+		return nil
+	}
+	return fmt.Errorf("serve: unknown job kind %q", spec.Kind)
+}
+
+// estimateMemory predicts a job's peak footprint for admission
+// control. Trace jobs sum their input file sizes (the session tree
+// costs a small multiple of the wire size; the lila session budget
+// caps any single file). Study jobs scale with simulated
+// app-session-seconds using a coarse per-second constant measured from
+// the simulator's output density.
+func estimateMemory(spec JobSpec, cfg Config) int64 {
+	switch spec.Kind {
+	case "traces":
+		var total int64
+		filepath.WalkDir(spec.Dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			if info, err := d.Info(); err == nil {
+				total += info.Size()
+			}
+			return nil
+		})
+		return total
+	case "study":
+		nApps := len(spec.Apps)
+		if nApps == 0 {
+			nApps = len(apps.Catalog())
+		}
+		sessions := spec.Sessions
+		if sessions == 0 {
+			sessions = 4
+		}
+		seconds := spec.Seconds
+		if seconds == 0 {
+			seconds = 300 // profiles default to minutes-long sessions
+		}
+		const bytesPerSessionSecond = 64 << 10
+		return int64(nApps) * int64(sessions) * int64(seconds*bytesPerSessionSecond)
+	}
+	return 0
+}
+
+// worker pulls jobs until the queue closes. A job received after
+// draining began is parked for checkpointing rather than started —
+// this closes the race between Shutdown collecting the queue and a
+// worker picking up one last job.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		if s.draining {
+			job.State = StateCheckpointed
+			s.pending = append(s.pending, job)
+			s.mu.Unlock()
+			continue
+		}
+		job.State = StateRunning
+		s.inflight++
+		s.mu.Unlock()
+		mInflight.Add(1)
+
+		s.runJob(job)
+	}
+}
+
+// runJob supervises one job: deadline per attempt, retry with
+// exponential backoff and deterministic jitter for retryable errors,
+// panic isolation, and checkpointing when shutdown cuts it off.
+func (s *Server) runJob(job *Job) {
+	defer func() {
+		mInflight.Add(-1)
+		s.mu.Lock()
+		s.inflight--
+		s.memInUse -= job.estimate
+		if s.inflight == 0 {
+			select {
+			case s.idle <- struct{}{}:
+			default:
+			}
+		}
+		s.mu.Unlock()
+	}()
+
+	deadline := s.cfg.defaultDeadline()
+	if job.Spec.DeadlineMS > 0 {
+		deadline = time.Duration(job.Spec.DeadlineMS) * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		job.Attempts = attempt + 1
+		s.mu.Unlock()
+
+		err := s.runOnce(job, deadline)
+
+		s.mu.Lock()
+		if err == nil {
+			job.State = StateDone
+			job.Err = ""
+			s.mu.Unlock()
+			return
+		}
+		// Shutdown cut the attempt off: the job goes back into the
+		// pending set so the next server instance finishes it (its
+		// per-app study checkpoints survive on disk).
+		if s.draining && s.runCtx.Err() != nil {
+			job.State = StateCheckpointed
+			job.Err = err.Error()
+			s.pending = append(s.pending, job)
+			s.mu.Unlock()
+			return
+		}
+		if !Retryable(err) || attempt >= s.cfg.maxRetries() {
+			job.State = StateFailed
+			job.Err = err.Error()
+			s.mu.Unlock()
+			return
+		}
+		job.Err = err.Error()
+		s.mu.Unlock()
+		mRetries.Inc()
+		select {
+		case <-time.After(backoff(s.cfg.retryBase(), attempt, job.ID)):
+		case <-s.runCtx.Done():
+			// Keep looping: the next runOnce fails fast with the
+			// cancellation, and the draining branch checkpoints the job.
+		}
+	}
+}
+
+// runOnce executes a single attempt under the job deadline with panic
+// containment: a panicking pipeline is converted to ErrWorkerPanic
+// (retryable) instead of taking the worker down.
+func (s *Server) runOnce(job *Job, deadline time.Duration) (err error) {
+	ctx, cancel := context.WithTimeout(s.runCtx, deadline)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			mPanics.Inc()
+			err = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+		}
+	}()
+	runner := s.cfg.Runner
+	if runner == nil {
+		runner = s.run
+	}
+	res, err := runner(ctx, job.Spec)
+	s.mu.Lock()
+	if res != nil {
+		job.Result = res
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// run is the production Runner: dispatch on the spec kind into the
+// report pipelines, threading the study checkpoint store through
+// StateDir so a job interrupted by shutdown resumes its completed apps.
+func (s *Server) run(ctx context.Context, spec JobSpec) (*report.StudyResult, error) {
+	switch spec.Kind {
+	case "study":
+		var profiles []*sim.Profile
+		for _, name := range spec.Apps {
+			p, err := apps.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+		cfg := report.StudyConfig{
+			Apps:           profiles,
+			SessionsPerApp: spec.Sessions,
+			Seed:           spec.Seed,
+			SessionSeconds: spec.Seconds,
+		}
+		if s.cfg.StateDir != "" {
+			cfg.CheckpointDir = filepath.Join(s.cfg.StateDir, "checkpoint", cfg.Hash())
+		}
+		return report.RunStudyContext(ctx, cfg)
+	case "traces":
+		suites, health, err := report.LoadTraceDirOptions(spec.Dir, report.LoadOptions{
+			Salvage: spec.Salvage,
+			Limits:  s.cfg.Limits,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := report.AnalyzeSuitesContext(ctx, suites, trace.DefaultPerceptibleThreshold, nil)
+		res.Health.Merge(health)
+		if cerr := ctx.Err(); cerr != nil {
+			return res, cerr
+		}
+		if len(res.Apps) == 0 {
+			return res, errors.New("serve: no app survived analysis")
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
+}
+
+// Shutdown drains the server: stop admissions, collect still-queued
+// jobs for checkpointing, let in-flight jobs finish within the grace
+// period (bounded additionally by ctx), then cancel stragglers and
+// checkpoint them too. It returns the number of jobs checkpointed for
+// the next instance. The server is unusable afterwards.
+func (s *Server) Shutdown(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return 0, errors.New("serve: already shut down")
+	}
+	s.draining = true
+	// Close under the mutex: Submit holds it across its queue send, so
+	// no submission can race the close and panic on a closed channel.
+	close(s.queue)
+	s.mu.Unlock()
+
+	// Collect everything still queued. Workers that race us to the
+	// channel see draining set and park their job in pending themselves.
+	for job := range s.queue {
+		s.mu.Lock()
+		job.State = StateCheckpointed
+		s.pending = append(s.pending, job)
+		s.mu.Unlock()
+	}
+
+	// Phase 2: wait for in-flight jobs — up to the grace period, and
+	// never past the caller's deadline.
+	grace := time.NewTimer(s.cfg.shutdownGrace())
+	defer grace.Stop()
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-s.idle:
+		case <-grace.C:
+			s.cancelRun()
+		case <-ctx.Done():
+			s.cancelRun()
+		}
+		if s.runCtx.Err() != nil {
+			// Canceled: wait for the workers to observe it and park
+			// their jobs, which is prompt (engine probes every 64
+			// episodes).
+			s.wg.Wait()
+			break
+		}
+	}
+	s.cancelRun()
+	s.wg.Wait()
+
+	n, err := s.persistPending()
+	return n, err
+}
+
+// persistPending writes the checkpointed jobs' specs to
+// StateDir/pending.json (atomic), so New can re-queue them.
+func (s *Server) persistPending() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Slice(s.pending, func(i, j int) bool { return s.pending[i].ID < s.pending[j].ID })
+	n := len(s.pending)
+	if n == 0 || s.cfg.StateDir == "" {
+		return n, nil
+	}
+	specs := make([]JobSpec, 0, n)
+	for _, job := range s.pending {
+		specs = append(specs, job.Spec)
+	}
+	data, err := json.MarshalIndent(specs, "", "  ")
+	if err != nil {
+		return n, err
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return n, err
+	}
+	return n, obs.WriteFileAtomic(filepath.Join(s.cfg.StateDir, "pending.json"), append(data, '\n'), 0o644)
+}
+
+// restorePending re-queues jobs persisted by a previous shutdown.
+func (s *Server) restorePending() error {
+	if s.cfg.StateDir == "" {
+		return nil
+	}
+	path := filepath.Join(s.cfg.StateDir, "pending.json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var specs []JobSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("serve: corrupt pending.json: %w", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	for _, spec := range specs {
+		if _, err := s.Submit(spec); err != nil {
+			return fmt.Errorf("serve: re-queueing persisted job: %w", err)
+		}
+	}
+	return nil
+}
+
+// backoff computes the delay before retry attempt+1: exponential in
+// the attempt with a deterministic jitter derived from the job ID, so
+// a thundering herd of same-shaped jobs still spreads out while tests
+// stay reproducible.
+func backoff(base time.Duration, attempt int, jobID string) time.Duration {
+	d := base << uint(attempt)
+	const maxBackoff = 30 * time.Second
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	h.Write([]byte{byte(attempt)})
+	jitter := time.Duration(h.Sum64() % uint64(base))
+	return d + jitter
+}

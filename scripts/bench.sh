@@ -24,6 +24,11 @@ raw=$(go test -run '^$' \
 
 printf '%s\n' "$raw"
 
+# Write to a temp file and rename, so an interrupted run never leaves
+# a truncated BENCH_engine.json under the final name.
+tmp="$out.tmp-$$"
+trap 'rm -f "$tmp"' EXIT
+
 printf '%s\n' "$raw" | awk \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 	-v procs="$gomaxprocs" \
@@ -52,6 +57,7 @@ BEGIN {
 		name, nsop, bop, allocs
 }
 END { printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu }
-' >"$out"
+' >"$tmp"
+mv "$tmp" "$out"
 
 echo "wrote $out"
