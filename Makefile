@@ -25,7 +25,7 @@ check: build test
 
 race:
 	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs \
-		./internal/serve ./internal/checkpoint
+		./internal/serve ./internal/checkpoint ./internal/intern ./internal/lila
 
 chaos:
 	$(GO) test ./internal/faultinject ./internal/lila ./internal/treebuild \

@@ -12,7 +12,10 @@ package lagalyzer
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -194,6 +197,53 @@ func BenchmarkStudy_EndToEnd(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.TotalEpisodes()), "episodes")
 	}
+}
+
+// BenchmarkLoadTraceDir measures the on-disk ingestion path end to
+// end: directory scan, format sniffing, concurrent decode (interner,
+// record arenas, stack dedup), session rebuild, and the deterministic
+// suite merge. The corpus — two applications, eight sessions, both
+// encodings — is written once outside the timed loop.
+func BenchmarkLoadTraceDir(b *testing.B) {
+	b.ReportAllocs()
+	dir := b.TempDir()
+	files := 0
+	for ai, p := range []func() *sim.Profile{apps.GanttProject, apps.SwingSet} {
+		for id := 0; id < 4; id++ {
+			s, err := sim.Run(sim.Config{Profile: p(), SessionID: id, Seed: 7, SessionSeconds: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := lila.FormatBinary
+			if id%2 == 1 {
+				f = lila.FormatText
+			}
+			var buf bytes.Buffer
+			if err := lila.WriteSession(&buf, f, s); err != nil {
+				b.Fatal(err)
+			}
+			name := fmt.Sprintf("app%d_session%d.lila", ai, id)
+			if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			files++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		suites, _, err := report.LoadTraceDirOptions(dir, report.LoadOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, s := range suites {
+			total += len(s.Sessions)
+		}
+		if total != files {
+			b.Fatalf("loaded %d sessions, want %d", total, files)
+		}
+	}
+	b.ReportMetric(float64(files), "files")
 }
 
 func BenchmarkSimulateSession(b *testing.B) {

@@ -32,8 +32,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -56,6 +59,7 @@ import (
 // partial-success code instead of dying mid-write.
 var (
 	salvageMode bool
+	loadJobs    int
 	lostInputs  int
 	runCtx      context.Context = context.Background()
 )
@@ -68,10 +72,12 @@ func main() {
 // profile writers) execute before the process exits.
 func run() int {
 	salvage := flag.Bool("salvage", false, "tolerate damaged traces: resynchronize past wire damage, rebuild leniently, skip unrecoverable files")
+	jobs := flag.Int("jobs", 0, "trace files decoded concurrently (0 = one per CPU, 1 = sequential)")
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
 	salvageMode = *salvage
+	loadJobs = *jobs
 	if flag.NArg() < 1 {
 		usage()
 	}
@@ -131,6 +137,7 @@ func usage() {
 
 global flags (before the subcommand):
   -salvage           tolerate damaged traces (skip unrecoverable files; exit 3 if any)
+  -jobs n            trace files decoded concurrently (0 = one per CPU, 1 = sequential)
   -cpuprofile file   write a CPU profile
   -memprofile file   write a heap profile at exit
   -trace file        write a runtime execution trace
@@ -143,26 +150,79 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("no trace files given")
 	}
-	var sessions []*trace.Session
-	for i, path := range paths {
-		// A signal stops ingest at the next file boundary; the files
-		// not reached count as lost inputs, so the run finishes its
-		// output over what loaded and exits 3.
-		if runCtx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", len(paths)-i)
-			lostInputs += len(paths) - i
-			break
+	jobs := loadJobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(paths) {
+		jobs = len(paths)
+	}
+
+	type result struct {
+		s   *trace.Session
+		err error
+	}
+	results := make([]result, len(paths))
+	if jobs <= 1 {
+		for i, path := range paths {
+			// A signal stops ingest at the next file boundary; the
+			// files not reached stay undecoded and are counted below.
+			if runCtx.Err() != nil {
+				break
+			}
+			s, err := loadSession(path)
+			if err != nil && !salvageMode {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			results[i] = result{s, err}
 		}
-		s, err := loadSession(path)
-		if err != nil {
+	} else {
+		// Decode concurrently; results land in argument-order slots so
+		// downstream output is identical to a sequential run.
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(paths) || runCtx.Err() != nil {
+						return
+					}
+					s, err := loadSession(paths[i])
+					results[i] = result{s, err}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var sessions []*trace.Session
+	interrupted := 0
+	for i, r := range results {
+		if r.s == nil && r.err == nil {
+			// Never decoded: the signal arrived before this file's
+			// pickup. It counts as a lost input, so the run finishes
+			// its output over what loaded and exits 3.
+			interrupted++
+			continue
+		}
+		if r.err != nil {
 			if salvageMode {
-				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", path, err)
+				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", paths[i], r.err)
 				lostInputs++
 				continue
 			}
-			return nil, fmt.Errorf("%s: %w", path, err)
+			// First failure in argument order, matching what a
+			// sequential fail-fast scan reports.
+			return nil, fmt.Errorf("%s: %w", paths[i], r.err)
 		}
-		sessions = append(sessions, s)
+		sessions = append(sessions, r.s)
+	}
+	if interrupted > 0 {
+		fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", interrupted)
+		lostInputs += interrupted
 	}
 	if len(sessions) == 0 {
 		return nil, fmt.Errorf("no loadable trace sessions (%d file(s) skipped)", lostInputs)

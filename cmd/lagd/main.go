@@ -53,6 +53,7 @@ func run() int {
 		grace    = flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight jobs before their contexts are canceled")
 		stateDir = flag.String("state", "", "state directory for checkpoints and pending jobs (empty = no persistence)")
 		memMB    = flag.Int64("mem-budget-mb", 0, "admission-control memory budget in MiB (0 = lila default)")
+		jobs     = flag.Int("jobs", 0, "trace files decoded concurrently per trace job (0 = one per CPU, 1 = sequential)")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -71,6 +72,7 @@ func run() int {
 		ShutdownGrace:   *grace,
 		StateDir:        *stateDir,
 		MemoryBudget:    *memMB << 20,
+		LoadJobs:        *jobs,
 	})
 	if err != nil {
 		return fatal(err)

@@ -59,6 +59,7 @@ func run() int {
 		traces    = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
 		salvage   = flag.Bool("salvage", false, "with -traces: salvage damaged trace files (resynchronize past wire damage, rebuild leniently)")
 		strict    = flag.Bool("strict", false, "with -traces: fail fast on the first unloadable trace file")
+		jobs      = flag.Int("jobs", 0, "with -traces: trace files decoded concurrently (0 = one per CPU, 1 = sequential)")
 		outDir    = flag.String("out", "", "directory for SVG figures, experiments.md, and runmeta.json (empty = text only)")
 		only      = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
 		progress  = flag.Bool("progress", false, "print per-session study progress with an ETA to stderr")
@@ -112,9 +113,10 @@ func run() int {
 	if *traces != "" {
 		var suites []*trace.Suite
 		var loadHealth *report.StudyHealth
-		suites, loadHealth, err = report.LoadTraceDirOptions(*traces, report.LoadOptions{
+		suites, loadHealth, err = report.LoadTraceDirContext(ctx, *traces, report.LoadOptions{
 			Salvage: *salvage,
 			Strict:  *strict,
+			Jobs:    *jobs,
 		})
 		if err == nil {
 			res = report.AnalyzeSuitesContext(ctx, suites, 0, progressW)

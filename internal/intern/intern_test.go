@@ -1,0 +1,85 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+// TestBytesAndStringAgree: both entry points must canonicalize onto
+// the same backing string, byte-for-byte and pointer-for-pointer.
+func TestBytesAndStringAgree(t *testing.T) {
+	a := String("lagalyzer.intern.TestSymbol#method")
+	b := Bytes([]byte("lagalyzer.intern.TestSymbol#method"))
+	if a != b {
+		t.Fatalf("String=%q Bytes=%q", a, b)
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("String and Bytes returned different backing strings for equal content")
+	}
+	if Bytes(nil) != "" || String("") != "" {
+		t.Error("empty inputs must intern to the empty string")
+	}
+}
+
+// TestConcurrentInternCanonical hammers the interner from many
+// goroutines over an overlapping word set (run under -race). Every
+// goroutine must observe the same canonical backing string per word:
+// a racy double-insert would hand different callers different
+// pointers, silently defeating the sharing the decoders rely on.
+func TestConcurrentInternCanonical(t *testing.T) {
+	const goroutines = 16
+	const words = 200
+	keys := make([]string, words)
+	for i := range keys {
+		// Mix lengths and shard targets.
+		keys[i] = fmt.Sprintf("com.example.pkg%d.Class%d#method%d", i%7, i, i%13)
+	}
+
+	results := make([][]string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		results[g] = make([]string, words)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, k := range keys {
+				if g%2 == 0 {
+					results[g][i] = Bytes([]byte(k))
+				} else {
+					results[g][i] = String(string([]byte(k)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range keys {
+			if results[g][i] != keys[i] {
+				t.Fatalf("goroutine %d interned %q as %q", g, keys[i], results[g][i])
+			}
+			if unsafe.StringData(results[g][i]) != unsafe.StringData(results[0][i]) {
+				t.Fatalf("goroutine %d got a non-canonical backing for %q", g, keys[i])
+			}
+		}
+	}
+}
+
+// TestInternHitAllocFree pins the hot-path contract: once a symbol is
+// in the table, re-interning it — from a []byte or a string — costs
+// zero allocations. The decoders lean on this for every string-table
+// reference after the first.
+func TestInternHitAllocFree(t *testing.T) {
+	b := []byte("com.example.warm.Key#value")
+	Bytes(b)
+	if n := testing.AllocsPerRun(200, func() { Bytes(b) }); n != 0 {
+		t.Errorf("Bytes hit allocates %v per call, want 0", n)
+	}
+	s := "com.example.warm.Key2#value"
+	String(s)
+	if n := testing.AllocsPerRun(200, func() { String(s) }); n != 0 {
+		t.Errorf("String hit allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,146 @@
+package lila
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"lagalyzer/internal/trace"
+)
+
+// allocTestTrace builds a binary trace whose symbols and stacks repeat
+// heavily, the shape real profiler output has (the same few painted
+// classes and idle stacks, tens of thousands of times).
+func allocTestTrace(t *testing.T, calls int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	h := Header{App: "AllocLean", SessionID: 1, GUIThread: 1,
+		FilterThreshold: trace.Ms(3), SamplePeriod: trace.Ms(10)}
+	bw, err := NewBinaryWriter(&buf, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(r *Record) {
+		t.Helper()
+		if err := bw.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(&Record{Type: RecThread, Thread: 1, Name: "AWT-EventQueue-0"})
+	classes := []string{"com.example.View", "com.example.Model", "javax.swing.JComponent", "java.util.HashMap"}
+	stacks := [][]trace.Frame{
+		{{Class: "com.example.View", Method: "paint"}, {Class: "java.awt.EventQueue", Method: "dispatchEvent"}},
+		{{Class: "java.lang.Object", Method: "wait", Native: true}, {Class: "java.awt.EventQueue", Method: "getNextEvent"}},
+	}
+	now := trace.Time(0)
+	for i := 0; i < calls; i++ {
+		write(&Record{Type: RecCall, Time: now, Thread: 1, Kind: trace.KindDispatch,
+			Class: classes[i%len(classes)], Method: "run"})
+		now += trace.Time(trace.Ms(1))
+		write(&Record{Type: RecSample, Time: now, Thread: 1,
+			State: trace.StateRunnable, Stack: stacks[i%len(stacks)]})
+		now += trace.Time(trace.Ms(1))
+		write(&Record{Type: RecReturn, Time: now, Thread: 1})
+	}
+	write(&Record{Type: RecEnd, Time: now})
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeAll(t *testing.T, data []byte) int {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+}
+
+// TestBinaryDecodeAllocationLean pins the decode path's allocation
+// budget: with the record arena, the pooled read scratch, the string
+// interner, and the stack-dedup table in place, decoding a
+// symbol-repetitive trace must cost far less than one heap allocation
+// per record. A regression to per-record allocation trips this
+// immediately (the historical decoder paid 1 Record + 1 stack slice
+// per record).
+func TestBinaryDecodeAllocationLean(t *testing.T) {
+	const calls = 2000
+	data := allocTestTrace(t, calls)
+
+	// Warm the process-wide interner so the measured runs exercise the
+	// steady state (hits, not first-sight inserts).
+	records := decodeAll(t, data)
+	if want := 3*calls + 2; records != want {
+		t.Fatalf("decoded %d records, want %d", records, want)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			panic(err)
+		}
+		for {
+			if _, err := r.Read(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				panic(err)
+			}
+		}
+	})
+	// Budget: reader setup, arena chunks (one per 1024 records), the
+	// dedup table — all amortized. One-per-record anything blows this.
+	if max := float64(records) / 10; allocs > max {
+		t.Errorf("decode of %d records allocated %v times, want <= %v", records, allocs, max)
+	}
+}
+
+// TestSampleStackDedup: identical sampled stacks within one session
+// must decode onto one shared []Frame, not per-record copies.
+func TestSampleStackDedup(t *testing.T) {
+	data := allocTestTrace(t, 10)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLeaf := make(map[string][]*Record)
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Type == RecSample && len(rec.Stack) > 0 {
+			leaf := rec.Stack[0].Class + "#" + rec.Stack[0].Method
+			byLeaf[leaf] = append(byLeaf[leaf], rec)
+		}
+	}
+	if len(byLeaf) != 2 {
+		t.Fatalf("distinct sampled stacks = %d, want 2", len(byLeaf))
+	}
+	for leaf, recs := range byLeaf {
+		if len(recs) < 2 {
+			t.Fatalf("stack %s sampled %d times, want >= 2", leaf, len(recs))
+		}
+		first := recs[0].Stack
+		for _, rec := range recs[1:] {
+			if &rec.Stack[0] != &first[0] {
+				t.Errorf("stack %s decoded onto distinct backing arrays", leaf)
+			}
+		}
+	}
+}

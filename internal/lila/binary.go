@@ -149,6 +149,12 @@ func b2byte(b bool) byte {
 
 // BinaryReader reads a trace in the binary format (fail-stop; for the
 // damage-tolerant variant see NewBinaryReaderOptions with Salvage).
+//
+// Decoding is allocation-lean: records come from a chunked arena,
+// string-table entries are interned process-wide exactly once (so
+// identical class/method names are shared across sessions), and
+// identical sampled stacks within the session collapse onto one
+// shared []Frame.
 type BinaryReader struct {
 	r        *bufio.Reader
 	h        Header
@@ -157,6 +163,10 @@ type BinaryReader struct {
 	limits   Limits
 	records  int
 	done     bool
+
+	arena    recArena
+	stacks   stackTab
+	frameBuf []trace.Frame // per-sample decode scratch, reused
 }
 
 // NewBinaryReader parses the header from r and returns a reader for
@@ -214,11 +224,20 @@ func (br *BinaryReader) readString() (string, error) {
 	if n > uint64(br.limits.MaxStringLen) {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
-	buf := make([]byte, n)
+	// Read into pooled scratch and intern: a string seen before (by
+	// any session in the process) costs no allocation at all.
+	buf := scratchPool.Get().([]byte)
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
 	if _, err := io.ReadFull(br.r, buf); err != nil {
+		scratchPool.Put(buf[:0])
 		return "", err
 	}
-	return string(buf), nil
+	s := internBytes(buf)
+	scratchPool.Put(buf[:0])
+	return s, nil
 }
 
 func (br *BinaryReader) readRef() (string, error) {
@@ -287,7 +306,8 @@ func (br *BinaryReader) read() (*Record, error) {
 	if int(tb) >= numRecTypes {
 		return nil, fmt.Errorf("lila: unknown binary record type %d", tb)
 	}
-	rec := &Record{Type: RecType(tb)}
+	rec := br.arena.new()
+	rec.Type = RecType(tb)
 	fail := func(err error) (*Record, error) {
 		return nil, fmt.Errorf("lila: reading %s record: %w", rec.Type, err)
 	}
@@ -366,22 +386,27 @@ func (br *BinaryReader) read() (*Record, error) {
 		if n > uint64(br.limits.MaxStackDepth) {
 			return fail(fmt.Errorf("implausible stack depth %d", n))
 		}
-		if n > 0 {
-			rec.Stack = make([]trace.Frame, n)
+		// Decode into the reusable scratch, then collapse onto the
+		// session's canonical copy of this exact stack (real samplers
+		// see the same few stacks tens of thousands of times).
+		if cap(br.frameBuf) < int(n) {
+			br.frameBuf = make([]trace.Frame, n)
 		}
-		for i := range rec.Stack {
+		br.frameBuf = br.frameBuf[:n]
+		for i := range br.frameBuf {
 			nb, err := br.r.ReadByte()
 			if err != nil {
 				return fail(err)
 			}
-			rec.Stack[i].Native = nb == 1
-			if rec.Stack[i].Class, err = br.readRef(); err != nil {
+			br.frameBuf[i].Native = nb == 1
+			if br.frameBuf[i].Class, err = br.readRef(); err != nil {
 				return fail(err)
 			}
-			if rec.Stack[i].Method, err = br.readRef(); err != nil {
+			if br.frameBuf[i].Method, err = br.readRef(); err != nil {
 				return fail(err)
 			}
 		}
+		rec.Stack = br.stacks.canon(br.frameBuf)
 	case RecEnd:
 		if rec.Time, err = br.readTime(); err != nil {
 			return fail(err)

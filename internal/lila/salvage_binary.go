@@ -69,6 +69,15 @@ type BinarySalvageReader struct {
 	scanWork int64 // remaining resync probe-byte budget
 	done     bool
 	flushed  bool
+
+	arena    recArena
+	stacks   stackTab
+	frameBuf []trace.Frame // per-sample decode scratch, reused
+	// probing marks speculative decodes (resync plausibility probes).
+	// Probe strings are never interned: a rolled-back probe over
+	// damaged bytes must not leak byte soup into the process-wide
+	// interner.
+	probing bool
 }
 
 // NewBinarySalvageReader buffers the trace from r (bounded by
@@ -177,12 +186,17 @@ func (d *BinarySalvageReader) str() (string, error) {
 	if d.off+int(n) > len(d.data) {
 		return "", errShort
 	}
-	s := string(d.data[d.off : d.off+int(n)])
+	raw := d.data[d.off : d.off+int(n)]
 	d.off += int(n)
-	if !plausibleString(s) {
-		return "", fmt.Errorf("implausible string %q", s)
+	if !plausibleBytes(raw) {
+		return "", fmt.Errorf("implausible string %q", raw)
 	}
-	return s, nil
+	if d.probing {
+		// Plain copy, not interned: a rolled-back probe over damaged
+		// bytes must not leak byte soup into the process-wide interner.
+		return string(raw), nil
+	}
+	return internBytes(raw), nil
 }
 
 func (d *BinarySalvageReader) ref() (string, error) {
@@ -221,11 +235,11 @@ func (d *BinarySalvageReader) time() (trace.Time, error) {
 	return d.lastTime, nil
 }
 
-// plausibleString rejects byte soup masquerading as a symbol: JVM
+// plausibleBytes rejects byte soup masquerading as a symbol: JVM
 // class/method/thread names never contain control characters.
-func plausibleString(s string) bool {
-	for i := 0; i < len(s); i++ {
-		if s[i] < 0x20 {
+func plausibleBytes(b []byte) bool {
+	for i := 0; i < len(b); i++ {
+		if b[i] < 0x20 {
 			return false
 		}
 	}
@@ -261,7 +275,15 @@ func (d *BinarySalvageReader) decodeRecord() (*Record, error) {
 	if int(tb) >= numRecTypes {
 		return nil, fmt.Errorf("unknown binary record type %d", tb)
 	}
-	rec := &Record{Type: RecType(tb)}
+	var rec *Record
+	if d.probing {
+		// Probe records are discarded on rollback; keep them off the
+		// arena so a long resync scan can't strand slab slots.
+		rec = &Record{Type: RecType(tb)}
+	} else {
+		rec = d.arena.new()
+		rec.Type = RecType(tb)
+	}
 	readTID := func() error {
 		v, err := d.varint()
 		rec.Thread = trace.ThreadID(v)
@@ -338,19 +360,27 @@ func (d *BinarySalvageReader) decodeRecord() (*Record, error) {
 			return nil, fmt.Errorf("implausible stack depth %d", n)
 		}
 		if n > 0 {
-			rec.Stack = make([]trace.Frame, n)
-		}
-		for i := range rec.Stack {
-			nb, err := d.byteVal()
-			if err != nil {
-				return nil, err
+			if cap(d.frameBuf) < int(n) {
+				d.frameBuf = make([]trace.Frame, n)
 			}
-			rec.Stack[i].Native = nb == 1
-			if rec.Stack[i].Class, err = d.ref(); err != nil {
-				return nil, err
+			d.frameBuf = d.frameBuf[:n]
+			for i := range d.frameBuf {
+				nb, err := d.byteVal()
+				if err != nil {
+					return nil, err
+				}
+				d.frameBuf[i].Native = nb == 1
+				if d.frameBuf[i].Class, err = d.ref(); err != nil {
+					return nil, err
+				}
+				if d.frameBuf[i].Method, err = d.ref(); err != nil {
+					return nil, err
+				}
 			}
-			if rec.Stack[i].Method, err = d.ref(); err != nil {
-				return nil, err
+			if d.probing {
+				rec.Stack = d.frameBuf // transient; dies with the probe
+			} else {
+				rec.Stack = d.stacks.canon(d.frameBuf)
 			}
 		}
 	case RecEnd:
@@ -374,11 +404,13 @@ func (d *BinarySalvageReader) decodeRecord() (*Record, error) {
 // must end cleanly sooner). State is rolled back either way.
 func (d *BinarySalvageReader) plausible(off int) bool {
 	save := d.snapshot()
+	d.probing = true
 	defer func() {
 		// Bill the probe bytes consumed against the scan budget before
 		// rolling back.
 		d.scanWork -= int64(d.off-off) + 1
 		d.restore(save)
+		d.probing = false
 	}()
 	d.off = off
 	for i := 0; i < resyncProbes; i++ {

@@ -158,13 +158,21 @@ func formatStack(stack []trace.Frame) (string, error) {
 	return b.String(), nil
 }
 
-func parseStack(s string) ([]trace.Frame, error) {
+// parseStack parses a ';'-separated stack into the reader's scratch
+// buffer, interning every symbol, and returns the session-canonical
+// shared slice for that exact stack (see stackTab).
+func (tr *TextReader) parseStack(s string) ([]trace.Frame, error) {
 	if s == "-" {
 		return nil, nil
 	}
-	parts := strings.Split(s, ";")
-	stack := make([]trace.Frame, len(parts))
-	for i, p := range parts {
+	tr.frameBuf = tr.frameBuf[:0]
+	for len(s) > 0 {
+		p := s
+		if i := strings.IndexByte(s, ';'); i >= 0 {
+			p, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
 		f := trace.Frame{}
 		if strings.HasPrefix(p, "*") {
 			f.Native = true
@@ -174,13 +182,16 @@ func parseStack(s string) ([]trace.Frame, error) {
 		if !ok || class == "" || method == "" {
 			return nil, fmt.Errorf("lila: malformed stack frame %q", p)
 		}
-		f.Class, f.Method = class, method
-		stack[i] = f
+		f.Class, f.Method = internString(class), internString(method)
+		tr.frameBuf = append(tr.frameBuf, f)
 	}
-	return stack, nil
+	return tr.stacks.canon(tr.frameBuf), nil
 }
 
-// TextReader reads a trace in the text format.
+// TextReader reads a trace in the text format. Like the binary
+// reader, decoding is allocation-lean: records come from a chunked
+// arena, symbol tokens are interned process-wide, and identical
+// sampled stacks share one canonical []Frame per session.
 type TextReader struct {
 	s            *bufio.Scanner
 	h            Header
@@ -192,6 +203,10 @@ type TextReader struct {
 	report       *SalvageReport // nil outside salvage mode
 	records      int
 	flushed      bool
+
+	arena    recArena
+	stacks   stackTab
+	frameBuf []trace.Frame // per-sample parse scratch, reused
 }
 
 // NewTextReader parses the header from r and returns a reader for the
@@ -390,7 +405,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		return trace.ThreadID(v), err
 	}
 
-	rec := &Record{}
+	rec := tr.arena.new()
 	var err error
 	switch op {
 	case "T":
@@ -409,6 +424,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		if rec.Name, err = strconv.Unquote(quoted); err != nil {
 			return nil, fmt.Errorf("thread name %q: %w", quoted, err)
 		}
+		rec.Name = internString(rec.Name)
 		rec.Daemon = args[len(args)-1] == "1"
 	case "C":
 		if err = need(5); err != nil {
@@ -427,8 +443,8 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		if len(args[3]) > tr.limits.MaxStringLen || len(args[4]) > tr.limits.MaxStringLen {
 			return nil, fmt.Errorf("symbol exceeds string limit %d", tr.limits.MaxStringLen)
 		}
-		rec.Class = dashEmpty(args[3])
-		rec.Method = dashEmpty(args[4])
+		rec.Class = internString(dashEmpty(args[3]))
+		rec.Method = internString(dashEmpty(args[4]))
 	case "R":
 		if err = need(2); err != nil {
 			return nil, err
@@ -471,7 +487,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		if rec.State, err = trace.ParseThreadState(args[2]); err != nil {
 			return nil, err
 		}
-		if rec.Stack, err = parseStack(args[3]); err != nil {
+		if rec.Stack, err = tr.parseStack(args[3]); err != nil {
 			return nil, err
 		}
 		if len(rec.Stack) > tr.limits.MaxStackDepth {

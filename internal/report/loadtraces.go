@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"lagalyzer/internal/analysis"
@@ -30,10 +31,25 @@ type LoadOptions struct {
 	// and the streaming-analyzer fallback for over-budget sessions.
 	Salvage bool
 	// Strict restores the historical fail-fast contract: the first
-	// file that fails to load aborts the whole scan with its error.
+	// file (in sorted path order) that fails to load aborts the whole
+	// scan with its error.
 	Strict bool
 	// Limits are the resource guards; zero fields take defaults.
 	Limits lila.Limits
+	// Jobs bounds how many trace files are decoded concurrently:
+	// 0 means one worker per GOMAXPROCS, 1 restores the sequential
+	// loader. The worker count never changes the result — files are
+	// merged in sorted path order whatever order they finish in — and
+	// under Strict the error surfaced is always the path-order-first
+	// failure, exactly as a sequential scan would report.
+	Jobs int
+}
+
+func (o LoadOptions) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // LoadTraceDir reads every LiLa trace under dir (recursively; both
@@ -55,6 +71,21 @@ func LoadTraceDir(dir string) ([]*trace.Suite, error) {
 // including alongside a no-sessions error; its Files list (ordered by
 // path, damaged files only) feeds the study's Health section.
 func LoadTraceDirOptions(dir string, o LoadOptions) ([]*trace.Suite, *StudyHealth, error) {
+	return LoadTraceDirContext(context.Background(), dir, o)
+}
+
+// LoadTraceDirContext is LoadTraceDirOptions with cancellation and
+// observability: files are decoded by a pool of o.Jobs workers (a
+// context-carried obs.Trace collects a "load" phase span with per-file
+// child spans attributed to pool workers), and a canceled context
+// aborts the scan with the context's error. Decode results are merged
+// in sorted path order regardless of completion order, so suites,
+// session order, and the health ledger are byte-identical whatever the
+// worker count.
+func LoadTraceDirContext(ctx context.Context, dir string, o LoadOptions) ([]*trace.Suite, *StudyHealth, error) {
+	ctx, endLoad := obs.PhaseSpan(ctx, "load")
+	defer endLoad()
+
 	var paths []string
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -73,13 +104,52 @@ func LoadTraceDirOptions(dir string, o LoadOptions) ([]*trace.Suite, *StudyHealt
 		return nil, nil, fmt.Errorf("report: no trace files under %s", dir)
 	}
 
+	type loadedFile struct {
+		s  *trace.Session
+		fh FileHealth
+	}
+	results := make([]loadedFile, len(paths))
+	if jobs := o.jobs(); jobs <= 1 || len(paths) == 1 {
+		// Sequential scan: under Strict the first failure aborts
+		// before any later file is even opened.
+		for i, path := range paths {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, cerr
+			}
+			s, fh := loadOne(path, o)
+			if fh.Error != "" && o.Strict {
+				return nil, nil, fmt.Errorf("report: %s: %s", path, fh.Error)
+			}
+			results[i] = loadedFile{s, fh}
+		}
+	} else {
+		runPool(jobs, len(paths), func(worker, i int) {
+			if ctx.Err() != nil {
+				return
+			}
+			_, end := obs.Span(obs.WithWorker(ctx, worker), "file")
+			s, fh := loadOne(paths[i], o)
+			end()
+			results[i] = loadedFile{s, fh}
+		})
+		if cerr := ctx.Err(); cerr != nil {
+			// Some slots were skipped after cancellation; a partial
+			// merge would misattribute the loss, so surface the
+			// cancellation itself.
+			return nil, nil, cerr
+		}
+	}
+
 	health := &StudyHealth{}
 	byApp := make(map[string]*trace.Suite)
 	var order []string
-	for _, path := range paths {
-		s, fh := loadOne(path, o)
+	for i := range results {
+		s, fh := results[i].s, results[i].fh
 		if fh.Error != "" && o.Strict {
-			return nil, nil, fmt.Errorf("report: %s: %s", path, fh.Error)
+			// Path-order-first failure: identical to what the
+			// sequential scan reports, whichever file failed first in
+			// wall-clock terms.
+			return nil, nil, fmt.Errorf("report: %s: %s", paths[i], fh.Error)
 		}
 		if fh.Damaged() {
 			health.Files = append(health.Files, fh)

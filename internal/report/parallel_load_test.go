@@ -1,0 +1,71 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParallelLoadByteIdentical is the loader half of the
+// determinism guarantee: over a faultinject-damaged corpus in salvage
+// mode, the parallel trace-directory loader must produce byte-identical
+// text and HTML reports — and an identical health ledger — to the
+// sequential loader, for any worker count. Results are merged in
+// sorted path order, so completion order must never leak into output.
+func TestParallelLoadByteIdentical(t *testing.T) {
+	dir := damagedCorpus(t)
+
+	render := func(jobs int) (text, html, health string) {
+		t.Helper()
+		suites, lh, err := LoadTraceDirOptions(dir, LoadOptions{Salvage: true, Jobs: jobs})
+		if err != nil {
+			t.Fatalf("salvage load with jobs=%d: %v", jobs, err)
+		}
+		hj, err := json.Marshal(lh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := AnalyzeSuites(suites, 0)
+		res.Health.Merge(lh)
+		return FormatAll(res), FormatHTML(res), string(hj)
+	}
+
+	wantText, wantHTML, wantHealth := render(1)
+	if !strings.Contains(wantText, "Health") {
+		t.Fatalf("sequential report over damaged corpus has no health section:\n%s", wantText)
+	}
+	for _, jobs := range []int{0, 2, 7} {
+		text, html, health := render(jobs)
+		if text != wantText {
+			t.Errorf("jobs=%d text report differs from sequential", jobs)
+		}
+		if html != wantHTML {
+			t.Errorf("jobs=%d HTML report differs from sequential", jobs)
+		}
+		if health != wantHealth {
+			t.Errorf("jobs=%d health ledger differs from sequential:\nseq: %s\npar: %s", jobs, wantHealth, health)
+		}
+	}
+}
+
+// TestParallelStrictPathOrderError: under Strict, the parallel loader
+// must surface the same error a sequential fail-fast scan reports —
+// the first failing file in sorted path order — not whichever worker
+// happened to fail first.
+func TestParallelStrictPathOrderError(t *testing.T) {
+	dir := damagedCorpus(t)
+
+	_, _, seqErr := LoadTraceDirOptions(dir, LoadOptions{Strict: true, Jobs: 1})
+	if seqErr == nil {
+		t.Fatal("strict sequential load over damaged corpus succeeded")
+	}
+	for _, jobs := range []int{0, 2, 7} {
+		_, _, parErr := LoadTraceDirOptions(dir, LoadOptions{Strict: true, Jobs: jobs})
+		if parErr == nil {
+			t.Fatalf("strict load with jobs=%d succeeded", jobs)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Errorf("jobs=%d strict error = %q, want sequential's %q", jobs, parErr, seqErr)
+		}
+	}
+}

@@ -147,6 +147,10 @@ type Config struct {
 	// Limits are the ingest resource guards for trace jobs; zero
 	// fields take lila defaults.
 	Limits lila.Limits
+	// LoadJobs bounds per-job concurrent trace-file decoding
+	// (0 = one per CPU, 1 = sequential). Total decode parallelism is
+	// Workers × LoadJobs; cap it on small machines.
+	LoadJobs int
 	// Runner overrides job execution (tests); nil runs the real
 	// pipelines.
 	Runner Runner
@@ -550,9 +554,10 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*report.StudyResult, er
 		}
 		return report.RunStudyContext(ctx, cfg)
 	case "traces":
-		suites, health, err := report.LoadTraceDirOptions(spec.Dir, report.LoadOptions{
+		suites, health, err := report.LoadTraceDirContext(ctx, spec.Dir, report.LoadOptions{
 			Salvage: spec.Salvage,
 			Limits:  s.cfg.Limits,
+			Jobs:    s.cfg.LoadJobs,
 		})
 		if err != nil {
 			return nil, err

@@ -3,7 +3,6 @@ package sim
 import (
 	"math/rand/v2"
 
-	"lagalyzer/internal/stats"
 	"lagalyzer/internal/trace"
 )
 
@@ -47,15 +46,56 @@ func (p *plan) plannedDur() trace.Dur {
 	return d
 }
 
+// planArena recycles planNode storage across episodes. A plan only
+// lives for the one runEpisode call that plays it, but a session runs
+// thousands of episodes; reusing the node slots — and, crucially, the
+// capacity their children slices grew to — makes expansion
+// allocation-free at steady state. reset reclaims everything; callers
+// must not retain planNodes across episodes.
+type planArena struct {
+	chunks [][]planNode
+	ci, ni int
+	plan   plan // reusable plan header (roots capacity persists)
+}
+
+const planChunkSize = 64
+
+func (a *planArena) reset() { a.ci, a.ni = 0, 0 }
+
+// new hands out a recycled planNode slot with fields set, keeping the
+// slot's previous children capacity.
+func (a *planArena) new(n *Node, class, method string) *planNode {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]planNode, planChunkSize))
+	}
+	pn := &a.chunks[a.ci][a.ni]
+	if a.ni++; a.ni == planChunkSize {
+		a.ci++
+		a.ni = 0
+	}
+	pn.node = n
+	pn.class = class
+	pn.method = method
+	pn.self = 0
+	pn.children = pn.children[:0]
+	return pn
+}
+
 // expand resolves a behavior template into a plan: structural choices
 // are sampled, then the sampled episode duration — scaled by the
 // instrumentation slowdown, when a perturbation is modeled — is split
-// over the included nodes proportionally to their weights.
-func expand(b *Behavior, r *rand.Rand, slowdown float64) *plan {
-	p := &plan{behavior: b}
+// over the included nodes proportionally to their weights. The
+// returned plan is arena-backed and valid until the next expand on the
+// same arena.
+func expand(b *Behavior, r *rand.Rand, slowdown float64, a *planArena) *plan {
+	a.reset()
+	p := &a.plan
+	p.behavior = b
+	p.dispatchSelf = 0
+	p.roots = p.roots[:0]
 	var totalWeight float64
-	for _, n := range b.Nodes {
-		p.roots = append(p.roots, expandNode(&n, r, &totalWeight)...)
+	for i := range b.Nodes {
+		expandNode(&b.Nodes[i], r, &totalWeight, a, &p.roots)
 	}
 	totalWeight += b.dispatchWeight()
 
@@ -73,31 +113,31 @@ func expand(b *Behavior, r *rand.Rand, slowdown float64) *plan {
 }
 
 // expandNode resolves one template node (inclusion, repetition,
-// children) and accumulates the weights of everything included.
-func expandNode(n *Node, r *rand.Rand, totalWeight *float64) []*planNode {
+// children), appending the expanded instances to dst and accumulating
+// the weights of everything included.
+func expandNode(n *Node, r *rand.Rand, totalWeight *float64, a *planArena, dst *[]*planNode) {
 	if pr := n.prob(); pr < 1 && r.Float64() >= pr {
-		return nil
+		return
 	}
 	count := 1
 	if n.Repeat != nil {
 		count = n.Repeat.SampleInt(r)
 	}
-	var out []*planNode
 	for i := 0; i < count; i++ {
-		pn := &planNode{node: n, class: n.Class, method: n.Method}
+		class, method := n.Class, n.Method
 		if len(n.ClassPool) > 0 {
-			pn.class = n.ClassPool[r.IntN(len(n.ClassPool))]
+			class = n.ClassPool[r.IntN(len(n.ClassPool))]
 		}
-		if pn.method == "" && n.Kind == trace.KindPaint {
-			pn.method = "paint"
+		if method == "" && n.Kind == trace.KindPaint {
+			method = "paint"
 		}
+		pn := a.new(n, class, method)
 		*totalWeight += n.Weight
 		for j := range n.Children {
-			pn.children = append(pn.children, expandNode(&n.Children[j], r, totalWeight)...)
+			expandNode(&n.Children[j], r, totalWeight, a, &pn.children)
 		}
-		out = append(out, pn)
+		*dst = append(*dst, pn)
 	}
-	return out
 }
 
 func assignSelf(pn *planNode, dur trace.Dur, totalWeight float64) {
@@ -112,16 +152,4 @@ func scaleDur(dur trace.Dur, weight, total float64) trace.Dur {
 		return 0
 	}
 	return trace.Dur(float64(dur) * weight / total)
-}
-
-// pickBehavior selects a user behavior by weight.
-func pickBehavior(behaviors []*Behavior, r *rand.Rand) *Behavior {
-	if len(behaviors) == 1 {
-		return behaviors[0]
-	}
-	weights := make([]float64, len(behaviors))
-	for i, b := range behaviors {
-		weights[i] = b.Weight
-	}
-	return behaviors[stats.Pick(r, weights)]
 }

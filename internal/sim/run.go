@@ -110,6 +110,19 @@ type simulation struct {
 	nextShort trace.Time
 
 	filter trace.Dur
+
+	// Allocation batching. A 30-second session emits hundreds of
+	// thousands of records and sampled stacks; drawing them from slabs
+	// keeps the simulator's cost per record at a copy, not a heap
+	// allocation. Everything handed out stays live for the life of the
+	// returned record stream.
+	recArena    []lila.Record // slab behind emitted records
+	frames      []trace.Frame // slab behind sampled tick stacks
+	tickBuf     []trace.Frame // per-tick stack scratch, reused
+	plans       planArena     // episode plan nodes, reused per episode
+	appLeaves   []trace.Frame // synthLeaf app pool with AppPackage applied
+	workerStack []trace.Frame // defaultWorkerStack, computed once
+	userWeights []float64     // UserBehaviors weights for stats.Pick
 }
 
 type timerState struct {
@@ -157,6 +170,14 @@ func newSimulation(cfg Config) *simulation {
 	} else {
 		s.nextShort = s.end
 	}
+	s.appLeaves = appLeafFrames(p.AppPackage)
+	s.workerStack = defaultWorkerStack(p.AppPackage)
+	if len(p.UserBehaviors) > 1 {
+		s.userWeights = make([]float64, len(p.UserBehaviors))
+		for i, b := range p.UserBehaviors {
+			s.userWeights[i] = b.Weight
+		}
+	}
 	return s
 }
 
@@ -171,7 +192,35 @@ func (s *simulation) header() lila.Header {
 	}
 }
 
-func (s *simulation) emit(rec *lila.Record) { s.recs = append(s.recs, rec) }
+// emit appends rec to the record stream, backing it with slab storage.
+func (s *simulation) emit(rec lila.Record) {
+	if len(s.recArena) == 0 {
+		s.recArena = make([]lila.Record, 512)
+	}
+	p := &s.recArena[0]
+	s.recArena = s.recArena[1:]
+	*p = rec
+	s.recs = append(s.recs, p)
+}
+
+// stackCopy moves a scratch-built stack into slab storage so the
+// returned slice stays valid while the scratch is reused.
+func (s *simulation) stackCopy(fs []trace.Frame) []trace.Frame {
+	n := len(fs)
+	if n == 0 {
+		return nil
+	}
+	if cap(s.frames)-len(s.frames) < n {
+		c := 4096
+		if n > c {
+			c = n
+		}
+		s.frames = make([]trace.Frame, 0, c)
+	}
+	start := len(s.frames)
+	s.frames = append(s.frames, fs...)
+	return s.frames[start : start+n : start+n]
+}
 
 func (s *simulation) sampleThink(from trace.Time) trace.Time {
 	return from + trace.Time(trace.Ms(s.prof.ThinkTimeMs.Sample(s.r)))
@@ -185,9 +234,9 @@ func (s *simulation) shortArrival(from trace.Time) trace.Time {
 // run is the main loop: alternate idle gaps and episodes until the
 // session ends.
 func (s *simulation) run() {
-	s.emit(&lila.Record{Type: lila.RecThread, Thread: guiThreadID, Name: "AWT-EventQueue-0"})
+	s.emit(lila.Record{Type: lila.RecThread, Thread: guiThreadID, Name: "AWT-EventQueue-0"})
 	for i, bg := range s.prof.Background {
-		s.emit(&lila.Record{
+		s.emit(lila.Record{
 			Type:   lila.RecThread,
 			Thread: guiThreadID + 1 + trace.ThreadID(i),
 			Name:   bg.Name,
@@ -220,7 +269,7 @@ func (s *simulation) run() {
 	if !s.cfg.MaterializeShort && s.prof.ShortPerSecond > 0 {
 		short = stats.Poisson(s.r, s.prof.ShortPerSecond*s.end.Seconds())
 	}
-	s.emit(&lila.Record{Type: lila.RecEnd, Time: s.now, Count: short})
+	s.emit(lila.Record{Type: lila.RecEnd, Time: s.now, Count: short})
 }
 
 // nextArrival picks the earliest pending EDT event. Timer sources are
@@ -252,10 +301,21 @@ func (s *simulation) nextArrival() (at trace.Time, b *Behavior, user bool) {
 		}
 		return best, ts.t.Behavior, false
 	case user:
-		return best, pickBehavior(s.prof.UserBehaviors, s.r), true
+		return best, s.pickUser(), true
 	default:
 		return s.end, nil, false
 	}
+}
+
+// pickUser selects a user behavior by weight (a single behavior is
+// chosen without spending a random draw, matching the historical
+// stream so seeded sessions stay reproducible).
+func (s *simulation) pickUser() *Behavior {
+	bs := s.prof.UserBehaviors
+	if len(bs) == 1 {
+		return bs[0]
+	}
+	return bs[stats.Pick(s.r, s.userWeights)]
 }
 
 // rescheduleUser plans the next user input after an interaction's
@@ -327,10 +387,10 @@ func (s *simulation) materializeShort() {
 	if dur < 50*trace.Microsecond {
 		dur = 50 * trace.Microsecond
 	}
-	s.emit(&lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID, Kind: trace.KindDispatch})
+	s.emit(lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID, Kind: trace.KindDispatch})
 	s.advanceTicks(s.now.Add(dur))
 	s.now = s.now.Add(dur)
-	s.emit(&lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
+	s.emit(lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
 }
 
 // backgroundAllocRate sums the allocation rates of currently runnable
@@ -400,10 +460,10 @@ func (s *simulation) doGC(explicit bool) {
 
 	s.advanceTicks(s.now.Add(ramp)) // consumed silently: skipUntil covers them
 	s.now = s.now.Add(ramp)
-	s.emit(&lila.Record{Type: lila.RecGCStart, Time: s.now, Major: major})
+	s.emit(lila.Record{Type: lila.RecGCStart, Time: s.now, Major: major})
 	s.advanceTicks(s.now.Add(pause))
 	s.now = s.now.Add(pause)
-	s.emit(&lila.Record{Type: lila.RecGCEnd, Time: s.now})
+	s.emit(lila.Record{Type: lila.RecGCEnd, Time: s.now})
 	s.advanceTicks(s.now.Add(post))
 	s.now = s.now.Add(post)
 
@@ -453,9 +513,10 @@ func (s *simulation) emitTick(at trace.Time, guiState trace.ThreadState) {
 		guiState = trace.StateWaiting
 		guiStackFrames = idleGUIStack
 	} else {
-		guiStackFrames = guiStack(s.r, guiState, s.edtStack, s.prof.AppPackage)
+		s.tickBuf = buildGUIStack(s.tickBuf[:0], s.r, guiState, s.edtStack, s.appLeaves)
+		guiStackFrames = s.stackCopy(s.tickBuf)
 	}
-	s.emit(&lila.Record{Type: lila.RecSample, Time: at, Thread: guiThreadID, State: guiState, Stack: guiStackFrames})
+	s.emit(lila.Record{Type: lila.RecSample, Time: at, Thread: guiThreadID, State: guiState, Stack: guiStackFrames})
 
 	for i, bg := range s.prof.Background {
 		st := bg.stateAt(at, s.end)
@@ -463,12 +524,12 @@ func (s *simulation) emitTick(at trace.Time, guiState trace.ThreadState) {
 		if st == trace.StateRunnable {
 			stack = bg.Stack
 			if stack == nil {
-				stack = defaultWorkerStack(s.prof.AppPackage)
+				stack = s.workerStack
 			}
 		} else {
 			stack = parkedWorkerStack
 		}
-		s.emit(&lila.Record{
+		s.emit(lila.Record{
 			Type:   lila.RecSample,
 			Time:   at,
 			Thread: guiThreadID + 1 + trace.ThreadID(i),
@@ -482,9 +543,9 @@ func (s *simulation) emitTick(at trace.Time, guiState trace.ThreadState) {
 
 // runEpisode expands the behavior and plays it on the timeline.
 func (s *simulation) runEpisode(b *Behavior) {
-	p := expand(b, s.r, s.cfg.Perturbation.slowdown())
+	p := expand(b, s.r, s.cfg.Perturbation.slowdown(), &s.plans)
 
-	s.emit(&lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID, Kind: trace.KindDispatch})
+	s.emit(lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID, Kind: trace.KindDispatch})
 	s.edtStack = append(s.edtStack, stackCtx{
 		frame:   trace.Frame{Class: "java.awt.EventQueue", Method: "dispatchEventImpl"},
 		libFrac: s.effectiveLibFrac(-1),
@@ -498,7 +559,7 @@ func (s *simulation) runEpisode(b *Behavior) {
 	s.playChildren(p.dispatchSelf, p.roots, dispatchCtx)
 
 	s.edtStack = s.edtStack[:len(s.edtStack)-1]
-	s.emit(&lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
+	s.emit(lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
 }
 
 // nodeExecCtx is the execution context of self time: how states,
@@ -548,7 +609,7 @@ func (s *simulation) playNode(pn *planNode) {
 		return
 	}
 
-	s.emit(&lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID,
+	s.emit(lila.Record{Type: lila.RecCall, Time: s.now, Thread: guiThreadID,
 		Kind: n.Kind, Class: pn.class, Method: pn.method})
 	s.edtStack = append(s.edtStack, stackCtx{
 		frame:   trace.Frame{Class: pn.class, Method: pn.method, Native: n.Kind == trace.KindNative},
@@ -559,7 +620,7 @@ func (s *simulation) playNode(pn *planNode) {
 	s.playChildren(pn.self, pn.children, ctx)
 
 	s.edtStack = s.edtStack[:len(s.edtStack)-1]
-	s.emit(&lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
+	s.emit(lila.Record{Type: lila.RecReturn, Time: s.now, Thread: guiThreadID})
 }
 
 // nodeLibFrac maps the Node field convention (zero value inherits the

@@ -78,53 +78,64 @@ type stackCtx struct {
 	libFrac float64 // effective library fraction for runnable leaves
 }
 
-// guiStack synthesizes the GUI thread's sampled stack for the given
-// state with the given open-interval contexts (outermost first).
-func guiStack(r *rand.Rand, state trace.ThreadState, ctxs []stackCtx, appPackage string) []trace.Frame {
+// appLeafFrames resolves the application leaf pool against a concrete
+// AppPackage once per simulation, so per-sample leaf synthesis is a
+// table lookup rather than a string concatenation.
+func appLeafFrames(appPackage string) []trace.Frame {
+	fs := make([]trace.Frame, len(appLeafMethods))
+	for i, m := range appLeafMethods {
+		fs[i] = trace.Frame{Class: appPackage + "." + m.Class, Method: m.Method}
+	}
+	return fs
+}
+
+// buildGUIStack synthesizes the GUI thread's sampled stack for the
+// given state with the given open-interval contexts (outermost first),
+// appending the frames to dst. The caller owns dst and copies the
+// result out before reusing it.
+func buildGUIStack(dst []trace.Frame, r *rand.Rand, state trace.ThreadState, ctxs []stackCtx, appLeaves []trace.Frame) []trace.Frame {
 	if len(ctxs) == 0 {
-		return idleGUIStack
+		return append(dst, idleGUIStack...)
 	}
 	top := ctxs[len(ctxs)-1]
-	stack := make([]trace.Frame, 0, len(ctxs)+len(top.extra)+len(edtBaseFrames)+1)
 
 	switch state {
 	case trace.StateSleeping:
-		stack = append(stack, sleepLeaf)
-		stack = append(stack, top.extra...)
+		dst = append(dst, sleepLeaf)
+		dst = append(dst, top.extra...)
 	case trace.StateWaiting:
-		stack = append(stack, waitLeaf)
-		stack = append(stack, top.extra...)
+		dst = append(dst, waitLeaf)
+		dst = append(dst, top.extra...)
 	case trace.StateBlocked:
 		// Blocked entering a monitor: the leaf is the Java frame
 		// attempting the entry — the node's context frame when it
 		// declares one, a synthesized frame otherwise.
 		if len(top.extra) > 0 {
-			stack = append(stack, top.extra...)
+			dst = append(dst, top.extra...)
 		} else {
-			stack = append(stack, synthLeaf(r, top.libFrac, appPackage))
+			dst = append(dst, synthLeaf(r, top.libFrac, appLeaves))
 		}
 	default: // runnable
 		if top.frame.Native {
 			// Executing native code: the native frame itself leads.
 		} else {
 			// The executing method leads; context frames follow.
-			stack = append(stack, synthLeaf(r, top.libFrac, appPackage))
-			stack = append(stack, top.extra...)
+			dst = append(dst, synthLeaf(r, top.libFrac, appLeaves))
+			dst = append(dst, top.extra...)
 		}
 	}
 
 	for i := len(ctxs) - 1; i >= 0; i-- {
-		stack = append(stack, ctxs[i].frame)
+		dst = append(dst, ctxs[i].frame)
 	}
-	return append(stack, edtBaseFrames...)
+	return append(dst, edtBaseFrames...)
 }
 
 // synthLeaf draws a leaf frame: library code with probability libFrac,
 // application code otherwise.
-func synthLeaf(r *rand.Rand, libFrac float64, appPackage string) trace.Frame {
+func synthLeaf(r *rand.Rand, libFrac float64, appLeaves []trace.Frame) trace.Frame {
 	if r.Float64() < libFrac {
 		return libraryLeaves[r.IntN(len(libraryLeaves))]
 	}
-	m := appLeafMethods[r.IntN(len(appLeafMethods))]
-	return trace.Frame{Class: appPackage + "." + m.Class, Method: m.Method}
+	return appLeaves[r.IntN(len(appLeaves))]
 }

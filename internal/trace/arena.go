@@ -1,0 +1,83 @@
+package trace
+
+// Slab hands out Session building blocks from chunked arenas. Session
+// reconstruction allocates one Interval per call record and one
+// ThreadSample slice per sample tick; drawing them from slabs
+// amortizes the heap traffic to one allocation per chunk, which is
+// what makes million-record ingests cheap. Objects handed out are
+// never recycled — they stay live for the life of the session — so a
+// Slab is strictly an allocation batcher, not a free-list, and the
+// zero value is ready to use. Not safe for concurrent use; each
+// session build owns its own Slab.
+type Slab struct {
+	intervals []Interval
+	episodes  []Episode
+
+	// samples is the current ThreadSample chunk with len = used. Tick
+	// slices are windows into it; only the most recently returned
+	// window (starting at open) may still grow.
+	samples []ThreadSample
+	open    int
+}
+
+const (
+	intervalChunk = 512
+	episodeChunk  = 64
+	sampleChunk   = 1024
+)
+
+// Interval returns a pointer to a zeroed Interval that remains valid
+// after the arena moves on.
+func (s *Slab) Interval() *Interval {
+	if len(s.intervals) == 0 {
+		s.intervals = make([]Interval, intervalChunk)
+	}
+	iv := &s.intervals[0]
+	s.intervals = s.intervals[1:]
+	return iv
+}
+
+// Episode returns a pointer to a zeroed Episode.
+func (s *Slab) Episode() *Episode {
+	if len(s.episodes) == 0 {
+		s.episodes = make([]Episode, episodeChunk)
+	}
+	e := &s.episodes[0]
+	s.episodes = s.episodes[1:]
+	return e
+}
+
+// AppendSample appends v to the tick slice ts and returns the grown
+// slice. ts must be either empty (starting a new tick) or the slice
+// most recently returned by AppendSample: record streams are
+// time-ordered, so a session builder only ever grows its latest tick,
+// and that is the invariant that lets consecutive ticks pack into one
+// backing chunk. Returned slices are capped at their length, so an
+// append by anyone other than the Slab copies instead of corrupting a
+// neighbouring tick.
+func (s *Slab) AppendSample(ts []ThreadSample, v ThreadSample) []ThreadSample {
+	if len(ts) == 0 {
+		if len(s.samples) == cap(s.samples) {
+			s.samples = make([]ThreadSample, 0, sampleChunk)
+		}
+		s.open = len(s.samples)
+		s.samples = append(s.samples, v)
+		return s.samples[s.open:len(s.samples):len(s.samples)]
+	}
+	if len(s.samples) < cap(s.samples) && s.open+len(ts) == len(s.samples) {
+		s.samples = append(s.samples, v)
+		return s.samples[s.open:len(s.samples):len(s.samples)]
+	}
+	// Chunk exhausted mid-tick (or ts is not the open tick after all):
+	// move the tick to a fresh chunk so it stays contiguous.
+	n := sampleChunk
+	if len(ts)+1 > n {
+		n = 2 * (len(ts) + 1)
+	}
+	fresh := make([]ThreadSample, 0, n)
+	fresh = append(fresh, ts...)
+	fresh = append(fresh, v)
+	s.samples = fresh
+	s.open = 0
+	return s.samples[0:len(fresh):len(fresh)]
+}

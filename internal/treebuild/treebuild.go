@@ -172,6 +172,7 @@ type builder struct {
 	h      lila.Header
 	opts   Options
 	s      *trace.Session
+	slab   trace.Slab // arena behind every Interval/Episode/tick the build creates
 	diag   Diagnostics
 	stacks map[trace.ThreadID][]*trace.Interval
 	known  map[trace.ThreadID]bool
@@ -278,13 +279,12 @@ func (b *builder) add(rec *lila.Record) error {
 			return err
 		}
 		b.ensureThread(rec.Thread)
-		iv := &trace.Interval{
-			Kind:   rec.Kind,
-			Class:  rec.Class,
-			Method: rec.Method,
-			Start:  rec.Time,
-			End:    -1, // patched by the matching return
-		}
+		iv := b.slab.Interval()
+		iv.Kind = rec.Kind
+		iv.Class = rec.Class
+		iv.Method = rec.Method
+		iv.Start = rec.Time
+		iv.End = -1 // patched by the matching return
 		b.stacks[rec.Thread] = append(b.stacks[rec.Thread], iv)
 
 	case lila.RecReturn:
@@ -317,7 +317,10 @@ func (b *builder) add(rec *lila.Record) error {
 			b.s.ShortCount++
 			return nil
 		}
-		b.s.Episodes = append(b.s.Episodes, &trace.Episode{Thread: rec.Thread, Root: iv})
+		ep := b.slab.Episode()
+		ep.Thread = rec.Thread
+		ep.Root = iv
+		b.s.Episodes = append(b.s.Episodes, ep)
 
 	case lila.RecGCStart:
 		if err := b.checkTime(rec.Time); err != nil {
@@ -326,7 +329,11 @@ func (b *builder) add(rec *lila.Record) error {
 		if b.gc != nil {
 			return fmt.Errorf("treebuild: nested gcstart at %v (collection open since %v)", rec.Time, b.gc.Start)
 		}
-		b.gc = &trace.Interval{Kind: trace.KindGC, Start: rec.Time, End: -1, Major: rec.Major}
+		b.gc = b.slab.Interval()
+		b.gc.Kind = trace.KindGC
+		b.gc.Start = rec.Time
+		b.gc.End = -1
+		b.gc.Major = rec.Major
 
 	case lila.RecGCEnd:
 		if err := b.checkTime(rec.Time); err != nil {
@@ -344,7 +351,11 @@ func (b *builder) add(rec *lila.Record) error {
 				continue
 			}
 			top := stack[len(stack)-1]
-			top.Children = append(top.Children, b.gc.Clone())
+			// The open bracket is childless, so a shallow slab copy is a
+			// full clone.
+			cp := b.slab.Interval()
+			*cp = *b.gc
+			top.Children = append(top.Children, cp)
 			copies++
 		}
 		b.s.GCs = append(b.s.GCs, b.gc)
@@ -366,9 +377,9 @@ func (b *builder) add(rec *lila.Record) error {
 		}
 		ts := trace.ThreadSample{Thread: rec.Thread, State: rec.State, Stack: rec.Stack}
 		if n := len(b.s.Ticks); n > 0 && b.s.Ticks[n-1].Time == rec.Time {
-			b.s.Ticks[n-1].Threads = append(b.s.Ticks[n-1].Threads, ts)
+			b.s.Ticks[n-1].Threads = b.slab.AppendSample(b.s.Ticks[n-1].Threads, ts)
 		} else {
-			b.s.Ticks = append(b.s.Ticks, trace.SampleTick{Time: rec.Time, Threads: []trace.ThreadSample{ts}})
+			b.s.Ticks = append(b.s.Ticks, trace.SampleTick{Time: rec.Time, Threads: b.slab.AppendSample(nil, ts)})
 		}
 
 	case lila.RecEnd:

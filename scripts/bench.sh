@@ -19,7 +19,7 @@ git_dirty=""
 [ -z "$(git status --porcelain 2>/dev/null)" ] || git_dirty="-dirty"
 
 raw=$(go test -run '^$' \
-	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd' \
+	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd|LoadTraceDir' \
 	-benchtime "$benchtime" .)
 
 printf '%s\n' "$raw"
@@ -39,7 +39,6 @@ BEGIN {
 	printf "{\n  \"date\": \"%s\",\n", date
 	printf "  \"go_version\": \"%s\",\n", go_version
 	printf "  \"gomaxprocs\": %s,\n", procs
-	printf "  \"cpu_model\": \"%s\",\n", cpu_model
 	printf "  \"git_sha\": \"%s\",\n", git_sha
 	printf "  \"benchmarks\": [\n"
 }
@@ -56,7 +55,12 @@ BEGIN {
 	printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
 		name, nsop, bop, allocs
 }
-END { printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu }
+END {
+	# One canonical CPU key: prefer the line go test itself reports,
+	# fall back to /proc/cpuinfo when the bench output omits it.
+	if (cpu == "") cpu = cpu_model
+	printf "\n  ],\n  \"cpu_model\": \"%s\"\n}\n", cpu
+}
 ' >"$tmp"
 mv "$tmp" "$out"
 
