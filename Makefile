@@ -35,8 +35,10 @@ chaos:
 		-run 'Fault|Corrupt|Truncat|Orphan|Resume|Shed|Panic|Retry|Shutdown|Deadline' -race
 	$(GO) test -run TestCLIFaultTolerance .
 	$(GO) test -run TestCLICheckpointKillResume .
+	$(GO) test -run TestCLIConvertGolden .
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageText -fuzztime $(FUZZTIME)
-	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinary -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzSalvageBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinaryV2 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME)
 
 vet:

@@ -199,13 +199,10 @@ func BenchmarkStudy_EndToEnd(b *testing.B) {
 	}
 }
 
-// BenchmarkLoadTraceDir measures the on-disk ingestion path end to
-// end: directory scan, format sniffing, concurrent decode (interner,
-// record arenas, stack dedup), session rebuild, and the deterministic
-// suite merge. The corpus — two applications, eight sessions, both
-// encodings — is written once outside the timed loop.
-func BenchmarkLoadTraceDir(b *testing.B) {
-	b.ReportAllocs()
+// benchTraceDir writes the shared ingestion corpus — two applications,
+// eight sessions — choosing each file's encoding via pick(sessionID).
+func benchTraceDir(b *testing.B, pick func(id int) lila.Format) (string, int) {
+	b.Helper()
 	dir := b.TempDir()
 	files := 0
 	for ai, p := range []func() *sim.Profile{apps.GanttProject, apps.SwingSet} {
@@ -214,12 +211,8 @@ func BenchmarkLoadTraceDir(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			f := lila.FormatBinary
-			if id%2 == 1 {
-				f = lila.FormatText
-			}
 			var buf bytes.Buffer
-			if err := lila.WriteSession(&buf, f, s); err != nil {
+			if err := lila.WriteSession(&buf, pick(id), s); err != nil {
 				b.Fatal(err)
 			}
 			name := fmt.Sprintf("app%d_session%d.lila", ai, id)
@@ -229,9 +222,14 @@ func BenchmarkLoadTraceDir(b *testing.B) {
 			files++
 		}
 	}
+	return dir, files
+}
+
+func benchLoadTraceDir(b *testing.B, dir string, files int, o report.LoadOptions) {
+	b.Helper()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		suites, _, err := report.LoadTraceDirOptions(dir, report.LoadOptions{})
+		suites, _, err := report.LoadTraceDirOptions(dir, o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -244,6 +242,41 @@ func BenchmarkLoadTraceDir(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(files), "files")
+}
+
+// BenchmarkLoadTraceDir measures the on-disk ingestion path end to
+// end: directory scan, format sniffing, concurrent decode (interner,
+// record arenas, stack dedup), session rebuild, and the deterministic
+// suite merge. The corpus — two applications, eight sessions, both v1
+// encodings — is written once outside the timed loop.
+func BenchmarkLoadTraceDir(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchTraceDir(b, func(id int) lila.Format {
+		if id%2 == 1 {
+			return lila.FormatText
+		}
+		return lila.FormatBinary
+	})
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
+}
+
+// BenchmarkLoadTraceDirV2 is the same corpus stored block-indexed: the
+// mmap + pre-interned-table decode path, no per-record interning and no
+// stream framing. Compare against BenchmarkLoadTraceDir for the v2
+// ingestion win.
+func BenchmarkLoadTraceDirV2(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchTraceDir(b, func(int) lila.Format { return lila.FormatV2 })
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
+}
+
+// BenchmarkLoadTraceDirV2_GUIOnly loads the v2 corpus through the block
+// index with a GUI-thread filter: worker-only blocks are skipped
+// without decoding, the headline selective-decode case.
+func BenchmarkLoadTraceDirV2_GUIOnly(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchTraceDir(b, func(int) lila.Format { return lila.FormatV2 })
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{GUIOnly: true})
 }
 
 func BenchmarkSimulateSession(b *testing.B) {
@@ -296,6 +329,7 @@ func benchEncode(b *testing.B, f lila.Format) {
 
 func BenchmarkTraceEncode_Text(b *testing.B)   { benchEncode(b, lila.FormatText) }
 func BenchmarkTraceEncode_Binary(b *testing.B) { benchEncode(b, lila.FormatBinary) }
+func BenchmarkTraceEncode_V2(b *testing.B)     { benchEncode(b, lila.FormatV2) }
 
 func benchDecode(b *testing.B, f lila.Format) {
 	b.ReportAllocs()
@@ -340,6 +374,46 @@ func benchDecode(b *testing.B, f lila.Format) {
 
 func BenchmarkTraceDecode_Text(b *testing.B)   { benchDecode(b, lila.FormatText) }
 func BenchmarkTraceDecode_Binary(b *testing.B) { benchDecode(b, lila.FormatBinary) }
+
+// BenchmarkTraceDecode_V2 measures the streaming v2 reader (the sniffed
+// NewReader path); BenchmarkTraceDecode_V2Mmap measures the
+// random-access path reports actually take (ParseV2 over a byte slice,
+// standing in for the mmap'd file).
+func BenchmarkTraceDecode_V2(b *testing.B) { benchDecode(b, lila.FormatV2) }
+
+func BenchmarkTraceDecode_V2Mmap(b *testing.B) {
+	b.ReportAllocs()
+	recs, h := benchRecords(b)
+	var buf bytes.Buffer
+	w, err := lila.NewWriter(&buf, lila.FormatV2, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := lila.ParseV2(raw, lila.Limits{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, _, err := v.Records(nil, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(recs) {
+			b.Fatalf("decoded %d of %d records", len(got), len(recs))
+		}
+	}
+}
 
 // --- Ablations (design decisions of Section II) ---
 

@@ -9,9 +9,12 @@
 //	lagalyzer patterns [-n 30] <trace>...  pattern table (the paper's §II-E browser table)
 //	lagalyzer sketch   [-episode N] [-svg out.svg] <trace>
 //	lagalyzer browse   <trace>...          interactive pattern browser
+//	lagalyzer convert  [-to v2] <trace>... re-encode traces between formats
 //
-// Traces in either encoding are accepted (sniffed). Generate synthetic
-// traces with lilasim.
+// Traces in any encoding (v1 text, v1 binary, block-indexed v2) are
+// accepted, sniffed by their first bytes. Generate synthetic traces
+// with lilasim; re-encode recorded ones with convert — conversion is
+// record-preserving, so analysis output is identical across formats.
 //
 // Global profiling flags (-cpuprofile, -memprofile, -trace) go before
 // the subcommand: lagalyzer -cpuprofile cpu.out stats trace.lila
@@ -27,11 +30,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -108,6 +114,8 @@ func run() int {
 		err = runBrowse(args)
 	case "diff":
 		err = runDiff(args)
+	case "convert":
+		err = runConvert(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -134,6 +142,8 @@ func usage() {
   lagalyzer stream   <trace>...            single-pass statistics (O(1) memory)
   lagalyzer browse   <trace>...            interactive pattern browser
   lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns
+  lagalyzer convert  [-to text|binary|v2] [-out dir] <trace>...
+                                           re-encode traces (record-preserving)
 
 global flags (before the subcommand):
   -salvage           tolerate damaged traces (skip unrecoverable files; exit 3 if any)
@@ -488,6 +498,100 @@ func runDiff(args []string) error {
 		return err
 	}
 	fmt.Print(res.Format(*rows))
+	return nil
+}
+
+// runConvert re-encodes traces between the LiLa formats. Conversion
+// is record-preserving — the output carries exactly the record stream
+// of the input — so every analysis produces identical output whichever
+// encoding a study is stored in.
+func runConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	to := fs.String("to", "v2", "output encoding: text, binary, or v2")
+	outDir := fs.String("out", "", "output directory, keeping base names (default: alongside each input as <input>.<format>)")
+	fs.Parse(args)
+	format, err := lila.ParseFormat(*to)
+	if err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no trace files given")
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for i, path := range fs.Args() {
+		if runCtx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", fs.NArg()-i)
+			lostInputs += fs.NArg() - i
+			break
+		}
+		dst := path + "." + format.String()
+		if *outDir != "" {
+			dst = filepath.Join(*outDir, filepath.Base(path))
+		}
+		if err := convertOne(path, dst, format); err != nil {
+			if salvageMode {
+				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", path, err)
+				lostInputs++
+				continue
+			}
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// convertOne re-encodes one trace, writing the output atomically (a
+// temp file renamed into place) so an interrupted convert never leaves
+// a truncated trace under the final name.
+func convertOne(path, dst string, format lila.Format) error {
+	if same, err := filepath.Abs(dst); err == nil {
+		if orig, err := filepath.Abs(path); err == nil && same == orig {
+			return fmt.Errorf("output would overwrite the input")
+		}
+	}
+	in, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	r, err := lila.NewReaderOptions(in, lila.ReaderOptions{Salvage: salvageMode})
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	w, err := lila.NewWriter(&buf, format, r.Header())
+	if err != nil {
+		return err
+	}
+	records := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.WriteRecord(rec); err != nil {
+			return err
+		}
+		records++
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if rep := lila.SalvageOf(r); rep.Damaged() {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: salvage: %s\n", path, rep)
+	}
+	if err := obs.WriteFileAtomic(dst, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lagalyzer: converted %s -> %s (%d records, %d bytes)\n",
+		path, dst, records, buf.Len())
 	return nil
 }
 

@@ -7,6 +7,7 @@
 //
 //	lilasim -list
 //	lilasim -app Jmol -seconds 60 -seed 7 -format binary -o jmol.lila
+//	lilasim -app Jmol -format v2 -o jmol.lila            (block-indexed v2)
 //	lilasim -app GanttProject -session 2 > gantt.lila.txt
 //
 // Exit codes: 0 success, 1 total failure, 2 usage error (the shared
@@ -33,7 +34,7 @@ func main() {
 		session = flag.Int("session", 0, "session id (varies the random stream)")
 		seed    = flag.Uint64("seed", 42, "base random seed")
 		seconds = flag.Float64("seconds", 0, "session length override in seconds (0 = profile default)")
-		format  = flag.String("format", "text", "trace encoding: text or binary")
+		format  = flag.String("format", "text", "trace encoding: text, binary, or v2")
 		out     = flag.String("o", "", "output file (default stdout)")
 		short   = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
 	)

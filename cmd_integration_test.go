@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -487,6 +488,148 @@ func TestCLICheckpointKillResume(t *testing.T) {
 	stableB, _ := json.Marshal(metaB)
 	if !bytes.Equal(stableA, stableB) {
 		t.Errorf("runmeta.json stable fields differ:\n%s\nvs\n%s", stableA, stableB)
+	}
+}
+
+// TestCLIConvertGolden pins the convert round trip end to end: a study
+// recorded as v1 traces, converted to v2 with `lagalyzer convert`, must
+// analyze to byte-identical reports. This is the CI golden step for
+// format independence at the tool level (the unit-level twin lives in
+// internal/report).
+func TestCLIConvertGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	simBin, lagBin, repBin := tool(t, "lilasim"), tool(t, "lagalyzer"), tool(t, "lagreport")
+
+	// A small v1 study: two apps, two sessions each, mixed text and
+	// binary encodings so convert exercises both v1 readers.
+	v1Dir := t.TempDir()
+	for i, app := range []string{"CrosswordSage", "GanttProject"} {
+		for id := 0; id < 2; id++ {
+			format := "binary"
+			if (i+id)%2 == 1 {
+				format = "text"
+			}
+			run(t, simBin, "", "-app", app, "-session", strconv.Itoa(id),
+				"-seed", "11", "-seconds", "15", "-format", format,
+				"-o", filepath.Join(v1Dir, app+"_"+strconv.Itoa(id)+".lila"))
+		}
+	}
+
+	// Baseline: analyze the v1 study.
+	outA := t.TempDir()
+	stdoutA := run(t, repBin, "", "-traces", v1Dir, "-jobs", "1", "-out", outA)
+
+	// Convert everything to v2 (convert -out keeps base names, so the
+	// sorted ingest order matches the v1 directory's).
+	v2Dir := t.TempDir()
+	traces, err := filepath.Glob(filepath.Join(v1Dir, "*.lila"))
+	if err != nil || len(traces) != 4 {
+		t.Fatalf("globbing v1 traces: %v (%d files)", err, len(traces))
+	}
+	run(t, lagBin, "", append([]string{"convert", "-to", "v2", "-out", v2Dir}, traces...)...)
+	for _, p := range traces {
+		converted := filepath.Join(v2Dir, filepath.Base(p))
+		magic := make([]byte, 5)
+		f, err := os.Open(converted)
+		if err != nil {
+			t.Fatalf("converted trace missing: %v", err)
+		}
+		if _, err := f.Read(magic); err != nil || string(magic) != "LILA\x02" {
+			t.Errorf("%s: not a v2 trace (magic %q, err %v)", converted, magic, err)
+		}
+		f.Close()
+	}
+
+	// Analyze the converted study.
+	outB := t.TempDir()
+	stdoutB := run(t, repBin, "", "-traces", v2Dir, "-jobs", "1", "-out", outB)
+
+	// Stdout must match up to the run-specific suffixes (elapsed time,
+	// output directory).
+	normalize := func(out string) string {
+		lines := strings.Split(out, "\n")
+		for i, ln := range lines {
+			if strings.HasPrefix(ln, "analyzed ") {
+				if cut := strings.LastIndex(ln, " in "); cut >= 0 {
+					lines[i] = ln[:cut]
+				}
+			}
+			if strings.HasPrefix(ln, "wrote ") {
+				if cut := strings.LastIndex(ln, " to "); cut >= 0 {
+					lines[i] = ln[:cut]
+				}
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if a, b := normalize(stdoutA), normalize(stdoutB); a != b {
+		t.Errorf("v2 study stdout differs from v1 baseline:\n--- v1 ---\n%s\n--- v2 ---\n%s", a, b)
+	}
+
+	// Every artifact except runmeta.json must be byte-identical.
+	entries, err := os.ReadDir(outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compared := 0
+	for _, e := range entries {
+		if e.IsDir() || e.Name() == "runmeta.json" {
+			continue
+		}
+		wantBytes, err := os.ReadFile(filepath.Join(outA, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBytes, err := os.ReadFile(filepath.Join(outB, e.Name()))
+		if err != nil {
+			t.Errorf("v2 run missing artifact %s: %v", e.Name(), err)
+			continue
+		}
+		if !bytes.Equal(wantBytes, gotBytes) {
+			t.Errorf("artifact %s differs between v1 and v2 studies", e.Name())
+		}
+		compared++
+	}
+	if compared < 3 { // at least the SVGs, experiments.md, and report.html
+		t.Errorf("compared only %d artifacts, expected the full figure set", compared)
+	}
+
+	// runmeta.json: equivalent after dropping the volatile fields.
+	loadMeta := func(dir string) map[string]any {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, "runmeta.json"))
+		if err != nil {
+			t.Fatalf("runmeta.json: %v", err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatalf("runmeta.json: %v", err)
+		}
+		return m
+	}
+	metaA, metaB := loadMeta(outA), loadMeta(outB)
+	for _, volatile := range []string{"started", "wall_clock", "phases", "metrics", "flags"} {
+		delete(metaA, volatile)
+		delete(metaB, volatile)
+	}
+	stableA, _ := json.Marshal(metaA)
+	stableB, _ := json.Marshal(metaB)
+	if !bytes.Equal(stableA, stableB) {
+		t.Errorf("runmeta.json stable fields differ:\n%s\nvs\n%s", stableA, stableB)
+	}
+
+	// Round trip the binary leg back to v1 and check record-level
+	// identity via stats output.
+	backDir := t.TempDir()
+	v2Trace := filepath.Join(v2Dir, "CrosswordSage_0.lila")
+	run(t, lagBin, "", "convert", "-to", "binary", "-out", backDir, v2Trace)
+	statsV1 := run(t, lagBin, "", "stats", filepath.Join(v1Dir, "CrosswordSage_0.lila"))
+	statsBack := run(t, lagBin, "", "stats", filepath.Join(backDir, "CrosswordSage_0.lila"))
+	if statsV1 != statsBack {
+		t.Errorf("stats after v1->v2->binary round trip differ:\n--- v1 ---\n%s\n--- round trip ---\n%s",
+			statsV1, statsBack)
 	}
 }
 

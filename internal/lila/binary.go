@@ -194,6 +194,10 @@ func newBinaryReaderLimits(r io.Reader, limits Limits) (*BinaryReader, error) {
 		return nil, fmt.Errorf("lila: reading binary magic: %w", err)
 	}
 	if magic != binaryMagic {
+		if string(magic[:4]) == "LILA" {
+			return nil, fmt.Errorf("%w %d (this is the v1 binary reader)",
+				ErrUnsupportedVersion, magic[4])
+		}
 		return nil, fmt.Errorf("lila: bad magic %q (version %d?)", magic[:4], magic[4])
 	}
 	var err error

@@ -118,31 +118,39 @@ type Format int
 const (
 	// FormatText is the line-oriented, human-readable encoding.
 	FormatText Format = iota
-	// FormatBinary is the compact varint encoding.
+	// FormatBinary is the compact v1 varint stream encoding.
 	FormatBinary
+	// FormatV2 is the block-indexed binary encoding: string and stack
+	// tables up front, checksummed blocks with independent time bases,
+	// and a footer index for mmap-style selective decode.
+	FormatV2
 )
 
-// String returns "text" or "binary".
+// String returns "text", "binary", or "v2".
 func (f Format) String() string {
 	switch f {
 	case FormatText:
 		return "text"
 	case FormatBinary:
 		return "binary"
+	case FormatV2:
+		return "v2"
 	default:
 		return fmt.Sprintf("format(%d)", int(f))
 	}
 }
 
-// ParseFormat recognises "text" and "binary".
+// ParseFormat recognises "text", "binary", and "v2".
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "text":
 		return FormatText, nil
 	case "binary":
 		return FormatBinary, nil
+	case "v2":
+		return FormatV2, nil
 	}
-	return 0, fmt.Errorf("lila: unknown format %q (want text or binary)", s)
+	return 0, fmt.Errorf("lila: unknown format %q (want text, binary, or v2)", s)
 }
 
 // NewWriter returns a Writer for the chosen format, with the header
@@ -153,6 +161,8 @@ func NewWriter(w io.Writer, f Format, h Header) (Writer, error) {
 		return NewTextWriter(w, h)
 	case FormatBinary:
 		return NewBinaryWriter(w, h)
+	case FormatV2:
+		return NewV2Writer(w, h)
 	default:
 		return nil, fmt.Errorf("lila: unknown format %d", f)
 	}
@@ -174,48 +184,56 @@ func WriteSession(w io.Writer, f Format, s *trace.Session) error {
 
 // NewReader sniffs the encoding of r (by its first bytes) and returns
 // the matching Reader. The stream must support nothing beyond
-// io.Reader; sniffing is done with a one-byte lookahead wrapper.
+// io.Reader; sniffing is done with a bounded-lookahead wrapper, and a
+// recognised LiLa magic with a version this package does not speak
+// reports ErrUnsupportedVersion rather than a garbled decode.
 func NewReader(r io.Reader) (Reader, error) {
-	br := &sniffReader{r: r}
-	first, err := br.peek()
-	if err != nil {
-		return nil, fmt.Errorf("lila: sniffing trace format: %w", err)
-	}
-	if first == '#' {
-		return NewTextReader(br)
-	}
-	return NewBinaryReader(br)
+	return NewReaderOptions(r, ReaderOptions{})
 }
 
-// sniffReader is an io.Reader with one byte of lookahead.
+// sniffReader is an io.Reader with a few bytes of lookahead: enough to
+// read the 5-byte binary magic (4 magic bytes + version) and dispatch
+// on it, replaying the peeked bytes to whichever reader wins.
 type sniffReader struct {
-	r      io.Reader
-	buf    [1]byte
-	have   bool
-	peeked byte
+	r   io.Reader
+	buf [5]byte
+	n   int // peeked bytes in buf
+	pos int // replayed so far
 }
 
+// peek returns the first byte of the stream without consuming it.
 func (s *sniffReader) peek() (byte, error) {
-	if s.have {
-		return s.peeked, nil
-	}
-	if _, err := io.ReadFull(s.r, s.buf[:]); err != nil {
+	b, err := s.peekN(1)
+	if err != nil {
 		return 0, err
 	}
-	s.have = true
-	s.peeked = s.buf[0]
-	return s.peeked, nil
+	return b[0], nil
+}
+
+// peekN returns the first n (≤ len(buf)) bytes of the stream without
+// consuming them. A short stream yields io.ErrUnexpectedEOF.
+func (s *sniffReader) peekN(n int) ([]byte, error) {
+	if s.pos > 0 {
+		return nil, fmt.Errorf("lila: peek after read")
+	}
+	for s.n < n {
+		m, err := s.r.Read(s.buf[s.n:n])
+		s.n += m
+		if err != nil {
+			if err == io.EOF && s.n > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return s.buf[:n], nil
 }
 
 func (s *sniffReader) Read(p []byte) (int, error) {
-	if s.have {
-		if len(p) == 0 {
-			return 0, nil
-		}
-		p[0] = s.peeked
-		s.have = false
-		n, err := s.r.Read(p[1:])
-		return n + 1, err
+	if s.pos < s.n {
+		n := copy(p, s.buf[s.pos:s.n])
+		s.pos += n
+		return n, nil
 	}
 	return s.r.Read(p)
 }

@@ -79,7 +79,7 @@ func roundTrip(t *testing.T, f Format) ([]*Record, Header) {
 }
 
 func TestRoundTrip(t *testing.T) {
-	for _, f := range []Format{FormatText, FormatBinary} {
+	for _, f := range []Format{FormatText, FormatBinary, FormatV2} {
 		t.Run(f.String(), func(t *testing.T) {
 			got, h := roundTrip(t, f)
 			if h != testHeader() {
@@ -283,7 +283,7 @@ func TestBinaryBadStringRef(t *testing.T) {
 }
 
 func TestReaderSniffsFormat(t *testing.T) {
-	for _, f := range []Format{FormatText, FormatBinary} {
+	for _, f := range []Format{FormatText, FormatBinary, FormatV2} {
 		var buf bytes.Buffer
 		w, err := NewWriter(&buf, f, testHeader())
 		if err != nil {
@@ -315,6 +315,9 @@ func TestParseFormat(t *testing.T) {
 	if f, err := ParseFormat("binary"); err != nil || f != FormatBinary {
 		t.Errorf("ParseFormat(binary) = %v, %v", f, err)
 	}
+	if f, err := ParseFormat("v2"); err != nil || f != FormatV2 {
+		t.Errorf("ParseFormat(v2) = %v, %v", f, err)
+	}
 	if _, err := ParseFormat("xml"); err == nil {
 		t.Error("ParseFormat(xml) accepted")
 	}
@@ -324,7 +327,7 @@ func TestParseFormat(t *testing.T) {
 }
 
 func TestWriteAfterClose(t *testing.T) {
-	for _, f := range []Format{FormatText, FormatBinary} {
+	for _, f := range []Format{FormatText, FormatBinary, FormatV2} {
 		var buf bytes.Buffer
 		w, err := NewWriter(&buf, f, testHeader())
 		if err != nil {

@@ -1,0 +1,35 @@
+//go:build unix
+
+package lila
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only into memory. The returned unmap must be
+// called exactly once when the data is no longer referenced. A zero-
+// length file maps to an empty slice with a no-op unmap (mmap rejects
+// zero-length mappings).
+func mapFile(f *os.File) (data []byte, unmap func() error, err error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size > math.MaxInt32 && intSize == 32 || size < 0 {
+		return nil, nil, fmt.Errorf("trace too large to map (%d bytes)", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}
+
+const intSize = 32 << (^uint(0) >> 63)

@@ -170,7 +170,10 @@ func SalvageOf(r Reader) *SalvageReport {
 }
 
 // NewReaderOptions is NewReader with explicit options: it sniffs the
-// encoding of rd and returns the matching reader configured with o.
+// encoding of rd ('#' opens the text format; otherwise the 5-byte
+// binary magic carries the version) and returns the matching reader
+// configured with o. A recognised magic with an unknown version is
+// ErrUnsupportedVersion, never a garbled decode or a salvage spiral.
 func NewReaderOptions(rd io.Reader, o ReaderOptions) (Reader, error) {
 	br := &sniffReader{r: rd}
 	first, err := br.peek()
@@ -179,6 +182,20 @@ func NewReaderOptions(rd io.Reader, o ReaderOptions) (Reader, error) {
 	}
 	if first == '#' {
 		return NewTextReaderOptions(br, o)
+	}
+	// Binary: dispatch on the version byte that follows the magic. A
+	// stream too short to hold the magic falls through to the v1
+	// reader, whose framing error describes it.
+	if magic, err := br.peekN(5); err == nil && string(magic[:4]) == "LILA" {
+		switch magic[4] {
+		case FormatVersion:
+			// v1 stream binary, below.
+		case V2FormatVersion:
+			return NewV2Reader(br, o)
+		default:
+			return nil, fmt.Errorf("%w %d (this reader supports v1 and v2)",
+				ErrUnsupportedVersion, magic[4])
+		}
 	}
 	return NewBinaryReaderOptions(br, o)
 }

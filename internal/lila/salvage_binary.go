@@ -109,6 +109,10 @@ func NewBinarySalvageReader(r io.Reader, limits Limits) (*BinarySalvageReader, e
 		d.report.TruncatedTail = true
 	}
 	if len(d.data) < len(binaryMagic) || [5]byte(d.data[:5]) != binaryMagic {
+		if len(d.data) >= len(binaryMagic) && string(d.data[:4]) == "LILA" {
+			return nil, fmt.Errorf("%w %d (this is the v1 binary salvage reader)",
+				ErrUnsupportedVersion, d.data[4])
+		}
 		return nil, fmt.Errorf("lila: bad magic in salvage input")
 	}
 	d.off = len(binaryMagic)

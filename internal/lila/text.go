@@ -278,8 +278,12 @@ func (tr *TextReader) readHeader() error {
 				return fmt.Errorf("lila: not a text trace: %q", line)
 			}
 			v, convErr := strconv.Atoi(fields[2])
-			if convErr != nil || v != FormatVersion {
-				return fmt.Errorf("lila: unsupported text format version %q", fields[2])
+			if convErr != nil {
+				return fmt.Errorf("lila: malformed text format version %q", fields[2])
+			}
+			if v != FormatVersion {
+				return fmt.Errorf("%w %d (text traces are v%d)",
+					ErrUnsupportedVersion, v, FormatVersion)
 			}
 		case "#app":
 			tr.h.App, err = strconv.Unquote(strings.TrimSpace(line[len("#app "):]))

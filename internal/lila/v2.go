@@ -1,0 +1,369 @@
+package lila
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"lagalyzer/internal/trace"
+)
+
+// The v2 format is block-structured and indexed, designed so readers
+// can map the file into memory and decode only the blocks an analysis
+// needs:
+//
+//	file      := magic header stringtab stacktab block* sentinel index trailer
+//	magic     := "LILA" 0x02
+//	header    := str(app) varint(session) varint(gui) varint(filter)
+//	             varint(sampleperiod) varint(start)
+//	str(s)    := uvarint(len) bytes
+//	stringtab := uvarint(count) str*                      (ref 0 = "", ref i = entry i-1)
+//	stacktab  := uvarint(count) stack*                    (ref 0 = empty, ref i = entry i-1)
+//	stack     := uvarint(nframes) frame*                  (leaf first)
+//	frame     := byte(flags: bit0 native) uvarint(classRef) uvarint(methodRef)
+//	block     := uvarint(payloadLen > 0) uvarint(recordCount)
+//	             varint(baseTime) u32le(crc32c(payload)) payload
+//	sentinel  := uvarint(0)                               (ends the block sequence)
+//	index     := uvarint(blockCount) entry*
+//	entry     := uvarint(offset) uvarint(length) uvarint(recordCount)
+//	             varint(minTime) varint(maxTime) uvarint(threadBits) uvarint(flags)
+//	trailer   := u64le(indexOffset) u32le(indexLen) u32le(crc32c(index)) "LILAIDX2"
+//
+// Unlike v1, every string and every distinct sampled call stack is
+// written exactly once, up front; records reference them by table
+// index, so the per-record hot path of a reader is a handful of varint
+// reads and two slice lookups — no hashing, interning, or frame
+// decoding. Record times are signed deltas from the previous record
+// *within the block*, with the block's first delta taken from the
+// header's baseTime: blocks decode independently, in any order, and a
+// block lost to damage never shifts the absolute times of the blocks
+// after it (the v1 salvage decoder cannot make that promise).
+//
+// The footer index carries per-block offsets, record counts, time
+// spans, a 64-bit thread bitmap (bit tid%64 set for every thread with
+// records in the block), and a global flag (the block holds thread
+// declarations, GC brackets, or the end record). Selective readers
+// skip blocks whose index entry cannot match their RecordFilter. An
+// entry flag bit is reserved for per-block compression; this writer
+// always stores blocks raw.
+//
+// Damage tolerance is per block: each block carries a CRC of its
+// payload and the index carries its own CRC, so a salvage reader drops
+// exactly the blocks that fail their checksum — an itemized loss, with
+// no resynchronization scan — and survives a destroyed index by
+// re-framing blocks from their self-describing headers.
+
+// V2FormatVersion is the version byte of the block-indexed format.
+const V2FormatVersion = 2
+
+// v2Magic opens every v2 trace; it shares the "LILA" prefix with the
+// v1 binary magic so version sniffing is uniform.
+var v2Magic = [5]byte{'L', 'I', 'L', 'A', V2FormatVersion}
+
+// v2TrailerMagic closes every v2 trace.
+var v2TrailerMagic = [8]byte{'L', 'I', 'L', 'A', 'I', 'D', 'X', '2'}
+
+// v2TrailerLen is the fixed byte length of the trailer.
+const v2TrailerLen = 8 + 4 + 4 + 8
+
+// DefaultV2BlockRecords is the records-per-block granularity of the
+// writer. Blocks are the unit of selective decode and of salvage loss,
+// so the default balances skip granularity against per-block overhead.
+const DefaultV2BlockRecords = 4096
+
+// v2CRC is the Castagnoli table shared by writer and readers.
+var v2CRC = crc32.MakeTable(crc32.Castagnoli)
+
+// v2 index entry flag bits.
+const (
+	// v2FlagGlobal marks a block containing records that apply to every
+	// thread (thread declarations, GC brackets, the end record); such
+	// blocks are decoded by every selective read.
+	v2FlagGlobal = 1 << 0
+	// v2FlagCompressed is reserved for per-block compression. This
+	// writer never sets it; readers reject blocks that carry it.
+	v2FlagCompressed = 1 << 1
+)
+
+// threadBit maps a thread ID onto the 64-bit per-block thread bitmap.
+func threadBit(id trace.ThreadID) uint64 {
+	return 1 << (uint64(uint32(id)) % 64)
+}
+
+// V2WriterOptions tune the v2 writer beyond its defaults.
+type V2WriterOptions struct {
+	// BlockRecords caps the records per block; 0 takes
+	// DefaultV2BlockRecords.
+	BlockRecords int
+}
+
+// V2Writer writes a trace in the v2 block-indexed format. The string
+// and stack tables precede the blocks in the file, so the writer
+// buffers the record stream in memory and emits everything on Close —
+// acceptable because v2 traces are produced from in-memory sessions
+// (the simulator, Flatten, or a convert pass over another encoding).
+type V2Writer struct {
+	w      io.Writer
+	h      Header
+	opts   V2WriterOptions
+	recs   []Record
+	closed bool
+}
+
+// NewV2Writer returns a Writer that emits the v2 format on Close.
+func NewV2Writer(w io.Writer, h Header) (*V2Writer, error) {
+	return NewV2WriterOptions(w, h, V2WriterOptions{})
+}
+
+// NewV2WriterOptions is NewV2Writer with explicit options.
+func NewV2WriterOptions(w io.Writer, h Header, opts V2WriterOptions) (*V2Writer, error) {
+	if opts.BlockRecords <= 0 {
+		opts.BlockRecords = DefaultV2BlockRecords
+	}
+	return &V2Writer{w: w, h: h, opts: opts}, nil
+}
+
+// WriteRecord implements Writer. Records are buffered until Close.
+func (vw *V2Writer) WriteRecord(r *Record) error {
+	if vw.closed {
+		return fmt.Errorf("lila: write after Close")
+	}
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	vw.recs = append(vw.recs, *r)
+	return nil
+}
+
+// v2enc accumulates the encoded file and the intern state for the
+// string and stack tables.
+type v2enc struct {
+	buf     []byte
+	strings map[string]uint64
+	strTab  []string
+	stacks  stackTab        // canonicalizes producer stacks before ref lookup
+	stackID map[*trace.Frame]uint64
+	stakTab [][]trace.Frame
+}
+
+func (e *v2enc) strRef(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	if id, ok := e.strings[s]; ok {
+		return id
+	}
+	id := uint64(len(e.strTab) + 1)
+	e.strings[s] = id
+	e.strTab = append(e.strTab, s)
+	return id
+}
+
+func (e *v2enc) stackRef(frames []trace.Frame) uint64 {
+	if len(frames) == 0 {
+		return 0
+	}
+	// Canonicalize so identical stacks from different producers (or a
+	// reader that did not dedup) share one table entry, then key by the
+	// canonical slice's first-frame pointer, which stackTab guarantees
+	// is unique per distinct stack.
+	canon := e.stacks.canon(frames)
+	key := &canon[0]
+	if id, ok := e.stackID[key]; ok {
+		return id
+	}
+	// Intern the frame symbols now so the table section below reuses
+	// the string refs records already forced.
+	for _, f := range canon {
+		e.strRef(f.Class)
+		e.strRef(f.Method)
+	}
+	id := uint64(len(e.stakTab) + 1)
+	e.stackID[key] = id
+	e.stakTab = append(e.stakTab, canon)
+	return id
+}
+
+func (e *v2enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *v2enc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *v2enc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// encodeRecord appends r's v2 payload encoding. lastTime is the
+// running time base; the returned value carries it forward.
+func (e *v2enc) encodeRecord(r *Record, lastTime trace.Time) trace.Time {
+	e.buf = append(e.buf, byte(r.Type))
+	dt := func() {
+		e.varint(int64(r.Time - lastTime))
+		lastTime = r.Time
+	}
+	switch r.Type {
+	case RecThread:
+		e.varint(int64(r.Thread))
+		e.uvarint(e.strRef(r.Name))
+		e.buf = append(e.buf, b2byte(r.Daemon))
+	case RecCall:
+		dt()
+		e.varint(int64(r.Thread))
+		e.buf = append(e.buf, byte(r.Kind))
+		e.uvarint(e.strRef(r.Class))
+		e.uvarint(e.strRef(r.Method))
+	case RecReturn:
+		dt()
+		e.varint(int64(r.Thread))
+	case RecGCStart:
+		dt()
+		e.buf = append(e.buf, b2byte(r.Major))
+	case RecGCEnd:
+		dt()
+	case RecSample:
+		dt()
+		e.varint(int64(r.Thread))
+		e.buf = append(e.buf, byte(r.State))
+		e.uvarint(e.stackRef(r.Stack))
+	case RecEnd:
+		dt()
+		e.uvarint(uint64(r.Count))
+	}
+	return lastTime
+}
+
+// blockMeta is the writer-side index entry.
+type blockMeta struct {
+	offset, length   uint64
+	records          int
+	minTime, maxTime trace.Time
+	threadBits       uint64
+	flags            uint64
+}
+
+// Close encodes the buffered stream and writes the complete v2 file.
+func (vw *V2Writer) Close() error {
+	if vw.closed {
+		return nil
+	}
+	vw.closed = true
+
+	enc := &v2enc{
+		strings: make(map[string]uint64),
+		stackID: make(map[*trace.Frame]uint64),
+	}
+
+	// Pass 1: encode every block payload. Interleaving table discovery
+	// with payload encoding is safe because payloads are assembled in a
+	// scratch buffer and spliced after the tables are written.
+	var payloads []byte // all block payloads, back to back
+	type pendingBlock struct {
+		payloadLen int
+		meta       blockMeta
+		baseTime   trace.Time
+	}
+	var blocks []pendingBlock
+	lastTime := trace.Time(0)
+	for start := 0; start < len(vw.recs); start += vw.opts.BlockRecords {
+		end := start + vw.opts.BlockRecords
+		if end > len(vw.recs) {
+			end = len(vw.recs)
+		}
+		pb := pendingBlock{baseTime: lastTime}
+		pb.meta.records = end - start
+		enc.buf = payloads
+		mark := len(enc.buf)
+		first := true
+		for i := start; i < end; i++ {
+			r := &vw.recs[i]
+			lastTime = enc.encodeRecord(r, lastTime)
+			switch r.Type {
+			case RecThread, RecGCStart, RecGCEnd, RecEnd:
+				pb.meta.flags |= v2FlagGlobal
+			}
+			switch r.Type {
+			case RecCall, RecReturn, RecSample:
+				pb.meta.threadBits |= threadBit(r.Thread)
+			}
+			if r.Type != RecThread { // threads carry no time stamp
+				if first || r.Time < pb.meta.minTime {
+					pb.meta.minTime = r.Time
+				}
+				if first || r.Time > pb.meta.maxTime {
+					pb.meta.maxTime = r.Time
+				}
+				first = false
+			}
+		}
+		if first {
+			// A block of nothing but thread declarations: pin its span
+			// to the running time base so index entries stay ordered.
+			pb.meta.minTime, pb.meta.maxTime = pb.baseTime, pb.baseTime
+		}
+		payloads = enc.buf
+		pb.payloadLen = len(payloads) - mark
+		blocks = append(blocks, pb)
+	}
+
+	// Pass 2: assemble the file.
+	enc.buf = make([]byte, 0, len(payloads)+len(payloads)/4+1024)
+	enc.buf = append(enc.buf, v2Magic[:]...)
+	enc.str(vw.h.App)
+	enc.varint(int64(vw.h.SessionID))
+	enc.varint(int64(vw.h.GUIThread))
+	enc.varint(int64(vw.h.FilterThreshold))
+	enc.varint(int64(vw.h.SamplePeriod))
+	enc.varint(int64(vw.h.Start))
+
+	enc.uvarint(uint64(len(enc.strTab)))
+	for _, s := range enc.strTab {
+		enc.str(s)
+	}
+	enc.uvarint(uint64(len(enc.stakTab)))
+	for _, frames := range enc.stakTab {
+		enc.uvarint(uint64(len(frames)))
+		for _, f := range frames {
+			enc.buf = append(enc.buf, b2byte(f.Native))
+			enc.uvarint(enc.strings[f.Class]) // "" maps to absent key = 0
+			enc.uvarint(enc.strings[f.Method])
+		}
+	}
+
+	off := 0
+	for i := range blocks {
+		pb := &blocks[i]
+		payload := payloads[off : off+pb.payloadLen]
+		off += pb.payloadLen
+		pb.meta.offset = uint64(len(enc.buf))
+		enc.uvarint(uint64(len(payload)))
+		enc.uvarint(uint64(pb.meta.records))
+		enc.varint(int64(pb.baseTime))
+		enc.buf = binary.LittleEndian.AppendUint32(enc.buf, crc32.Checksum(payload, v2CRC))
+		enc.buf = append(enc.buf, payload...)
+		pb.meta.length = uint64(len(enc.buf)) - pb.meta.offset
+	}
+	enc.uvarint(0) // sentinel: end of blocks
+
+	indexOff := uint64(len(enc.buf))
+	enc.uvarint(uint64(len(blocks)))
+	for i := range blocks {
+		m := &blocks[i].meta
+		enc.uvarint(m.offset)
+		enc.uvarint(m.length)
+		enc.uvarint(uint64(m.records))
+		enc.varint(int64(m.minTime))
+		enc.varint(int64(m.maxTime))
+		enc.uvarint(m.threadBits)
+		enc.uvarint(m.flags)
+	}
+	index := enc.buf[indexOff:]
+	enc.buf = binary.LittleEndian.AppendUint64(enc.buf, indexOff)
+	enc.buf = binary.LittleEndian.AppendUint32(enc.buf, uint32(len(index)))
+	enc.buf = binary.LittleEndian.AppendUint32(enc.buf, crc32.Checksum(index, v2CRC))
+	enc.buf = append(enc.buf, v2TrailerMagic[:]...)
+
+	if _, err := vw.w.Write(enc.buf); err != nil {
+		return fmt.Errorf("lila: writing v2 trace: %w", err)
+	}
+	vw.recs = nil
+	return nil
+}

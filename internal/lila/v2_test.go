@@ -1,0 +1,492 @@
+package lila
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lagalyzer/internal/trace"
+)
+
+// v2TestRecords builds an interleaved multi-thread stream big enough
+// to span many blocks at small BlockRecords settings: thread 1 (the
+// GUI thread) works first, then thread 2 runs a long solo stretch, and
+// thread 1 returns for a finale.
+func v2TestRecords() []*Record {
+	recs := []*Record{
+		{Type: RecThread, Thread: 1, Name: "AWT-EventQueue-0"},
+		{Type: RecThread, Thread: 2, Name: "Worker", Daemon: true},
+	}
+	t := trace.Time(1000)
+	addPair := func(id trace.ThreadID, class, method string) {
+		recs = append(recs,
+			&Record{Type: RecCall, Time: t, Thread: id, Kind: trace.KindListener, Class: class, Method: method},
+			&Record{Type: RecSample, Time: t + 1, Thread: id, State: trace.StateRunnable,
+				Stack: []trace.Frame{{Class: class, Method: method}}},
+			&Record{Type: RecReturn, Time: t + 2, Thread: id})
+		t += 10
+	}
+	for i := 0; i < 8; i++ {
+		addPair(1, "app.Button", "actionPerformed")
+	}
+	for i := 0; i < 40; i++ {
+		addPair(2, "app.Worker", "run")
+	}
+	recs = append(recs,
+		&Record{Type: RecGCStart, Time: t, Major: true},
+		&Record{Type: RecGCEnd, Time: t + 5})
+	t += 10
+	for i := 0; i < 8; i++ {
+		addPair(1, "app.Button", "actionPerformed")
+	}
+	recs = append(recs, &Record{Type: RecEnd, Time: t + 100, Count: 7})
+	return recs
+}
+
+// writeV2 encodes recs with the given block granularity.
+func writeV2(t *testing.T, recs []*Record, blockRecords int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewV2WriterOptions(&buf, testHeader(), V2WriterOptions{BlockRecords: blockRecords})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func drainReader(t *testing.T, r Reader) []*Record {
+	t.Helper()
+	var recs []*Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func recordsEqual(t *testing.T, got, want []*Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: record %d:\n got %+v\nwant %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestV2MultiBlockRoundTrip(t *testing.T) {
+	want := v2TestRecords()
+	for _, blockRecords := range []int{1, 4, 7, 1 << 20} {
+		data := writeV2(t, want, blockRecords)
+
+		// Random-access path.
+		v, err := ParseV2(data, Limits{})
+		if err != nil {
+			t.Fatalf("blockRecords=%d: ParseV2: %v", blockRecords, err)
+		}
+		if v.Header() != testHeader() {
+			t.Fatalf("blockRecords=%d: header = %+v", blockRecords, v.Header())
+		}
+		wantBlocks := (len(want) + blockRecords - 1) / blockRecords
+		if len(v.Blocks()) != wantBlocks {
+			t.Fatalf("blockRecords=%d: %d blocks, want %d", blockRecords, len(v.Blocks()), wantBlocks)
+		}
+		got, rep, err := v.Records(nil, false)
+		if err != nil {
+			t.Fatalf("blockRecords=%d: Records: %v", blockRecords, err)
+		}
+		if rep != nil {
+			t.Fatalf("blockRecords=%d: strict decode produced a salvage report", blockRecords)
+		}
+		recordsEqual(t, got, want, "random access")
+
+		// Streaming path (sniffed; never touches the index).
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("blockRecords=%d: NewReader: %v", blockRecords, err)
+		}
+		recordsEqual(t, drainReader(t, r), want, "streaming")
+	}
+}
+
+func TestV2OpenFileMmap(t *testing.T) {
+	want := v2TestRecords()
+	path := filepath.Join(t.TempDir(), "s.lila")
+	if err := os.WriteFile(path, writeV2(t, want, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	v, err := OpenV2File(f, Limits{})
+	if err != nil {
+		t.Fatalf("OpenV2File: %v", err)
+	}
+	got, _, err := v.Records(nil, false)
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	recordsEqual(t, got, want, "mmap")
+	if err := v.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := v.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestV2SelectiveDecodeEquivalence pins the format-independence of
+// RecordFilter: selecting blocks via the v2 index must yield exactly
+// the records the same filter keeps over the full v1 stream.
+func TestV2SelectiveDecodeEquivalence(t *testing.T) {
+	all := v2TestRecords()
+	filters := []*RecordFilter{
+		{Threads: []trace.ThreadID{1}},
+		{Threads: []trace.ThreadID{2}},
+		{MinTime: 1100, MaxTime: 1300},
+		{Threads: []trace.ThreadID{1}, MinTime: 1050, MaxTime: 1200},
+		{MinTime: 4000}, // beyond the last timed record except the end
+	}
+	data := writeV2(t, all, 8)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	w, err := NewWriter(&v1, FormatBinary, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range all {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, f := range filters {
+		got, _, err := v.Records(f, false)
+		if err != nil {
+			t.Fatalf("filter %d: v2 Records: %v", i, err)
+		}
+		br, err := NewReader(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainReader(t, NewFilteredReader(br, f))
+		recordsEqual(t, got, want, "filtered")
+		if len(got) == len(all) && !f.All() && i != 4 {
+			t.Errorf("filter %d selected everything; test is vacuous", i)
+		}
+	}
+}
+
+// TestV2SelectiveSkipsCorruptBlock proves blocks are really skipped:
+// a corrupt worker-only block kills a strict full decode but is never
+// touched by a strict GUI-thread-filtered decode.
+func TestV2SelectiveSkipsCorruptBlock(t *testing.T) {
+	all := v2TestRecords()
+	data := writeV2(t, all, 8)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a block attributed solely to thread 2, with no global recs.
+	target := -1
+	for i, b := range v.Blocks() {
+		if !b.HasGlobal() && b.MayContainThread(2) && !b.MayContainThread(1) {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no worker-only block in corpus; adjust the test stream")
+	}
+	bad := bytes.Clone(data)
+	b := v.Blocks()[target]
+	bad[b.Offset+b.Length-1] ^= 0xff // corrupt the payload tail
+
+	vb, err := ParseV2(bad, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := vb.Records(nil, false); err == nil {
+		t.Fatal("strict full decode of corrupt block succeeded")
+	}
+	got, _, err := vb.Records(&RecordFilter{Threads: []trace.ThreadID{1}}, false)
+	if err != nil {
+		t.Fatalf("GUI-filtered decode touched the corrupt worker block: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("filtered decode returned nothing")
+	}
+}
+
+// TestV2PerBlockSalvage corrupts one block and checks the loss is
+// exactly that block — itemized counts, no resync scan, and correct
+// absolute times after the gap thanks to per-block time bases.
+func TestV2PerBlockSalvage(t *testing.T) {
+	all := v2TestRecords()
+	const blockRecords = 8
+	data := writeV2(t, all, blockRecords)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 3 // a middle block
+	info := v.Blocks()[target]
+	bad := bytes.Clone(data)
+	bad[info.Offset+info.Length/2] ^= 0x40
+
+	vb, err := ParseV2(bad, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := vb.Records(nil, true)
+	if err != nil {
+		t.Fatalf("salvage Records: %v", err)
+	}
+	if rep == nil || !rep.Damaged() {
+		t.Fatal("salvage of a corrupt block reported no damage")
+	}
+	if rep.RecordsDropped != info.Records {
+		t.Errorf("dropped %d records, want exactly the block's %d", rep.RecordsDropped, info.Records)
+	}
+	if rep.BytesSkipped != info.Length {
+		t.Errorf("skipped %d bytes, want the block's %d", rep.BytesSkipped, info.Length)
+	}
+	want := append(append([]*Record{}, all[:target*blockRecords]...), all[(target+1)*blockRecords:]...)
+	recordsEqual(t, got, want, "salvaged")
+	if rep.RecordsKept != len(got) {
+		t.Errorf("kept %d, yielded %d", rep.RecordsKept, len(got))
+	}
+
+	// The streaming salvage reader must reach the same records.
+	r, err := NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Record
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		streamed = append(streamed, rec)
+	}
+	recordsEqual(t, streamed, want, "streaming salvage")
+	srep := SalvageOf(r)
+	if srep == nil || srep.RecordsDropped != info.Records {
+		t.Errorf("streaming salvage report = %+v, want %d dropped", srep, info.Records)
+	}
+}
+
+// TestV2IndexDamageFallsBackToScan destroys the footer and checks
+// strict decode refuses while salvage re-frames every block from the
+// self-describing headers.
+func TestV2IndexDamageFallsBackToScan(t *testing.T) {
+	all := v2TestRecords()
+	data := writeV2(t, all, 8)
+	for name, mutate := range map[string]func([]byte) []byte{
+		"trailer":   func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"index":     func(b []byte) []byte { b[len(b)-v2TrailerLen-2] ^= 0xff; return b },
+		"truncated": func(b []byte) []byte { return b[:len(b)-v2TrailerLen] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			bad := mutate(bytes.Clone(data))
+			v, err := ParseV2(bad, Limits{})
+			if err != nil {
+				t.Fatalf("ParseV2: %v", err)
+			}
+			if _, _, err := v.Records(nil, false); err == nil {
+				t.Error("strict decode accepted a damaged index")
+			}
+			got, rep, err := v.Records(nil, true)
+			if err != nil {
+				t.Fatalf("salvage Records: %v", err)
+			}
+			recordsEqual(t, got, all, "index-damage salvage")
+			if rep.FirstError == "" {
+				t.Error("index damage not noted in report")
+			}
+		})
+	}
+}
+
+func TestV2TruncatedTail(t *testing.T) {
+	all := v2TestRecords()
+	data := writeV2(t, all, 8)
+	cut := data[:len(data)*2/3]
+
+	if r, err := NewReader(bytes.NewReader(cut)); err == nil {
+		if _, err := io.ReadAll(readerAdapter{r}); err == nil {
+			t.Error("strict streaming decode accepted a truncated trace")
+		}
+	}
+
+	r, err := NewReaderOptions(bytes.NewReader(cut), ReaderOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage reader: %v", err)
+	}
+	n := 0
+	for {
+		if _, err := r.Read(); err != nil {
+			break
+		}
+		n++
+	}
+	rep := SalvageOf(r)
+	if rep == nil || !rep.TruncatedTail {
+		t.Errorf("truncated v2 trace: report = %+v, want TruncatedTail", rep)
+	}
+	if n == 0 {
+		t.Error("salvage recovered nothing from a 2/3 prefix")
+	}
+}
+
+// readerAdapter exposes a lila.Reader as an io.Reader of record
+// stringifications, just to drive it to EOF-or-error.
+type readerAdapter struct{ r Reader }
+
+func (a readerAdapter) Read(p []byte) (int, error) {
+	if _, err := a.r.Read(); err != nil {
+		return 0, err
+	}
+	if len(p) > 0 {
+		p[0] = '.'
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// TestUnsupportedVersionBothDirections covers every reader × wrong
+// version pairing: each must report ErrUnsupportedVersion, not a
+// garbled decode or a salvage spiral.
+func TestUnsupportedVersionBothDirections(t *testing.T) {
+	v2Data := writeV2(t, v2TestRecords(), 8)
+	var v1buf bytes.Buffer
+	w, err := NewWriter(&v1buf, FormatBinary, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(&Record{Type: RecEnd, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v1Data := v1buf.Bytes()
+	future := []byte("LILA\x07whatever")
+
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"v1 binary reader on v2", func() error {
+			_, err := NewBinaryReader(bytes.NewReader(v2Data))
+			return err
+		}},
+		{"v1 salvage reader on v2", func() error {
+			_, err := NewBinarySalvageReader(bytes.NewReader(v2Data), Limits{})
+			return err
+		}},
+		{"v2 parser on v1", func() error {
+			_, err := ParseV2(v1Data, Limits{})
+			return err
+		}},
+		{"v2 stream reader on v1", func() error {
+			_, err := NewV2Reader(bytes.NewReader(v1Data), ReaderOptions{})
+			return err
+		}},
+		{"sniffer on future version", func() error {
+			_, err := NewReader(bytes.NewReader(future))
+			return err
+		}},
+		{"salvage sniffer on future version", func() error {
+			_, err := NewReaderOptions(bytes.NewReader(future), ReaderOptions{Salvage: true})
+			return err
+		}},
+		{"text reader on future text version", func() error {
+			_, err := NewReader(bytes.NewReader([]byte("#lila text 9\n")))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.err()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrUnsupportedVersion) {
+			t.Errorf("%s: error %q does not wrap ErrUnsupportedVersion", tc.name, err)
+		}
+	}
+
+	// The sniffing entry points must route each version to the right
+	// reader rather than erroring.
+	for _, data := range [][]byte{v1Data, v2Data} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("sniffed reader: %v", err)
+		}
+		drainReader(t, r)
+	}
+}
+
+// TestV2RejectsCompressedFlag pins the reserved-bit contract: an index
+// entry carrying the compression flag (which this writer never sets)
+// is treated as index damage — the reader must not misdecode the
+// payload as raw records.
+func TestV2RejectsCompressedFlag(t *testing.T) {
+	// Single block, so the index's final byte is its flags uvarint.
+	data := writeV2(t, v2TestRecords(), 1<<20)
+	tr := data[len(data)-v2TrailerLen:]
+	indexOff := binary.LittleEndian.Uint64(tr[0:8])
+	indexLen := binary.LittleEndian.Uint32(tr[8:12])
+	index := data[indexOff : indexOff+uint64(indexLen)]
+	index[len(index)-1] |= v2FlagCompressed
+	binary.LittleEndian.PutUint32(tr[12:16], crc32.Checksum(index, v2CRC))
+
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatalf("ParseV2: %v", err)
+	}
+	if v.indexErr == nil {
+		t.Fatal("compressed flag accepted as a valid index")
+	}
+	if _, _, err := v.Records(nil, false); err == nil {
+		t.Error("strict decode proceeded past a compressed-flag index")
+	}
+	// Salvage still recovers the records via the header scan.
+	got, _, err := v.Records(nil, true)
+	if err != nil {
+		t.Fatalf("salvage Records: %v", err)
+	}
+	recordsEqual(t, got, v2TestRecords(), "compressed-flag fallback")
+}

@@ -1,0 +1,838 @@
+package lila
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"lagalyzer/internal/trace"
+)
+
+// v2 decoding. Three entry points share the machinery below:
+//
+//   - OpenV2File maps a trace file into memory (mmap on unix, a plain
+//     read elsewhere) and serves random-access, index-driven selective
+//     decode — the LoadTraceDir fast path.
+//   - ParseV2 does the same over an in-memory byte slice.
+//   - NewV2Reader adapts the slice machinery to the streaming Reader
+//     contract for sniffed io.Reader inputs (pipes, network, the
+//     convert pass); it buffers the input, bounded by MaxTraceBytes,
+//     and never needs the footer index — blocks are self-framing.
+
+// v2cur is a bounds-checked cursor over encoded bytes.
+type v2cur struct {
+	data []byte
+	off  int
+}
+
+func (c *v2cur) remaining() int { return len(c.data) - c.off }
+
+func (c *v2cur) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.data[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated uvarint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *v2cur) varint() (int64, error) {
+	v, n := binary.Varint(c.data[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at offset %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *v2cur) byte() (byte, error) {
+	if c.off >= len(c.data) {
+		return 0, fmt.Errorf("truncated byte at offset %d", c.off)
+	}
+	b := c.data[c.off]
+	c.off++
+	return b, nil
+}
+
+func (c *v2cur) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, fmt.Errorf("truncated %d-byte field at offset %d", n, c.off)
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+// v2data is a parsed v2 prefix: header, tables, and the position where
+// the block sequence starts.
+type v2data struct {
+	data        []byte
+	h           Header
+	strings     []string
+	stacks      [][]trace.Frame
+	blocksStart int
+	limits      Limits
+}
+
+func (d *v2data) str(ref uint64) (string, error) {
+	if ref == 0 {
+		return "", nil
+	}
+	if ref > uint64(len(d.strings)) {
+		return "", fmt.Errorf("string ref %d beyond table size %d", ref, len(d.strings))
+	}
+	return d.strings[ref-1], nil
+}
+
+// parseV2Prefix parses magic, header, string table, and stack table.
+func parseV2Prefix(data []byte, limits Limits) (*v2data, error) {
+	limits = limits.WithDefaults()
+	c := &v2cur{data: data}
+	magic, err := c.bytes(len(v2Magic))
+	if err != nil {
+		return nil, fmt.Errorf("lila: reading v2 magic: %w", err)
+	}
+	if string(magic[:4]) != "LILA" {
+		return nil, fmt.Errorf("lila: bad magic %q", magic[:4])
+	}
+	if magic[4] != V2FormatVersion {
+		return nil, fmt.Errorf("%w %d (this is the v2 reader)", ErrUnsupportedVersion, magic[4])
+	}
+	d := &v2data{data: data, limits: limits}
+
+	readString := func() (string, error) {
+		n, err := c.uvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(limits.MaxStringLen) {
+			return "", fmt.Errorf("implausible string length %d", n)
+		}
+		b, err := c.bytes(int(n))
+		if err != nil {
+			return "", err
+		}
+		return internBytes(b), nil
+	}
+
+	if d.h.App, err = readString(); err != nil {
+		return nil, fmt.Errorf("lila: v2 header app: %w", err)
+	}
+	var sid, gui, filt, period, start int64
+	for _, f := range []*int64{&sid, &gui, &filt, &period, &start} {
+		if *f, err = c.varint(); err != nil {
+			return nil, fmt.Errorf("lila: v2 header: %w", err)
+		}
+	}
+	d.h.SessionID = int(sid)
+	d.h.GUIThread = trace.ThreadID(gui)
+	d.h.FilterThreshold = trace.Dur(filt)
+	d.h.SamplePeriod = trace.Dur(period)
+	d.h.Start = trace.Time(start)
+
+	nstr, err := c.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("lila: v2 string table: %w", err)
+	}
+	if nstr > uint64(limits.MaxStringTable) {
+		return nil, fmt.Errorf("lila: v2 string table exceeds limit %d", limits.MaxStringTable)
+	}
+	d.strings = make([]string, nstr)
+	for i := range d.strings {
+		if d.strings[i], err = readString(); err != nil {
+			return nil, fmt.Errorf("lila: v2 string table entry %d: %w", i, err)
+		}
+	}
+
+	nstk, err := c.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("lila: v2 stack table: %w", err)
+	}
+	if nstk > uint64(limits.MaxStringTable) {
+		return nil, fmt.Errorf("lila: v2 stack table exceeds limit %d", limits.MaxStringTable)
+	}
+	d.stacks = make([][]trace.Frame, nstk)
+	var slab []trace.Frame // frames for all stacks, allocated in chunks
+	for i := range d.stacks {
+		nf, err := c.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+		}
+		if nf == 0 || nf > uint64(limits.MaxStackDepth) {
+			return nil, fmt.Errorf("lila: v2 stack table entry %d: implausible depth %d", i, nf)
+		}
+		if uint64(c.remaining()) < 3*nf { // each frame is at least 3 bytes
+			return nil, fmt.Errorf("lila: v2 stack table entry %d: truncated", i)
+		}
+		if len(slab) < int(nf) {
+			slab = make([]trace.Frame, max(int(nf), 1024))
+		}
+		frames := slab[:nf:nf]
+		slab = slab[nf:]
+		for j := range frames {
+			fl, err := c.byte()
+			if err != nil {
+				return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+			}
+			frames[j].Native = fl&1 != 0
+			cr, err := c.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+			}
+			mr, err := c.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+			}
+			if frames[j].Class, err = d.str(cr); err != nil {
+				return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+			}
+			if frames[j].Method, err = d.str(mr); err != nil {
+				return nil, fmt.Errorf("lila: v2 stack table entry %d: %w", i, err)
+			}
+		}
+		d.stacks[i] = frames
+	}
+	d.blocksStart = c.off
+	return d, nil
+}
+
+// V2BlockInfo describes one block for selective decode. Entries come
+// from the footer index, or — when the index is damaged — from a
+// sequential scan of the self-framing block headers, in which case the
+// selectivity fields are conservative (never exclude a block).
+type V2BlockInfo struct {
+	// Offset and Length frame the whole block (header + payload) in
+	// the file.
+	Offset, Length int64
+	// Records is the block's record count.
+	Records int
+	// MinTime and MaxTime span the block's timed records.
+	MinTime, MaxTime trace.Time
+
+	threadBits uint64
+	flags      uint64
+}
+
+// HasGlobal reports whether the block carries records that apply to
+// every thread (thread declarations, GC brackets, the end record).
+func (b *V2BlockInfo) HasGlobal() bool { return b.flags&v2FlagGlobal != 0 }
+
+// MayContainThread reports whether the block may hold records of the
+// given thread (64-bit bitmap; false positives possible, false
+// negatives not).
+func (b *V2BlockInfo) MayContainThread(id trace.ThreadID) bool {
+	return b.threadBits&threadBit(id) != 0
+}
+
+// parseV2Index recovers the block index from the footer trailer,
+// verifying its checksum and every entry's framing.
+func parseV2Index(d *v2data) ([]V2BlockInfo, error) {
+	data := d.data
+	if len(data) < v2TrailerLen {
+		return nil, fmt.Errorf("lila: v2 trace too short for a trailer")
+	}
+	tr := data[len(data)-v2TrailerLen:]
+	if string(tr[16:24]) != string(v2TrailerMagic[:]) {
+		return nil, fmt.Errorf("lila: v2 trailer magic missing")
+	}
+	indexOff := binary.LittleEndian.Uint64(tr[0:8])
+	indexLen := binary.LittleEndian.Uint32(tr[8:12])
+	indexCRC := binary.LittleEndian.Uint32(tr[12:16])
+	end := uint64(len(data) - v2TrailerLen)
+	if indexOff > end || uint64(indexLen) > end-indexOff {
+		return nil, fmt.Errorf("lila: v2 index frame out of bounds")
+	}
+	index := data[indexOff : indexOff+uint64(indexLen)]
+	if crc32.Checksum(index, v2CRC) != indexCRC {
+		return nil, fmt.Errorf("lila: v2 index checksum mismatch")
+	}
+	c := &v2cur{data: index}
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("lila: v2 index: %w", err)
+	}
+	if n > uint64(len(index)) { // each entry is at least 7 bytes
+		return nil, fmt.Errorf("lila: v2 index: implausible block count %d", n)
+	}
+	blocks := make([]V2BlockInfo, n)
+	for i := range blocks {
+		b := &blocks[i]
+		var off, length, records uint64
+		var minT, maxT int64
+		err := error(nil)
+		for _, step := range []func() error{
+			func() (e error) { off, e = c.uvarint(); return },
+			func() (e error) { length, e = c.uvarint(); return },
+			func() (e error) { records, e = c.uvarint(); return },
+			func() (e error) { minT, e = c.varint(); return },
+			func() (e error) { maxT, e = c.varint(); return },
+			func() (e error) { b.threadBits, e = c.uvarint(); return },
+			func() (e error) { b.flags, e = c.uvarint(); return },
+		} {
+			if err = step(); err != nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lila: v2 index entry %d: %w", i, err)
+		}
+		b.Offset, b.Length, b.Records = int64(off), int64(length), int(records)
+		b.MinTime, b.MaxTime = trace.Time(minT), trace.Time(maxT)
+		if b.Offset < int64(d.blocksStart) || b.Length <= 0 ||
+			uint64(b.Offset)+uint64(b.Length) > indexOff ||
+			b.Records < 0 || b.Records > d.limits.MaxRecords {
+			return nil, fmt.Errorf("lila: v2 index entry %d: frame out of bounds", i)
+		}
+		if b.flags&v2FlagCompressed != 0 {
+			return nil, fmt.Errorf("lila: v2 index entry %d: compressed blocks not supported", i)
+		}
+	}
+	return blocks, nil
+}
+
+// scanV2Blocks re-frames the block sequence from the self-describing
+// block headers — the streaming path, and the salvage fallback when
+// the footer index is destroyed. Selectivity fields are conservative:
+// every scanned block reports global and an all-ones thread bitmap, so
+// no filter ever skips it. A framing error mid-scan returns the blocks
+// recovered so far together with the error.
+func scanV2Blocks(d *v2data) ([]V2BlockInfo, error) {
+	c := &v2cur{data: d.data, off: d.blocksStart}
+	var blocks []V2BlockInfo
+	total := 0
+	for {
+		start := c.off
+		plen, err := c.uvarint()
+		if err != nil {
+			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+		}
+		if plen == 0 {
+			return blocks, nil // sentinel: index + trailer follow
+		}
+		count, err := c.uvarint()
+		if err != nil {
+			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+		}
+		if _, err := c.varint(); err != nil { // baseTime
+			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+		}
+		if _, err := c.bytes(4); err != nil { // crc
+			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+		}
+		if plen > uint64(c.remaining()) || count == 0 || count > plen {
+			return blocks, fmt.Errorf("lila: v2 block %d: implausible frame (payload %d, records %d)",
+				len(blocks), plen, count)
+		}
+		total += int(count)
+		if total > d.limits.MaxRecords {
+			return blocks, fmt.Errorf("lila: record limit %d exceeded", d.limits.MaxRecords)
+		}
+		c.off += int(plen)
+		blocks = append(blocks, V2BlockInfo{
+			Offset:     int64(start),
+			Length:     int64(c.off - start),
+			Records:    int(count),
+			MinTime:    math.MinInt64,
+			MaxTime:    math.MaxInt64,
+			threadBits: ^uint64(0),
+			flags:      v2FlagGlobal,
+		})
+	}
+}
+
+// decodeV2Block decodes one block's records. The block header is
+// re-read from b's frame (it carries the base time); the payload
+// checksum is verified before any record is materialized.
+// decodeV2Block verifies and decodes one block, appending its records
+// to dst. On error dst is unchanged at its original length (appended
+// capacity may hold dead pointers; callers must not read past len).
+func (d *v2data) decodeV2Block(b *V2BlockInfo, arena *recArena, dst []*Record) ([]*Record, error) {
+	c := &v2cur{data: d.data[:b.Offset+b.Length], off: int(b.Offset)}
+	plen, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	base, err := c.varint()
+	if err != nil {
+		return nil, err
+	}
+	crcb, err := c.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := c.bytes(int(plen))
+	if err != nil {
+		return nil, err
+	}
+	if c.remaining() != 0 || int(count) != b.Records {
+		return nil, fmt.Errorf("block header disagrees with index (payload %d, records %d vs %d)",
+			plen, count, b.Records)
+	}
+	if crc32.Checksum(payload, v2CRC) != binary.LittleEndian.Uint32(crcb) {
+		return nil, fmt.Errorf("block checksum mismatch (%d records lost)", count)
+	}
+
+	pc := &v2cur{data: payload}
+	lastTime := trace.Time(base)
+	for i := 0; i < int(count); i++ {
+		rec, err := d.decodeRecord(pc, &lastTime, arena)
+		if err != nil {
+			return nil, fmt.Errorf("record %d of block: %w", i, err)
+		}
+		dst = append(dst, rec)
+	}
+	if pc.remaining() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after %d records", pc.remaining(), count)
+	}
+	return dst, nil
+}
+
+// decodeRecord decodes one record from the payload cursor.
+func (d *v2data) decodeRecord(c *v2cur, lastTime *trace.Time, arena *recArena) (*Record, error) {
+	tb, err := c.byte()
+	if err != nil {
+		return nil, err
+	}
+	if int(tb) >= numRecTypes {
+		return nil, fmt.Errorf("unknown record type %d", tb)
+	}
+	rec := arena.new()
+	rec.Type = RecType(tb)
+	readTime := func() error {
+		dt, err := c.varint()
+		if err != nil {
+			return err
+		}
+		*lastTime += trace.Time(dt)
+		rec.Time = *lastTime
+		return nil
+	}
+	readTID := func() error {
+		v, err := c.varint()
+		rec.Thread = trace.ThreadID(v)
+		return err
+	}
+	switch rec.Type {
+	case RecThread:
+		if err := readTID(); err != nil {
+			return nil, err
+		}
+		ref, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Name, err = d.str(ref); err != nil {
+			return nil, err
+		}
+		db, err := c.byte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Daemon = db == 1
+	case RecCall:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+		if err := readTID(); err != nil {
+			return nil, err
+		}
+		k, err := c.byte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Kind = trace.Kind(k)
+		cr, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		mr, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rec.Class, err = d.str(cr); err != nil {
+			return nil, err
+		}
+		if rec.Method, err = d.str(mr); err != nil {
+			return nil, err
+		}
+	case RecReturn:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+		if err := readTID(); err != nil {
+			return nil, err
+		}
+	case RecGCStart:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+		mb, err := c.byte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Major = mb == 1
+	case RecGCEnd:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+	case RecSample:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+		if err := readTID(); err != nil {
+			return nil, err
+		}
+		st, err := c.byte()
+		if err != nil {
+			return nil, err
+		}
+		rec.State = trace.ThreadState(st)
+		ref, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ref > uint64(len(d.stacks)) {
+			return nil, fmt.Errorf("stack ref %d beyond table size %d", ref, len(d.stacks))
+		}
+		if ref > 0 {
+			rec.Stack = d.stacks[ref-1]
+		}
+	case RecEnd:
+		if err := readTime(); err != nil {
+			return nil, err
+		}
+		n, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		rec.Count = int(n)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// V2File is a v2 trace opened for random access: the footer index is
+// parsed once, and blocks decode independently — all of them, or only
+// the ones a RecordFilter selects.
+type V2File struct {
+	d      *v2data
+	blocks []V2BlockInfo
+	// indexErr is non-nil when the footer index was damaged and blocks
+	// were re-framed by sequential scan; strict decodes refuse to
+	// proceed, salvage decodes carry on with what the scan recovered.
+	indexErr error
+	unmap    func() error
+}
+
+// ParseV2 opens an in-memory v2 trace. The returned file borrows data;
+// it must stay alive and unmodified for the file's lifetime.
+func ParseV2(data []byte, limits Limits) (*V2File, error) {
+	d, err := parseV2Prefix(data, limits)
+	if err != nil {
+		return nil, err
+	}
+	v := &V2File{d: d}
+	blocks, ierr := parseV2Index(d)
+	if ierr == nil {
+		v.blocks = blocks
+		return v, nil
+	}
+	// Damaged or missing index: re-frame from the block headers. The
+	// scan error (if any) marks where framing broke; everything before
+	// it is usable under salvage.
+	v.indexErr = ierr
+	blocks, scanErr := scanV2Blocks(d)
+	v.blocks = blocks
+	if scanErr != nil {
+		v.indexErr = fmt.Errorf("%v; block scan: %w", ierr, scanErr)
+	}
+	return v, nil
+}
+
+// OpenV2File maps f into memory (mmap where available, one read
+// elsewhere) and parses it as a v2 trace. Closing the V2File releases
+// the mapping; the *os.File itself stays the caller's to close.
+func OpenV2File(f *os.File, limits Limits) (*V2File, error) {
+	data, unmap, err := mapFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("lila: mapping v2 trace: %w", err)
+	}
+	v, err := ParseV2(data, limits)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	v.unmap = unmap
+	return v, nil
+}
+
+// Header returns the session header.
+func (v *V2File) Header() Header { return v.d.h }
+
+// Blocks exposes the block index (read-only).
+func (v *V2File) Blocks() []V2BlockInfo { return v.blocks }
+
+// Size returns the trace's encoded size in bytes.
+func (v *V2File) Size() int64 { return int64(len(v.d.data)) }
+
+// Close releases the file's memory mapping, if any.
+func (v *V2File) Close() error {
+	if v.unmap != nil {
+		u := v.unmap
+		v.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// Records decodes the blocks selected by filter (nil = everything) and
+// returns their records, filtered, in stream order.
+//
+// With salvage false the decode is fail-stop: a damaged index or a
+// block that fails its checksum is an error. With salvage true damage
+// is per block: a bad block is dropped and itemized in the returned
+// SalvageReport (never a resync scan — the loss is exactly the blocks
+// that failed), and a missing end record marks a truncated tail. The
+// report is non-nil exactly when salvage is true; its metrics are
+// flushed once per call.
+func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *SalvageReport, error) {
+	var report *SalvageReport
+	if salvage {
+		report = &SalvageReport{}
+		defer report.flushMetrics()
+	}
+	if v.indexErr != nil {
+		if !salvage {
+			return nil, nil, v.indexErr
+		}
+		report.note(v.indexErr)
+	}
+	var state *filterState
+	if !filter.All() {
+		state = newFilterState(filter)
+	}
+	var arena recArena
+	totalCap := 0
+	for i := range v.blocks {
+		totalCap += v.blocks[i].Records
+	}
+	out := make([]*Record, 0, max(0, min(totalCap, v.d.limits.MaxRecords)))
+	sawEnd := false
+	total := 0
+	for i := range v.blocks {
+		b := &v.blocks[i]
+		if sawEnd {
+			break
+		}
+		if total += b.Records; total > v.d.limits.MaxRecords {
+			return nil, report, fmt.Errorf("lila: record limit %d exceeded", v.d.limits.MaxRecords)
+		}
+		if state != nil && !state.blockMayMatch(b) {
+			continue
+		}
+		mark := len(out)
+		decoded, err := v.d.decodeV2Block(b, &arena, out)
+		if err != nil {
+			err = fmt.Errorf("lila: v2 block %d: %w", i, err)
+			if !salvage {
+				return nil, nil, err
+			}
+			report.note(err)
+			report.RecordsDropped += b.Records
+			report.BytesSkipped += b.Length
+			if i < len(v.blocks)-1 {
+				report.Resyncs++
+			}
+			continue
+		}
+		if report != nil {
+			report.RecordsKept += len(decoded) - mark
+		}
+		// Filter in place and stop at the end record; anything a
+		// malformed block encodes after RecEnd is discarded.
+		w := mark
+		for j := mark; j < len(decoded); j++ {
+			rec := decoded[j]
+			if state == nil || state.keep(rec) {
+				decoded[w] = rec
+				w++
+			}
+			if rec.Type == RecEnd {
+				sawEnd = true
+				break
+			}
+		}
+		out = decoded[:w]
+	}
+	if !sawEnd {
+		if !salvage {
+			return nil, nil, fmt.Errorf("lila: truncated trace: no end record")
+		}
+		report.TruncatedTail = true
+		if report.FirstError == "" {
+			report.note(errTruncated)
+		}
+	}
+	return out, report, nil
+}
+
+// readAllLimited buffers r, refusing inputs beyond max bytes.
+func readAllLimited(r io.Reader, max int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > max {
+		return nil, fmt.Errorf("lila: trace exceeds %d-byte limit", max)
+	}
+	return data, nil
+}
+
+// V2Reader adapts a v2 trace to the streaming Reader contract for
+// sniffed io.Reader inputs. The input is buffered (bounded by
+// Limits.MaxTraceBytes) because the tables that records reference sit
+// between the header and the blocks; decode then proceeds block by
+// block without ever touching the footer index. In salvage mode a
+// block that fails its checksum is dropped and itemized — and because
+// every block carries its own time base, the blocks after a loss
+// decode with correct absolute times, which the v1 salvage decoder
+// cannot guarantee.
+type V2Reader struct {
+	d      *v2data
+	blocks []V2BlockInfo
+	// scanErr is the block-framing error hit by the sequential scan,
+	// reported after the blocks before it have been delivered.
+	scanErr error
+	report  *SalvageReport // nil outside salvage mode
+
+	arena   recArena
+	queue   []*Record
+	qi      int
+	block   int
+	records int
+	sawEnd  bool
+	done    bool
+	flushed bool
+}
+
+// NewV2Reader buffers r and returns a streaming reader for its record
+// stream. The first bytes of r must be the v2 magic (callers reach
+// here via format sniffing).
+func NewV2Reader(r io.Reader, o ReaderOptions) (*V2Reader, error) {
+	limits := o.Limits.WithDefaults()
+	data, err := readAllLimited(r, limits.MaxTraceBytes)
+	if err != nil {
+		return nil, fmt.Errorf("lila: buffering v2 trace: %w", err)
+	}
+	d, err := parseV2Prefix(data, limits)
+	if err != nil {
+		return nil, err
+	}
+	vr := &V2Reader{d: d}
+	vr.blocks, vr.scanErr = scanV2Blocks(d)
+	if o.Salvage {
+		vr.report = &SalvageReport{}
+	}
+	return vr, nil
+}
+
+// Header implements Reader.
+func (vr *V2Reader) Header() Header { return vr.d.h }
+
+// Salvage implements SalvageReporter; it returns nil unless the
+// reader was opened in salvage mode.
+func (vr *V2Reader) Salvage() *SalvageReport { return vr.report }
+
+func (vr *V2Reader) finishStream() {
+	if vr.flushed || vr.report == nil {
+		return
+	}
+	vr.flushed = true
+	vr.report.flushMetrics()
+}
+
+// Read implements Reader. It returns io.EOF after the end record.
+func (vr *V2Reader) Read() (*Record, error) {
+	for {
+		if vr.qi < len(vr.queue) {
+			rec := vr.queue[vr.qi]
+			vr.qi++
+			if vr.report != nil {
+				vr.report.RecordsKept++
+			}
+			if rec.Type == RecEnd {
+				vr.sawEnd = true
+				vr.done = true
+				vr.finishStream()
+			}
+			return rec, nil
+		}
+		if vr.done {
+			return nil, io.EOF
+		}
+		if err := vr.nextBlock(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// nextBlock decodes the next block into the queue, or finishes the
+// stream. It returns a non-nil error only in fail-stop mode.
+func (vr *V2Reader) nextBlock() error {
+	vr.queue, vr.qi = vr.queue[:0], 0
+	for vr.block < len(vr.blocks) {
+		b := &vr.blocks[vr.block]
+		vr.block++
+		if vr.records+b.Records > vr.d.limits.MaxRecords {
+			vr.done = true
+			vr.finishStream()
+			return fmt.Errorf("lila: record limit %d exceeded", vr.d.limits.MaxRecords)
+		}
+		recs, err := vr.d.decodeV2Block(b, &vr.arena, vr.queue)
+		if err != nil {
+			err = fmt.Errorf("lila: v2 block %d: %w", vr.block-1, err)
+			if vr.report == nil {
+				vr.done = true
+				return err
+			}
+			vr.report.note(err)
+			vr.report.RecordsDropped += b.Records
+			vr.report.BytesSkipped += b.Length
+			if vr.block < len(vr.blocks) {
+				vr.report.Resyncs++
+			}
+			continue
+		}
+		vr.records += len(recs)
+		vr.queue = recs
+		return nil
+	}
+	// Out of blocks: account for how the stream ended.
+	vr.done = true
+	if vr.sawEnd {
+		return nil // queue drain already returned EOF path
+	}
+	if vr.report == nil {
+		if vr.scanErr != nil {
+			return vr.scanErr
+		}
+		return fmt.Errorf("lila: truncated trace: no end record")
+	}
+	if vr.scanErr != nil {
+		vr.report.note(vr.scanErr)
+	} else {
+		vr.report.note(errTruncated)
+	}
+	vr.report.TruncatedTail = true
+	vr.finishStream()
+	return nil
+}

@@ -36,6 +36,15 @@ type LoadOptions struct {
 	Strict bool
 	// Limits are the resource guards; zero fields take defaults.
 	Limits lila.Limits
+	// Select restricts decode to the records matching the filter (nil
+	// loads everything). Selection is format-independent: v1 readers
+	// filter record by record, while v2 traces additionally skip whole
+	// blocks via their footer index without ever decoding them.
+	Select *lila.RecordFilter
+	// GUIOnly restricts each session to its GUI thread, resolved per
+	// file from the trace header — the episode-building hot path. It
+	// overrides Select.Threads; Select's time window still applies.
+	GUIOnly bool
 	// Jobs bounds how many trace files are decoded concurrently:
 	// 0 means one worker per GOMAXPROCS, 1 restores the sequential
 	// loader. The worker count never changes the result — files are
@@ -181,6 +190,22 @@ func LoadTraceDirContext(ctx context.Context, dir string, o LoadOptions) ([]*tra
 	return suites, health, nil
 }
 
+// filterFor resolves the effective record selection for one file,
+// given its header. Nil means "load everything".
+func (o LoadOptions) filterFor(h lila.Header) *lila.RecordFilter {
+	if !o.GUIOnly && o.Select.All() {
+		return nil
+	}
+	f := &lila.RecordFilter{}
+	if o.Select != nil {
+		*f = *o.Select
+	}
+	if o.GUIOnly {
+		f.Threads = []trace.ThreadID{h.GUIThread}
+	}
+	return f
+}
+
 // loadOne ingests one trace file. A nil session with an empty
 // fh.Error means the session was degraded to streaming aggregates.
 func loadOne(path string, o LoadOptions) (*trace.Session, FileHealth) {
@@ -190,19 +215,29 @@ func loadOne(path string, o LoadOptions) (*trace.Session, FileHealth) {
 		fh.Error = err.Error()
 		return nil, fh
 	}
+	defer f.Close()
+	if isV2File(f) {
+		return loadOneV2(f, path, o)
+	}
 	cr := obs.NewCountingReader(f, nil)
 	ro := lila.ReaderOptions{Salvage: o.Salvage, Limits: o.Limits}
 	bo := treebuild.Options{Lenient: o.Salvage, Limits: o.Limits}
-	s, sh, err := treebuild.ReadSessionOptions(cr, ro, bo)
-	f.Close()
+	lr, err := lila.NewReaderOptions(cr, ro)
+	if err != nil {
+		mTraceBytes.Add(cr.Bytes())
+		fh.Error = err.Error()
+		return nil, fh
+	}
+	if filt := o.filterFor(lr.Header()); filt != nil {
+		lr = lila.NewFilteredReader(lr, filt)
+	}
+	s, diag, err := treebuild.BuildOptions(lr, bo)
 	mTraceBytes.Add(cr.Bytes())
-	if sh != nil {
-		if sh.Salvage.Damaged() {
-			fh.Salvage = sh.Salvage
-		}
-		if sh.Diag.Degraded() {
-			fh.Diagnostics = sh.Diag
-		}
+	if rep := lila.SalvageOf(lr); rep.Damaged() {
+		fh.Salvage = rep
+	}
+	if diag.Degraded() {
+		fh.Diagnostics = diag
 	}
 	if err == nil {
 		fh.App = s.App
@@ -212,6 +247,56 @@ func loadOne(path string, o LoadOptions) (*trace.Session, FileHealth) {
 		// The session tree would blow the memory budget; fall back to
 		// the single-pass streaming analyzer, which needs O(stack
 		// depth) memory, and keep its aggregate counts in the health.
+		if st, ok := streamFallback(path, o); ok {
+			fh.App = st.App
+			fh.DegradedToStream = true
+			fh.StreamEpisodes = st.Episodes
+			fh.StreamRecords = st.Records
+			return nil, fh
+		}
+	}
+	fh.Error = err.Error()
+	return nil, fh
+}
+
+// isV2File sniffs f for the v2 magic, rewinding either way.
+func isV2File(f *os.File) bool {
+	var magic [5]byte
+	_, err := f.ReadAt(magic[:], 0)
+	return err == nil && string(magic[:4]) == "LILA" && magic[4] == lila.V2FormatVersion
+}
+
+// loadOneV2 is the v2 fast path: the file is mapped (mmap where the
+// platform has it), the footer index parsed, and only the blocks the
+// effective filter selects are decoded — no per-record interning or
+// stack canonicalization, since v2 carries its tables up front.
+func loadOneV2(f *os.File, path string, o LoadOptions) (*trace.Session, FileHealth) {
+	fh := FileHealth{Path: path}
+	v, err := lila.OpenV2File(f, o.Limits)
+	if err != nil {
+		fh.Error = err.Error()
+		return nil, fh
+	}
+	defer v.Close()
+	mTraceBytes.Add(v.Size())
+	recs, rep, err := v.Records(o.filterFor(v.Header()), o.Salvage)
+	if rep.Damaged() {
+		fh.Salvage = rep
+	}
+	if err != nil {
+		fh.Error = err.Error()
+		return nil, fh
+	}
+	bo := treebuild.Options{Lenient: o.Salvage, Limits: o.Limits}
+	s, diag, err := treebuild.BuildRecordsOptions(v.Header(), recs, bo)
+	if diag.Degraded() {
+		fh.Diagnostics = diag
+	}
+	if err == nil {
+		fh.App = s.App
+		return s, fh
+	}
+	if errors.Is(err, treebuild.ErrSessionTooLarge) && !o.Strict {
 		if st, ok := streamFallback(path, o); ok {
 			fh.App = st.App
 			fh.DegradedToStream = true

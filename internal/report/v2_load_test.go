@@ -1,0 +1,253 @@
+package report
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/trace"
+)
+
+// crossFormatCorpus writes the same simulated study three times — v1
+// text, v1 binary, and v2 — with identical file names, and returns the
+// three directory paths.
+func crossFormatCorpus(t *testing.T) (textDir, binDir, v2Dir string) {
+	t.Helper()
+	root := t.TempDir()
+	dirs := map[lila.Format]string{
+		lila.FormatText:   filepath.Join(root, "text"),
+		lila.FormatBinary: filepath.Join(root, "binary"),
+		lila.FormatV2:     filepath.Join(root, "v2"),
+	}
+	for _, d := range dirs {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, app := range []string{"CrosswordSage", "GanttProject"} {
+		p, err := apps.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < 2; id++ {
+			s, err := sim.Run(sim.Config{Profile: p, SessionID: id, Seed: 17, SessionSeconds: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			name := filepath.Base(p.Name) + "_" + string(rune('0'+id)) + ".lila"
+			for f, d := range dirs {
+				var buf bytes.Buffer
+				if err := lila.WriteSession(&buf, f, s); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(d, name), buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return dirs[lila.FormatText], dirs[lila.FormatBinary], dirs[lila.FormatV2]
+}
+
+// TestCrossFormatByteIdenticalStudy pins the format-independence
+// guarantee end to end: the same study stored as v1 text, v1 binary,
+// and v2 must render byte-identical text and HTML reports.
+func TestCrossFormatByteIdenticalStudy(t *testing.T) {
+	textDir, binDir, v2Dir := crossFormatCorpus(t)
+
+	render := func(dir string) (string, string) {
+		t.Helper()
+		suites, _, err := LoadTraceDirOptions(dir, LoadOptions{Jobs: 1})
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		res := AnalyzeSuites(suites, 0)
+		return FormatAll(res), FormatHTML(res)
+	}
+	wantText, wantHTML := render(textDir)
+	for _, dir := range []string{binDir, v2Dir} {
+		gotText, gotHTML := render(dir)
+		if gotText != wantText {
+			t.Errorf("%s text report differs from text-format baseline", filepath.Base(dir))
+		}
+		if gotHTML != wantHTML {
+			t.Errorf("%s HTML report differs from text-format baseline", filepath.Base(dir))
+		}
+	}
+}
+
+// TestV2GUIOnlySelectiveLoad loads a v2 study twice — everything, and
+// GUI-thread-only via the block index — and checks the episode-level
+// results agree: episodes are built from GUI-thread dispatch intervals
+// alone, so skipping worker blocks must not change them.
+func TestV2GUIOnlySelectiveLoad(t *testing.T) {
+	_, _, v2Dir := crossFormatCorpus(t)
+
+	full, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gui, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{Jobs: 1, GUIOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gui) != len(full) {
+		t.Fatalf("GUI-only load found %d suites, full load %d", len(gui), len(full))
+	}
+	for i := range full {
+		fs, gs := full[i], gui[i]
+		if fs.App != gs.App || len(fs.Sessions) != len(gs.Sessions) {
+			t.Fatalf("suite %d mismatch: %s/%d vs %s/%d",
+				i, fs.App, len(fs.Sessions), gs.App, len(gs.Sessions))
+		}
+		for j := range fs.Sessions {
+			f, g := fs.Sessions[j], gs.Sessions[j]
+			if len(f.Episodes) != len(g.Episodes) {
+				t.Errorf("%s/%d: GUI-only load built %d episodes, full %d",
+					f.App, f.ID, len(g.Episodes), len(f.Episodes))
+				continue
+			}
+			for k := range f.Episodes {
+				fe, ge := f.Episodes[k], g.Episodes[k]
+				if fe.Root.Start != ge.Root.Start || fe.Root.End != ge.Root.End {
+					t.Errorf("%s/%d episode %d: [%v,%v] vs [%v,%v]",
+						f.App, f.ID, k, ge.Root.Start, ge.Root.End, fe.Root.Start, fe.Root.End)
+				}
+			}
+		}
+	}
+}
+
+// TestV2BlockLossItemizedInStudyHealth corrupts one block of one v2
+// trace and checks the study's health ledger itemizes exactly that
+// block's records against exactly that file — per-block loss, not a
+// resync scan, not a dead file.
+func TestV2BlockLossItemizedInStudyHealth(t *testing.T) {
+	dir := t.TempDir()
+	p, err := apps.ByName("CrosswordSage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.Run(sim.Config{Profile: p, SessionID: 0, Seed: 23, SessionSeconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := lila.Flatten(s)
+	var buf bytes.Buffer
+	w, err := lila.NewV2WriterOptions(&buf, lila.HeaderOf(s), lila.V2WriterOptions{BlockRecords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	v, err := lila.ParseV2(data, lila.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := v.Blocks()
+	if len(blocks) < 4 {
+		t.Fatalf("corpus too small: %d blocks", len(blocks))
+	}
+	target := blocks[len(blocks)/2]
+	data[target.Offset+target.Length-1] ^= 0xff
+
+	goodPath := filepath.Join(dir, "a_good.lila")
+	badPath := filepath.Join(dir, "b_damaged.lila")
+	var good bytes.Buffer
+	if err := lila.WriteSession(&good, lila.FormatV2, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goodPath, good.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	suites, health, err := LoadTraceDirOptions(dir, LoadOptions{Salvage: true, Jobs: 1})
+	if err != nil {
+		t.Fatalf("salvage load: %v", err)
+	}
+	if n := len(suites[0].Sessions); n != 2 {
+		t.Fatalf("loaded %d sessions, want both (one salvaged)", n)
+	}
+	var fh *FileHealth
+	for i := range health.Files {
+		if health.Files[i].Path == badPath {
+			fh = &health.Files[i]
+		}
+	}
+	if fh == nil {
+		t.Fatalf("damaged file not in health ledger: %+v", health.Files)
+	}
+	if fh.Salvage == nil {
+		t.Fatal("damaged file has no salvage report")
+	}
+	if fh.Salvage.RecordsDropped != target.Records {
+		t.Errorf("dropped %d records, want exactly the corrupt block's %d",
+			fh.Salvage.RecordsDropped, target.Records)
+	}
+	if fh.Salvage.BytesSkipped != target.Length {
+		t.Errorf("skipped %d bytes, want the block's %d", fh.Salvage.BytesSkipped, target.Length)
+	}
+	if goodFileListed := func() bool {
+		for _, f := range health.Files {
+			if f.Path == goodPath {
+				return true
+			}
+		}
+		return false
+	}(); goodFileListed {
+		t.Error("intact file appears in the damage ledger")
+	}
+}
+
+// TestV2SelectWindowLoad drives the Select plumbing: a time-window
+// load must produce sessions whose episodes all overlap the window.
+func TestV2SelectWindowLoad(t *testing.T) {
+	_, _, v2Dir := crossFormatCorpus(t)
+	full, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minT, maxT trace.Time = 2e9, 6e9
+	windowed, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{
+		Jobs:   1,
+		Select: &lila.RecordFilter{MinTime: minT, MaxTime: maxT},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullEps, winEps := 0, 0
+	for _, suite := range full {
+		for _, s := range suite.Sessions {
+			fullEps += len(s.Episodes)
+		}
+	}
+	for _, suite := range windowed {
+		for _, s := range suite.Sessions {
+			winEps += len(s.Episodes)
+			for _, e := range s.Episodes {
+				if e.Root.Start < minT || e.Root.Start > maxT {
+					t.Errorf("%s/%d: episode starting at %v escaped window [%v,%v]",
+						s.App, s.ID, e.Root.Start, minT, maxT)
+				}
+			}
+		}
+	}
+	if winEps == 0 || winEps >= fullEps {
+		t.Errorf("windowed load built %d episodes vs %d full; window did not select", winEps, fullEps)
+	}
+}

@@ -19,7 +19,7 @@ git_dirty=""
 [ -z "$(git status --porcelain 2>/dev/null)" ] || git_dirty="-dirty"
 
 raw=$(go test -run '^$' \
-	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd|LoadTraceDir' \
+	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd|LoadTraceDir|TraceDecode' \
 	-benchtime "$benchtime" .)
 
 printf '%s\n' "$raw"
