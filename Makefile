@@ -36,6 +36,7 @@ chaos:
 	$(GO) test -run TestCLIFaultTolerance .
 	$(GO) test -run TestCLICheckpointKillResume .
 	$(GO) test -run TestCLIConvertGolden .
+	$(GO) test -run TestCLISelfProfile .
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageText -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzSalvageBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinaryV2 -fuzztime $(FUZZTIME)

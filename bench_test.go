@@ -12,6 +12,7 @@ package lagalyzer
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -22,6 +23,8 @@ import (
 	"lagalyzer/internal/analysis"
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/patterns"
 	"lagalyzer/internal/report"
 	"lagalyzer/internal/sim"
@@ -596,6 +599,33 @@ func BenchmarkAnalyzeSuite(b *testing.B) {
 			b.Fatal("empty analysis")
 		}
 	}
+	b.ReportMetric(benchEpisodes(suite), "episodes")
+}
+
+// BenchmarkAnalyzeSuiteSelfProfiled is BenchmarkAnalyzeSuite with
+// self-profiling on: an obs.Trace on the context records every phase
+// span, and the iterations' spans are encoded as a LiLa v2 self-trace
+// after the timer stops. Compare against BenchmarkAnalyzeSuite to pin
+// the enabled-path overhead (budget: < 5%); the disabled path staying
+// zero-alloc is guarded by obs.TestDisabledPathDoesNotAllocate.
+func BenchmarkAnalyzeSuiteSelfProfiled(b *testing.B) {
+	b.ReportAllocs()
+	suite := benchSuite()
+	tr := obs.NewTrace()
+	ctx := obs.WithTrace(context.Background(), tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := report.AnalyzeSuiteContext(ctx, suite, trace.DefaultPerceptibleThreshold)
+		if a.Overview.Traced == 0 || len(a.Pooled.Patterns) == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+	b.StopTimer()
+	data, err := selftrace.Encode(tr, selftrace.Options{App: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(len(data)), "selftrace-bytes")
 	b.ReportMetric(benchEpisodes(suite), "episodes")
 }
 

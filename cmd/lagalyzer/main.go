@@ -6,6 +6,7 @@
 // Usage:
 //
 //	lagalyzer stats    <trace>...          per-session overview + characterization
+//	lagalyzer report   [-out dir] <trace>...  full study tables + SVG figures
 //	lagalyzer patterns [-n 30] <trace>...  pattern table (the paper's §II-E browser table)
 //	lagalyzer sketch   [-episode N] [-svg out.svg] <trace>
 //	lagalyzer browse   <trace>...          interactive pattern browser
@@ -51,7 +52,9 @@ import (
 	"lagalyzer/internal/diff"
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/report"
 	"lagalyzer/internal/stream"
 	"lagalyzer/internal/trace"
 	"lagalyzer/internal/treebuild"
@@ -79,6 +82,7 @@ func main() {
 func run() int {
 	salvage := flag.Bool("salvage", false, "tolerate damaged traces: resynchronize past wire damage, rebuild leniently, skip unrecoverable files")
 	jobs := flag.Int("jobs", 0, "trace files decoded concurrently (0 = one per CPU, 1 = sequential)")
+	selfProfile := flag.String("self-profile", "", "write a LiLa v2 trace of this run's own pipeline spans to this file")
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Usage = usage
 	flag.Parse()
@@ -99,9 +103,31 @@ func run() int {
 	defer stopSignals()
 
 	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	// Self-profiling records the run's own spans and flushes them as a
+	// LiLa v2 trace after the subcommand finishes — the tool's output
+	// is already complete by then, so profiling cannot perturb it.
+	var selfTr *obs.Trace
+	if *selfProfile != "" {
+		selfTr = obs.NewTrace()
+		runCtx = obs.WithTrace(runCtx, selfTr)
+		var endRoot func()
+		runCtx, endRoot = obs.Span(runCtx, cmd)
+		defer func() {
+			endRoot()
+			if err := selftrace.WriteFile(*selfProfile, selfTr, selftrace.Options{App: "lagalyzer-" + cmd}); err != nil {
+				fmt.Fprintln(os.Stderr, "lagalyzer: self-profile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "lagalyzer: wrote self-trace to %s\n", *selfProfile)
+		}()
+	}
+
 	switch cmd {
 	case "stats":
 		err = runStats(args)
+	case "report":
+		err = runReport(args)
 	case "patterns":
 		err = runPatterns(args)
 	case "sketch":
@@ -136,6 +162,7 @@ func run() int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   lagalyzer stats    <trace>...            full characterization + threshold sweep
+  lagalyzer report   [-out dir] <trace>... full study tables + figures over the given traces
   lagalyzer patterns [-n rows] [-sort count|total|max|avg] [-perceptible] <trace>...
   lagalyzer sketch   [-episode N] [-svg file] <trace>
   lagalyzer timeline [-svg file] <trace>   whole-session trace timeline
@@ -148,6 +175,7 @@ func usage() {
 global flags (before the subcommand):
   -salvage           tolerate damaged traces (skip unrecoverable files; exit 3 if any)
   -jobs n            trace files decoded concurrently (0 = one per CPU, 1 = sequential)
+  -self-profile f    write a LiLa v2 trace of this run's own pipeline spans to f
   -cpuprofile file   write a CPU profile
   -memprofile file   write a heap profile at exit
   -trace file        write a runtime execution trace
@@ -180,7 +208,9 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 			if runCtx.Err() != nil {
 				break
 			}
+			_, endLoad := obs.Span(runCtx, "load")
 			s, err := loadSession(path)
+			endLoad()
 			if err != nil && !salvageMode {
 				return nil, fmt.Errorf("%s: %w", path, err)
 			}
@@ -193,17 +223,20 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 		var next atomic.Int64
 		for w := 0; w < jobs; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				wctx := obs.WithWorker(runCtx, w)
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(paths) || runCtx.Err() != nil {
 						return
 					}
+					_, endLoad := obs.Span(wctx, "load")
 					s, err := loadSession(paths[i])
+					endLoad()
 					results[i] = result{s, err}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -326,6 +359,51 @@ func runStats(args []string) error {
 		fmt.Printf("  >=%-8v %6d episodes (%5.2f%%)  %6.1f per minute of in-episode time\n",
 			p.Threshold, p.Episodes, p.Frac*100, p.PerMin)
 	}
+	return nil
+}
+
+// runReport runs the full study analysis — tables, figure data, and
+// optionally SVG figures — over already-recorded traces, grouping the
+// sessions into one suite per application. It is how a self-trace is
+// fed back through the complete pipeline ("profile the profiler"), but
+// it works on any trace set.
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	outDir := fs.String("out", "", "directory for SVG figures (empty = text only)")
+	fs.Parse(args)
+	sessions, err := loadSessions(fs.Args())
+	if err != nil {
+		return err
+	}
+	// Group into suites by app, preserving first-seen order so output
+	// follows the argument order.
+	byApp := map[string]*trace.Suite{}
+	var suites []*trace.Suite
+	for _, s := range sessions {
+		su, ok := byApp[s.App]
+		if !ok {
+			su = &trace.Suite{App: s.App}
+			byApp[s.App] = su
+			suites = append(suites, su)
+		}
+		su.Sessions = append(su.Sessions, s)
+	}
+	res := report.AnalyzeSuitesContext(runCtx, suites, 0, nil)
+	fmt.Print(report.FormatAll(res))
+	fmt.Printf("analyzed %d traced episodes across %d application(s)\n", res.TotalEpisodes(), len(res.Apps))
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	figs := report.Figures(res)
+	for name, svg := range figs {
+		if err := obs.WriteFileAtomic(filepath.Join(*outDir, name), []byte(svg), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lagalyzer: wrote %d figures to %s\n", len(figs), *outDir)
 	return nil
 }
 

@@ -18,6 +18,13 @@
 //	curl -s localhost:8077/jobs/job-1
 //	# fetch the result
 //	curl -s 'localhost:8077/jobs/job-1/result?format=text'
+//	# with -self-profile: fetch the job's own trace and analyze it
+//	curl -s localhost:8077/jobs/job-1/selftrace -o job-1.lila
+//	lagalyzer report job-1.lila
+//
+// Job lifecycle and HTTP access are logged via log/slog (-log-format
+// text|json). /metrics serves the obs snapshot, or the Prometheus
+// text exposition format with ?format=prom.
 //
 // Exit codes: 0 clean drain (every accepted job finished), 1 fatal
 // error, 2 usage error, 3 partial (accepted jobs were checkpointed for
@@ -28,6 +35,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,18 +53,31 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", ":8077", "HTTP listen address")
-		workers  = flag.Int("workers", 2, "job worker pool size")
-		queue    = flag.Int("queue", 16, "pending-job queue depth (full queue sheds with 429)")
-		deadline = flag.Duration("deadline", 2*time.Minute, "default per-job execution deadline")
-		retries  = flag.Int("retries", 2, "retries granted to retryable job failures")
-		grace    = flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight jobs before their contexts are canceled")
-		stateDir = flag.String("state", "", "state directory for checkpoints and pending jobs (empty = no persistence)")
-		memMB    = flag.Int64("mem-budget-mb", 0, "admission-control memory budget in MiB (0 = lila default)")
-		jobs     = flag.Int("jobs", 0, "trace files decoded concurrently per trace job (0 = one per CPU, 1 = sequential)")
+		addr        = flag.String("addr", ":8077", "HTTP listen address")
+		workers     = flag.Int("workers", 2, "job worker pool size")
+		queue       = flag.Int("queue", 16, "pending-job queue depth (full queue sheds with 429)")
+		deadline    = flag.Duration("deadline", 2*time.Minute, "default per-job execution deadline")
+		retries     = flag.Int("retries", 2, "retries granted to retryable job failures")
+		grace       = flag.Duration("grace", 5*time.Second, "shutdown grace for in-flight jobs before their contexts are canceled")
+		stateDir    = flag.String("state", "", "state directory for checkpoints and pending jobs (empty = no persistence)")
+		memMB       = flag.Int64("mem-budget-mb", 0, "admission-control memory budget in MiB (0 = lila default)")
+		jobs        = flag.Int("jobs", 0, "trace files decoded concurrently per trace job (0 = one per CPU, 1 = sequential)")
+		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
+		selfProfile = flag.Bool("self-profile", false, "record each job's own pipeline spans as a LiLa v2 trace (GET /jobs/{id}/selftrace; persisted under -state/selftrace)")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "lagd: unknown -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
 
 	stopProfiles, err := profiler.Start()
 	if err != nil {
@@ -73,6 +94,8 @@ func run() int {
 		StateDir:        *stateDir,
 		MemoryBudget:    *memMB << 20,
 		LoadJobs:        *jobs,
+		SelfProfile:     *selfProfile,
+		Logger:          logger,
 	})
 	if err != nil {
 		return fatal(err)

@@ -17,6 +17,7 @@
 //	lagreport -phases                 # per-phase span summary on stderr
 //	lagreport -debug-addr :6060       # live pprof + /metrics while running
 //	lagreport -cpuprofile cpu.out     # also -memprofile, -trace
+//	lagreport -self-profile self.lila # emit this run's own spans as a LiLa v2 trace
 //
 // With -out the study is also crash-safe: each completed application
 // is checkpointed under <out>/.checkpoint, SIGINT/SIGTERM flush the
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/report"
 	"lagalyzer/internal/trace"
 )
@@ -53,18 +55,19 @@ func main() {
 // writers, the debug server) execute before the process exits.
 func run() int {
 	var (
-		sessions  = flag.Int("sessions", 4, "sessions per application")
-		seed      = flag.Uint64("seed", 42, "base random seed")
-		seconds   = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
-		traces    = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
-		salvage   = flag.Bool("salvage", false, "with -traces: salvage damaged trace files (resynchronize past wire damage, rebuild leniently)")
-		strict    = flag.Bool("strict", false, "with -traces: fail fast on the first unloadable trace file")
-		jobs      = flag.Int("jobs", 0, "with -traces: trace files decoded concurrently (0 = one per CPU, 1 = sequential)")
-		outDir    = flag.String("out", "", "directory for SVG figures, experiments.md, and runmeta.json (empty = text only)")
-		only      = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
-		progress  = flag.Bool("progress", false, "print per-session study progress with an ETA to stderr")
-		phases    = flag.Bool("phases", false, "print the per-phase span summary to stderr after the run")
-		debugAddr = flag.String("debug-addr", "", "serve live pprof and /metrics JSON on this address while running")
+		sessions    = flag.Int("sessions", 4, "sessions per application")
+		seed        = flag.Uint64("seed", 42, "base random seed")
+		seconds     = flag.Float64("seconds", 0, "session length override in seconds (0 = profile defaults)")
+		traces      = flag.String("traces", "", "analyze LiLa traces from this directory instead of simulating")
+		salvage     = flag.Bool("salvage", false, "with -traces: salvage damaged trace files (resynchronize past wire damage, rebuild leniently)")
+		strict      = flag.Bool("strict", false, "with -traces: fail fast on the first unloadable trace file")
+		jobs        = flag.Int("jobs", 0, "with -traces: trace files decoded concurrently (0 = one per CPU, 1 = sequential)")
+		outDir      = flag.String("out", "", "directory for SVG figures, experiments.md, and runmeta.json (empty = text only)")
+		only        = flag.String("only", "", "comma-separated sections: table2,table3,fig3..fig8,findings (empty = all)")
+		progress    = flag.Bool("progress", false, "print per-session study progress with an ETA to stderr")
+		phases      = flag.Bool("phases", false, "print the per-phase span summary to stderr after the run")
+		debugAddr   = flag.String("debug-addr", "", "serve live pprof and /metrics JSON on this address while running")
+		selfProfile = flag.String("self-profile", "", "write a LiLa v2 trace of this run's own pipeline spans to this file")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -188,6 +191,17 @@ func run() int {
 
 	if *phases {
 		fmt.Fprint(os.Stderr, "== phase summary ==\n"+tr.Format())
+	}
+
+	// The self-trace is written after every analysis result above is
+	// final, so enabling it cannot perturb the study output.
+	if *selfProfile != "" {
+		if err := selftrace.WriteFile(*selfProfile, tr, selftrace.Options{App: "lagreport"}); err != nil {
+			fail(err)
+		}
+		meta.SelfTrace = *selfProfile
+		fmt.Fprintf(os.Stderr, "lagreport: wrote self-trace to %s (analyze with: lagalyzer report %s)\n",
+			*selfProfile, *selfProfile)
 	}
 
 	if *outDir == "" {

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,19 +25,21 @@ import (
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/sim"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available application profiles and exit")
-		app     = flag.String("app", "", "application profile to simulate (see -list)")
-		session = flag.Int("session", 0, "session id (varies the random stream)")
-		seed    = flag.Uint64("seed", 42, "base random seed")
-		seconds = flag.Float64("seconds", 0, "session length override in seconds (0 = profile default)")
-		format  = flag.String("format", "text", "trace encoding: text, binary, or v2")
-		out     = flag.String("o", "", "output file (default stdout)")
-		short   = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
+		list        = flag.Bool("list", false, "list available application profiles and exit")
+		app         = flag.String("app", "", "application profile to simulate (see -list)")
+		session     = flag.Int("session", 0, "session id (varies the random stream)")
+		seed        = flag.Uint64("seed", 42, "base random seed")
+		seconds     = flag.Float64("seconds", 0, "session length override in seconds (0 = profile default)")
+		format      = flag.String("format", "text", "trace encoding: text, binary, or v2")
+		out         = flag.String("o", "", "output file (default stdout)")
+		short       = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
+		selfProfile = flag.String("self-profile", "", "write a LiLa v2 trace of this run's own generate/encode spans to this file")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -67,6 +70,18 @@ func main() {
 		fail(err)
 	}
 
+	// With -self-profile the generate and encode phases are recorded as
+	// spans and flushed as a LiLa v2 trace of lilasim's own run. The
+	// trace never influences the generated records (spans are written
+	// after the output file is complete), so output stays seed-exact.
+	var selfTr *obs.Trace
+	ctx := context.Background()
+	if *selfProfile != "" {
+		selfTr = obs.NewTrace()
+		ctx = obs.WithTrace(ctx, selfTr)
+	}
+
+	_, endGen := obs.PhaseSpan(ctx, "generate")
 	recs, header, err := sim.Records(sim.Config{
 		Profile:          profile,
 		SessionID:        *session,
@@ -74,6 +89,7 @@ func main() {
 		SessionSeconds:   *seconds,
 		MaterializeShort: *short,
 	})
+	endGen()
 	if err != nil {
 		fail(err)
 	}
@@ -92,6 +108,7 @@ func main() {
 		defer os.Remove(tmp.Name()) // no-op after the rename
 		w = tmp
 	}
+	_, endEnc := obs.PhaseSpan(ctx, "encode")
 	lw, err := lila.NewWriter(w, f, header)
 	if err != nil {
 		fail(err)
@@ -104,6 +121,7 @@ func main() {
 	if err := lw.Close(); err != nil {
 		fail(err)
 	}
+	endEnc()
 	if tmp != nil {
 		if err := tmp.Sync(); err != nil {
 			fail(err)
@@ -117,6 +135,12 @@ func main() {
 		if err := os.Rename(tmp.Name(), *out); err != nil {
 			fail(err)
 		}
+	}
+	if *selfProfile != "" {
+		if err := selftrace.WriteFile(*selfProfile, selfTr, selftrace.Options{App: "lilasim", SessionID: *session}); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lilasim: wrote self-trace to %s\n", *selfProfile)
 	}
 	fmt.Fprintf(os.Stderr, "lilasim: wrote %d records (%s/%d, %s format)\n", len(recs), profile.Name, *session, f)
 }

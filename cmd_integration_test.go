@@ -633,6 +633,90 @@ func TestCLIConvertGolden(t *testing.T) {
 	}
 }
 
+// TestCLISelfProfile is the self-profiling round trip golden: run the
+// tools with -self-profile, then feed each emitted LiLa v2 self-trace
+// back through `lagalyzer report` — LagAlyzer analyzing its own run.
+// The loop must close: nonzero episodes, pattern tables, and rendered
+// SVG sketches, all with exit code 0.
+func TestCLISelfProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	simBin, lagBin, repBin := tool(t, "lilasim"), tool(t, "lagalyzer"), tool(t, "lagreport")
+	dir := t.TempDir()
+
+	// lilasim with -self-profile: the generated trace must be
+	// byte-identical to an unprofiled run (self-profiling must never
+	// perturb output), and the self-trace must be a v2 file.
+	plain := filepath.Join(dir, "plain.lila")
+	profiled := filepath.Join(dir, "profiled.lila")
+	simSelf := filepath.Join(dir, "lilasim-self.lila")
+	run(t, simBin, "", "-app", "CrosswordSage", "-seconds", "15", "-seed", "3", "-format", "binary", "-o", plain)
+	out := run(t, simBin, "", "-app", "CrosswordSage", "-seconds", "15", "-seed", "3", "-format", "binary",
+		"-o", profiled, "-self-profile", simSelf)
+	if !strings.Contains(out, "wrote self-trace") {
+		t.Errorf("lilasim output missing self-trace line:\n%s", out)
+	}
+	a, err := os.ReadFile(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(profiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-self-profile perturbed lilasim's generated trace")
+	}
+
+	// lagreport with -self-profile on a one-app study.
+	repSelf := filepath.Join(dir, "lagreport-self.lila")
+	outDir := filepath.Join(dir, "figs")
+	out = run(t, repBin, "", "-sessions", "1", "-seconds", "20", "-only", "table3",
+		"-out", outDir, "-self-profile", repSelf)
+	if !strings.Contains(out, "analyze with: lagalyzer report") {
+		t.Errorf("lagreport output missing the self-trace hint:\n%s", out)
+	}
+	meta, err := os.ReadFile(filepath.Join(outDir, "runmeta.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(meta), `"self_trace"`) {
+		t.Error("runmeta.json missing the self_trace field")
+	}
+
+	// Close the loop: analyze both self-traces with `lagalyzer report`,
+	// itself running under -self-profile (profiling the profiler's
+	// profiler), and render sketches.
+	sketchDir := filepath.Join(dir, "sketches")
+	metaSelf := filepath.Join(dir, "report-self.lila")
+	out = run(t, lagBin, "", "-self-profile", metaSelf, "report", "-out", sketchDir, repSelf, simSelf)
+	for _, want := range []string{"lagreport", "lilasim", "Table III", "Figure 3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lagalyzer report output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "analyzed 0 traced episodes") {
+		t.Errorf("self-trace analysis found no episodes:\n%s", out)
+	}
+	svgs, err := filepath.Glob(filepath.Join(sketchDir, "*.svg"))
+	if err != nil || len(svgs) == 0 {
+		t.Errorf("report -out rendered no sketches: %v", err)
+	}
+	for _, p := range svgs {
+		data, err := os.ReadFile(p)
+		if err != nil || !strings.Contains(string(data), "<svg") {
+			t.Errorf("%s: not an SVG (%v)", p, err)
+		}
+	}
+
+	// And once more around the loop: the meta self-trace analyzes too.
+	out = run(t, lagBin, "", "report", metaSelf)
+	if !strings.Contains(out, "lagalyzer-report") || strings.Contains(out, "analyzed 0 traced episodes") {
+		t.Errorf("meta self-trace analysis:\n%s", out)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

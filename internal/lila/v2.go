@@ -1,6 +1,7 @@
 package lila
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -136,13 +137,35 @@ func (vw *V2Writer) WriteRecord(r *Record) error {
 	return nil
 }
 
+// EncodeV2 encodes a complete record stream as a v2 trace and returns
+// the file bytes. It is the programmatic twin of NewV2Writer for
+// producers that already hold the whole stream in memory — the
+// self-trace bridge (obs/selftrace) and tests — and validates each
+// record the same way the streaming writer does.
+func EncodeV2(h Header, recs []*Record) ([]byte, error) {
+	var buf bytes.Buffer
+	vw, err := NewV2Writer(&buf, h)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := vw.WriteRecord(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := vw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // v2enc accumulates the encoded file and the intern state for the
 // string and stack tables.
 type v2enc struct {
 	buf     []byte
 	strings map[string]uint64
 	strTab  []string
-	stacks  stackTab        // canonicalizes producer stacks before ref lookup
+	stacks  stackTab // canonicalizes producer stacks before ref lookup
 	stackID map[*trace.Frame]uint64
 	stakTab [][]trace.Frame
 }

@@ -178,19 +178,59 @@ func NewHistogram(name, help string, bounds []time.Duration) *Histogram {
 	return defaultRegistry.NewHistogram(name, help, bounds)
 }
 
-// HistogramSnapshot is one histogram's state in a Snapshot.
+// HistogramSnapshot is one histogram's state in a Snapshot. P50Ns,
+// P95Ns, and P99Ns are approximate quantiles interpolated from the
+// bucket counts (see Quantile); they are derived fields, recomputed at
+// snapshot time.
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	SumNs   int64            `json:"sum_ns"`
+	P50Ns   int64            `json:"p50_ns,omitempty"`
+	P95Ns   int64            `json:"p95_ns,omitempty"`
+	P99Ns   int64            `json:"p99_ns,omitempty"`
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // BucketSnapshot is one histogram bucket: observations ≤ the upper
 // bound (cumulative, Prometheus-style). The final bucket's bound is
-// "+Inf".
+// "+Inf" with BoundNs 0; every other bucket carries its numeric bound
+// in nanoseconds alongside the display string.
 type BucketSnapshot struct {
 	UpperBound string `json:"le"`
+	BoundNs    int64  `json:"bound_ns,omitempty"`
 	Count      int64  `json:"count"`
+}
+
+// Quantile returns the approximate q-quantile (0 < q ≤ 1) of the
+// observations, linearly interpolated inside the bucket the quantile
+// falls into — the standard Prometheus histogram_quantile estimate.
+// Observations in the +Inf bucket clamp to the last finite bound. A
+// histogram with no observations returns 0.
+func (h HistogramSnapshot) Quantile(q float64) time.Duration {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	lower := int64(0) // lower bound of the current bucket
+	prevCum := int64(0)
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			if b.BoundNs == 0 && b.UpperBound == "+Inf" {
+				return time.Duration(lower)
+			}
+			inBucket := b.Count - prevCum
+			if inBucket <= 0 {
+				return time.Duration(b.BoundNs)
+			}
+			frac := (rank - float64(prevCum)) / float64(inBucket)
+			return time.Duration(float64(lower) + frac*float64(b.BoundNs-lower))
+		}
+		prevCum = b.Count
+		if b.BoundNs > 0 {
+			lower = b.BoundNs
+		}
+	}
+	return time.Duration(lower)
 }
 
 // Snapshot is a point-in-time copy of a registry, shaped for JSON.
@@ -222,12 +262,15 @@ func (r *Registry) Snapshot() Snapshot {
 		cum := int64(0)
 		for i := range h.counts {
 			cum += h.counts[i].Load()
-			bound := "+Inf"
+			bound, boundNs := "+Inf", int64(0)
 			if i < len(h.bounds) {
-				bound = h.bounds[i].String()
+				bound, boundNs = h.bounds[i].String(), int64(h.bounds[i])
 			}
-			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, Count: cum})
+			hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: bound, BoundNs: boundNs, Count: cum})
 		}
+		hs.P50Ns = int64(hs.Quantile(0.50))
+		hs.P95Ns = int64(hs.Quantile(0.95))
+		hs.P99Ns = int64(hs.Quantile(0.99))
 		s.Histograms[name] = hs
 	}
 	return s
@@ -254,8 +297,12 @@ func (s Snapshot) Format() string {
 		if h.Count > 0 {
 			mean = time.Duration(h.SumNs / h.Count)
 		}
-		fmt.Fprintf(&b, "histogram %s count=%d sum=%v mean=%v\n",
-			name, h.Count, time.Duration(h.SumNs), mean)
+		fmt.Fprintf(&b, "histogram %s count=%d sum=%v mean=%v p50=%v p95=%v p99=%v\n",
+			name, h.Count, time.Duration(h.SumNs), mean,
+			time.Duration(h.P50Ns), time.Duration(h.P95Ns), time.Duration(h.P99Ns))
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "histogram %s bucket le=%s n=%d\n", name, bk.UpperBound, bk.Count)
+		}
 	}
 	return b.String()
 }

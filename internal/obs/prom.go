@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FormatProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# HELP`/`# TYPE` headers, one sample line
+// per counter and gauge, and `_bucket`/`_sum`/`_count` series per
+// histogram. Histogram observations are nanoseconds internally but are
+// exposed in seconds — the Prometheus base unit for time — so `le`
+// labels and `_sum` values are seconds as floats.
+//
+// Families are sorted by name, so output is deterministic for
+// deterministic metric values.
+func (r *Registry) FormatProm() string {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	histograms := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		histograms = append(histograms, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
+
+	var b strings.Builder
+	for _, c := range counters {
+		promHeader(&b, c.name, c.help, "counter")
+		fmt.Fprintf(&b, "%s %d\n", c.name, c.Value())
+	}
+	for _, g := range gauges {
+		promHeader(&b, g.name, g.help, "gauge")
+		fmt.Fprintf(&b, "%s %d\n", g.name, g.Value())
+	}
+	for _, h := range histograms {
+		promHeader(&b, h.name, h.help, "histogram")
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = promSeconds(h.bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.name, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", h.name, promSeconds(h.Sum()))
+		fmt.Fprintf(&b, "%s_count %d\n", h.name, h.Count())
+	}
+	return b.String()
+}
+
+// promHeader writes the `# HELP` (when non-empty) and `# TYPE` lines
+// for one metric family. HELP text must escape backslash and newline
+// per the exposition format.
+func promHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		help = strings.ReplaceAll(help, `\`, `\\`)
+		help = strings.ReplaceAll(help, "\n", `\n`)
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// promSeconds formats a duration as seconds the way Prometheus client
+// libraries do: shortest decimal that round-trips.
+func promSeconds(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Second), 'g', -1, 64)
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatProm(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("episodes_total", "episodes analyzed").Add(42)
+	reg.NewGauge("workers", "").Set(5)
+	h := reg.NewHistogram("wait", "queue wait", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(100 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second)
+
+	out := reg.FormatProm()
+	for _, want := range []string{
+		"# HELP episodes_total episodes analyzed\n# TYPE episodes_total counter\nepisodes_total 42\n",
+		"# TYPE workers gauge\nworkers 5\n",
+		"# HELP wait queue wait\n# TYPE wait histogram\n",
+		`wait_bucket{le="0.001"} 1` + "\n",
+		`wait_bucket{le="1"} 2` + "\n",
+		`wait_bucket{le="+Inf"} 3` + "\n",
+		"wait_sum 2.0051\n",
+		"wait_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatProm missing %q in:\n%s", want, out)
+		}
+	}
+	// A gauge without help text must not emit a HELP line.
+	if strings.Contains(out, "# HELP workers") {
+		t.Errorf("help line emitted for empty help:\n%s", out)
+	}
+	// Families must be sorted: counter < gauge ordering falls out of
+	// name sort within each section; check deterministic re-render.
+	if again := reg.FormatProm(); again != out {
+		t.Error("FormatProm not deterministic")
+	}
+}
+
+func TestPromHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("c", "line\nbreak and back\\slash").Inc()
+	out := reg.FormatProm()
+	if !strings.Contains(out, `# HELP c line\nbreak and back\\slash`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("lat", "", []time.Duration{
+		10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	})
+	// 90 observations ≤10ms, 9 in (10ms,100ms], 1 in (100ms,1s].
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	h.Observe(500 * time.Millisecond)
+
+	hs := reg.Snapshot().Histograms["lat"]
+	if got := time.Duration(hs.P50Ns); got <= 0 || got > 10*time.Millisecond {
+		t.Errorf("p50 = %v, want in (0, 10ms]", got)
+	}
+	if got := time.Duration(hs.P95Ns); got <= 10*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("p95 = %v, want in (10ms, 100ms]", got)
+	}
+	if got := time.Duration(hs.P99Ns); got <= 10*time.Millisecond || got > 100*time.Millisecond {
+		t.Errorf("p99 = %v, want in (10ms, 100ms]", got)
+	}
+	// Quantiles must be monotone in q.
+	if hs.P50Ns > hs.P95Ns || hs.P95Ns > hs.P99Ns {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", hs.P50Ns, hs.P95Ns, hs.P99Ns)
+	}
+	// BoundNs must mirror the configured finite bounds.
+	if hs.Buckets[0].BoundNs != int64(10*time.Millisecond) {
+		t.Errorf("bucket 0 BoundNs = %d", hs.Buckets[0].BoundNs)
+	}
+	if hs.Buckets[3].BoundNs != 0 || hs.Buckets[3].UpperBound != "+Inf" {
+		t.Errorf("+Inf bucket = %+v", hs.Buckets[3])
+	}
+}
+
+func TestHistogramQuantileInfBucketClamps(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("q", "", []time.Duration{time.Millisecond})
+	h.Observe(time.Hour) // lands in +Inf
+	hs := reg.Snapshot().Histograms["q"]
+	// With every observation past the last finite bound, quantiles
+	// clamp to that bound rather than inventing an infinite value.
+	if got := time.Duration(hs.P99Ns); got != time.Millisecond {
+		t.Errorf("p99 = %v, want clamp to 1ms", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewHistogram("e", "", []time.Duration{time.Millisecond})
+	hs := reg.Snapshot().Histograms["e"]
+	if hs.P50Ns != 0 || hs.P95Ns != 0 || hs.P99Ns != 0 {
+		t.Errorf("empty histogram quantiles = %d %d %d, want 0", hs.P50Ns, hs.P95Ns, hs.P99Ns)
+	}
+}
+
+func TestFormatIncludesBucketsAndQuantiles(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("wait", "", []time.Duration{time.Millisecond})
+	h.Observe(500 * time.Microsecond)
+	txt := reg.Snapshot().Format()
+	for _, want := range []string{"p50=", "p95=", "p99=", "bucket le=1ms n=1", "bucket le=+Inf n=1"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q in:\n%s", want, txt)
+		}
+	}
+}

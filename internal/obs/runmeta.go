@@ -33,6 +33,10 @@ type RunMeta struct {
 	// runs. Declared as any to keep obs free of report types.
 	Health any `json:"health,omitempty"`
 
+	// SelfTrace is the path of the LiLa v2 self-profile written for
+	// this run (-self-profile), empty when self-profiling was off.
+	SelfTrace string `json:"self_trace,omitempty"`
+
 	// Metrics is the registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
 }

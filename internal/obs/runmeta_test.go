@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunMetaSchemaGolden pins the runmeta.json wire schema: the
+// exact top-level key set and the JSON type of every value. External
+// consumers (dashboards, the benchmark trajectory tooling) key on
+// these names, so adding a field means extending this golden and
+// removing or renaming one is a breaking change that must be
+// deliberate.
+func TestRunMetaSchemaGolden(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	_, end := Span(ctx, "study")
+	end()
+
+	reg := NewRegistry()
+	reg.NewCounter("episodes", "total episodes").Add(7)
+	reg.NewGauge("workers", "").Set(2)
+	reg.NewHistogram("wait", "", []time.Duration{time.Millisecond}).Observe(time.Millisecond)
+
+	m := NewRunMeta("lagreport")
+	m.Flags["seed"] = "42"
+	m.SelfTrace = "self.lila"
+	m.Finish(tr, reg)
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		t.Fatal(err)
+	}
+
+	// key → JSON type. "health" is omitted here (clean run) and pinned
+	// as optional below.
+	want := map[string]string{
+		"tool":       "string",
+		"started":    "string",
+		"wall_clock": "string",
+		"go_version": "string",
+		"goos":       "string",
+		"goarch":     "string",
+		"gomaxprocs": "number",
+		"num_cpu":    "number",
+		"flags":      "object",
+		"phases":     "array",
+		"self_trace": "string",
+		"metrics":    "object",
+	}
+	for key, typ := range want {
+		raw, ok := top[key]
+		if !ok {
+			t.Errorf("runmeta.json missing key %q", key)
+			continue
+		}
+		if got := jsonType(raw); got != typ {
+			t.Errorf("runmeta.json key %q is %s, want %s", key, got, typ)
+		}
+	}
+	for key := range top {
+		if _, ok := want[key]; !ok && key != "health" {
+			t.Errorf("runmeta.json has unpinned key %q — extend the schema golden deliberately", key)
+		}
+	}
+
+	// The metrics snapshot's own shape: counters/gauges/histograms maps.
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(top["metrics"], &metrics); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		raw, ok := metrics[key]
+		if !ok {
+			t.Errorf("metrics missing %q", key)
+			continue
+		}
+		if got := jsonType(raw); got != "object" {
+			t.Errorf("metrics.%s is %s, want object", key, got)
+		}
+	}
+
+	// Histogram snapshots carry buckets plus derived quantiles.
+	var hists map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(metrics["histograms"], &hists); err != nil {
+		t.Fatal(err)
+	}
+	h := hists["wait"]
+	for key, typ := range map[string]string{
+		"count": "number", "sum_ns": "number", "buckets": "array",
+		"p50_ns": "number", "p95_ns": "number", "p99_ns": "number",
+	} {
+		raw, ok := h[key]
+		if !ok {
+			t.Errorf("histogram snapshot missing %q (have %v)", key, keysOf(h))
+			continue
+		}
+		if got := jsonType(raw); got != typ {
+			t.Errorf("histogram %s is %s, want %s", key, got, typ)
+		}
+	}
+}
+
+// jsonType names the JSON type of a raw value.
+func jsonType(raw json.RawMessage) string {
+	for _, c := range raw {
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			continue
+		case c == '{':
+			return "object"
+		case c == '[':
+			return "array"
+		case c == '"':
+			return "string"
+		case c == 't' || c == 'f':
+			return "bool"
+		case c == 'n':
+			return "null"
+		default:
+			return "number"
+		}
+	}
+	return "empty"
+}
+
+func keysOf(m map[string]json.RawMessage) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,390 @@
+// Package selftrace closes LagAlyzer's observability loop: it exports
+// the pipeline's own obs span forest as a LiLa v2 trace, so the tool
+// can analyze its own execution with the very machinery the paper
+// applies to Swing applications ("profile the profiler").
+//
+// The mapping from spans to LiLa's thread/interval model:
+//
+//	main goroutine's root spans → dispatch intervals on the GUI
+//	  thread ("main", id 1): each top-level pipeline phase becomes
+//	  one episode
+//	pool workers / concurrent spans → daemon background threads
+//	  ("worker-N", ids 2+): a span that overlaps its siblings is
+//	  displaced to the first free worker lane, where it roots its own
+//	  episode (LiLa's multi-EDT case)
+//	nested spans → listener intervals inside their parent
+//	phase alloc deltas (PhaseSpan) → call-stack samples whose leaf
+//	  frame carries the bytes/objects allocated
+//	lane activity → periodic samples: runnable with the open interval
+//	  chain as the stack while a lane is busy, waiting otherwise
+//
+// Span timestamps are wall-clock offsets from the trace epoch, so the
+// emitted trace varies run to run; what never varies is the analysis
+// itself — the bridge only reads a finished *obs.Trace after the run's
+// outputs are complete, so enabling self-profiling cannot perturb
+// results (pinned by an instrumented-vs-plain equality test in package
+// report).
+package selftrace
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/trace"
+)
+
+// Options name the emitted session.
+type Options struct {
+	// App is the header's application name, conventionally the tool
+	// that ran the pipeline ("lagreport", "lagd-study", ...). Empty
+	// takes "lagalyzer".
+	App string
+	// SessionID distinguishes multiple self-traces of the same app.
+	SessionID int
+}
+
+// maxTicks caps the periodic-sample count; the sampling period is
+// stretched on long runs so the self-trace stays small.
+const maxTicks = 2000
+
+// defaultSamplePeriod mirrors LiLa's ~10ms stack sampler.
+const defaultSamplePeriod = 10 * trace.Millisecond
+
+// guiThread is the thread id of the synthetic GUI ("main") lane.
+const guiThread trace.ThreadID = 1
+
+// iv is one placed interval on a lane: a span whose times have been
+// committed to the lane's properly nested timeline.
+type iv struct {
+	name, class string
+	start, end  trace.Time
+	kids        []*iv
+	measured    bool
+	allocBytes  uint64
+	allocObjs   uint64
+}
+
+// lane is one synthetic thread of the self-trace.
+type lane struct {
+	id        trace.ThreadID
+	name      string
+	daemon    bool
+	busyUntil trace.Time
+	top       []*iv
+}
+
+// node is one exported span with its children resolved and sorted.
+type node struct {
+	sp   obs.SpanExport
+	kids []*node
+}
+
+// job is one pending subtree placement; the heap orders jobs by start
+// time (span id tie-break) so lanes fill deterministically.
+type job struct {
+	n      *node
+	gui    bool // an original root may claim the GUI lane
+	start  trace.Time
+	spanID int
+}
+
+type jobHeap []job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].spanID < h[j].spanID
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(job)) }
+func (h *jobHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// Build converts the trace's span forest into a LiLa header and a
+// valid, time-ordered record stream. A nil or empty trace yields a
+// minimal zero-length session (header, main thread, end record) so
+// callers can always write a well-formed file.
+func Build(t *obs.Trace, o Options) (lila.Header, []*lila.Record, error) {
+	app := o.App
+	if app == "" {
+		app = "lagalyzer"
+	}
+	spans := t.Export()
+
+	// Resolve the forest: children sorted by (start, id) so the
+	// nesting walk sees them in timeline order.
+	nodes := make([]*node, len(spans))
+	for i := range spans {
+		nodes[i] = &node{sp: spans[i]}
+	}
+	var roots []*node
+	for i := range spans {
+		if p := spans[i].Parent; p >= 0 {
+			nodes[p].kids = append(nodes[p].kids, nodes[i])
+		} else {
+			roots = append(roots, nodes[i])
+		}
+	}
+	for _, n := range nodes {
+		sortNodes(n.kids)
+	}
+	sortNodes(roots)
+
+	// Place every subtree on a lane, earliest start first. Original
+	// roots may claim the GUI lane; displaced (overlapping) spans go
+	// to daemon worker lanes only.
+	lanes := []*lane{{id: guiThread, name: "main"}}
+	pending := make(jobHeap, 0, len(roots))
+	for _, r := range roots {
+		pending = append(pending, newJob(r, true))
+	}
+	heap.Init(&pending)
+	for pending.Len() > 0 {
+		j := heap.Pop(&pending).(job)
+		l := pickLane(&lanes, j)
+		v := placeSubtree(j.n, &pending)
+		l.busyUntil = v.end
+		l.top = append(l.top, v)
+	}
+
+	end := trace.Time(0)
+	for _, l := range lanes {
+		if l.busyUntil > end {
+			end = l.busyUntil
+		}
+	}
+	period := samplePeriod(end)
+	h := lila.Header{
+		App:          app,
+		SessionID:    o.SessionID,
+		GUIThread:    guiThread,
+		SamplePeriod: period,
+	}
+
+	var recs []*lila.Record
+	for _, l := range lanes {
+		recs = append(recs, &lila.Record{Type: lila.RecThread, Thread: l.id, Name: l.name, Daemon: l.daemon})
+	}
+	n := len(recs)
+	for _, l := range lanes {
+		for _, v := range l.top {
+			recs = appendIntervalRecords(recs, l.id, v, true)
+		}
+	}
+	recs = appendPeriodicSamples(recs, lanes, end, period)
+	// Stable sort by time: per-lane record order (call before nested
+	// call before return, returns before the next touching call) was
+	// emitted sequentially per lane, so it survives the merge.
+	body := recs[n:]
+	sort.SliceStable(body, func(i, j int) bool { return body[i].Time < body[j].Time })
+	recs = append(recs, &lila.Record{Type: lila.RecEnd, Time: end})
+
+	for _, r := range recs {
+		if err := r.Validate(); err != nil {
+			return lila.Header{}, nil, fmt.Errorf("selftrace: %w", err)
+		}
+	}
+	return h, recs, nil
+}
+
+// Encode renders the trace as LiLa v2 file bytes.
+func Encode(t *obs.Trace, o Options) ([]byte, error) {
+	h, recs, err := Build(t, o)
+	if err != nil {
+		return nil, err
+	}
+	return lila.EncodeV2(h, recs)
+}
+
+// WriteFile writes the v2 self-trace atomically (tmp+rename), the same
+// crash-safety contract as every other artifact the tools emit.
+func WriteFile(path string, t *obs.Trace, o Options) error {
+	data, err := Encode(t, o)
+	if err != nil {
+		return err
+	}
+	return obs.WriteFileAtomic(path, data, 0o644)
+}
+
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].sp.Start != ns[j].sp.Start {
+			return ns[i].sp.Start < ns[j].sp.Start
+		}
+		return ns[i].sp.ID < ns[j].sp.ID
+	})
+}
+
+func newJob(n *node, gui bool) job {
+	return job{n: n, gui: gui, start: spanStart(n.sp), spanID: n.sp.ID}
+}
+
+func spanStart(sp obs.SpanExport) trace.Time {
+	if sp.Start < 0 {
+		return 0
+	}
+	return trace.Time(sp.Start)
+}
+
+func spanEnd(sp obs.SpanExport) trace.Time {
+	s := spanStart(sp)
+	if sp.Dur <= 0 {
+		return s
+	}
+	return s.Add(trace.Dur(sp.Dur))
+}
+
+// pickLane finds the first lane free at the job's start time: the GUI
+// lane for eligible roots, then existing worker lanes in creation
+// order, else a fresh daemon worker lane.
+func pickLane(lanes *[]*lane, j job) *lane {
+	for i, l := range *lanes {
+		if i == 0 && !j.gui {
+			continue
+		}
+		if l.busyUntil <= j.start {
+			return l
+		}
+	}
+	w := len(*lanes) // worker-1 is the second lane
+	l := &lane{id: trace.ThreadID(w + 1), name: fmt.Sprintf("worker-%d", w), daemon: true}
+	*lanes = append(*lanes, l)
+	return l
+}
+
+// placeSubtree commits n's span to an interval and nests every child
+// that fits the lane timeline (starts at or after the previous sibling
+// ended, ends within the parent). Children that overlap a sibling or
+// outlive the parent — concurrent work on other goroutines — are
+// displaced onto the pending heap to root their own episode on a
+// worker lane.
+func placeSubtree(n *node, pending *jobHeap) *iv {
+	v := &iv{
+		name:       n.sp.Name,
+		class:      spanClass(n.sp),
+		start:      spanStart(n.sp),
+		end:        spanEnd(n.sp),
+		measured:   n.sp.Measured,
+		allocBytes: n.sp.AllocBytes,
+		allocObjs:  n.sp.AllocObjs,
+	}
+	cursor := v.start
+	for _, c := range n.kids {
+		cs, ce := spanStart(c.sp), spanEnd(c.sp)
+		if cs >= cursor && ce <= v.end {
+			v.kids = append(v.kids, placeSubtree(c, pending))
+			cursor = ce
+			continue
+		}
+		heap.Push(pending, newJob(c, false))
+	}
+	return v
+}
+
+// spanClass derives the synthetic class name from the span's root path
+// segment: every interval of the "study/..." subtree shares the class
+// "lagalyzer.study", so patterns group by pipeline phase family.
+func spanClass(sp obs.SpanExport) string {
+	root := sp.Path
+	for i := 0; i < len(root); i++ {
+		if root[i] == '/' {
+			root = root[:i]
+			break
+		}
+	}
+	return "lagalyzer." + root
+}
+
+// appendIntervalRecords emits the call/children/return walk of one
+// placed interval. Top-level intervals are dispatches (episode roots);
+// nested intervals are listeners. Measured intervals additionally emit
+// an alloc-delta sample at their end time.
+func appendIntervalRecords(recs []*lila.Record, th trace.ThreadID, v *iv, top bool) []*lila.Record {
+	kind := trace.KindListener
+	if top {
+		kind = trace.KindDispatch
+	}
+	recs = append(recs, &lila.Record{
+		Type: lila.RecCall, Time: v.start, Thread: th,
+		Kind: kind, Class: v.class, Method: v.name,
+	})
+	for _, c := range v.kids {
+		recs = appendIntervalRecords(recs, th, c, false)
+	}
+	if v.measured {
+		recs = append(recs, &lila.Record{
+			Type: lila.RecSample, Time: v.end, Thread: th, State: trace.StateRunnable,
+			Stack: []trace.Frame{
+				{Class: "lagalyzer.alloc", Method: fmt.Sprintf("%s +%dB/+%dobj", v.name, v.allocBytes, v.allocObjs)},
+				{Class: v.class, Method: v.name},
+			},
+		})
+	}
+	return append(recs, &lila.Record{Type: lila.RecReturn, Time: v.end, Thread: th})
+}
+
+// samplePeriod stretches the nominal 10ms period so a session emits at
+// most maxTicks periodic sample ticks.
+func samplePeriod(end trace.Time) trace.Dur {
+	p := defaultSamplePeriod
+	if minP := trace.Dur(int64(end) / maxTicks); minP > p {
+		p = minP
+	}
+	return p
+}
+
+// appendPeriodicSamples walks the session timeline at the sampling
+// period and records each lane's state: runnable with the open
+// interval chain (leaf first) while inside an episode, waiting with an
+// empty stack while idle — LiLa's all-threads stack sampler applied to
+// the pipeline's own lanes.
+func appendPeriodicSamples(recs []*lila.Record, lanes []*lane, end trace.Time, period trace.Dur) []*lila.Record {
+	if end <= 0 {
+		return recs
+	}
+	cursors := make([]int, len(lanes))
+	for t := trace.Time(0).Add(period); t < end; t = t.Add(period) {
+		for li, l := range lanes {
+			// Advance past episodes that ended before t.
+			for cursors[li] < len(l.top) && l.top[cursors[li]].end <= t {
+				cursors[li]++
+			}
+			var stack []trace.Frame
+			state := trace.StateWaiting
+			if cursors[li] < len(l.top) && l.top[cursors[li]].start <= t {
+				state = trace.StateRunnable
+				stack = openChain(l.top[cursors[li]], t)
+			}
+			recs = append(recs, &lila.Record{
+				Type: lila.RecSample, Time: t, Thread: l.id, State: state, Stack: stack,
+			})
+		}
+	}
+	return recs
+}
+
+// openChain returns the frames of the intervals open at time t inside
+// v, leaf first.
+func openChain(v *iv, t trace.Time) []trace.Frame {
+	var chain []trace.Frame
+	for v != nil {
+		chain = append(chain, trace.Frame{Class: v.class, Method: v.name})
+		next := (*iv)(nil)
+		for _, c := range v.kids {
+			if c.start <= t && t < c.end {
+				next = c
+				break
+			}
+		}
+		v = next
+	}
+	// Reverse: collected root→leaf, samples are leaf first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}

@@ -29,8 +29,9 @@ func NewTrace() *Trace {
 }
 
 type spanData struct {
-	path   string // slash-joined ancestry, e.g. "study/app/engine/classify"
-	worker int    // -1 when unattributed
+	path   string    // slash-joined ancestry, e.g. "study/app/engine/classify"
+	parent *spanData // enclosing span, nil for roots (drives Export lineage)
+	worker int       // -1 when unattributed
 	depth  int
 	start  time.Time
 	dur    time.Duration
@@ -103,6 +104,7 @@ func span(ctx context.Context, name string, measure bool) (context.Context, func
 	if parent, ok := ctx.Value(spanKey).(*spanData); ok {
 		d.path = parent.path + "/" + name
 		d.depth = parent.depth + 1
+		d.parent = parent
 	}
 	if w, ok := ctx.Value(workerKey).(int); ok {
 		d.worker = w
@@ -123,6 +125,74 @@ func span(ctx context.Context, name string, measure bool) (context.Context, func
 		t.spans = append(t.spans, d)
 		t.mu.Unlock()
 	}
+}
+
+// SpanExport is one finished span in the raw per-span export used by
+// the self-trace bridge (package obs/selftrace). Unlike SummaryRow it
+// is not aggregated: every recorded span becomes one entry, carrying
+// its lineage so a consumer can rebuild the span forest.
+type SpanExport struct {
+	// ID is the span's index in the export slice.
+	ID int
+	// Parent is the index of the enclosing span, or -1 for a root span
+	// (including spans whose parent had not finished at export time).
+	Parent int
+	// Name is the last path segment; Path the slash-joined ancestry.
+	Name, Path string
+	// Worker is the pool worker the span was attributed to, or -1.
+	Worker int
+	// Start is the span's offset from the trace epoch; Dur its length.
+	Start, Dur time.Duration
+	// Measured marks PhaseSpan spans; AllocBytes and AllocObjs are
+	// their allocation deltas.
+	Measured              bool
+	AllocBytes, AllocObjs uint64
+}
+
+// Export snapshots every finished span with its lineage, in recording
+// (completion) order. Because a parent's end function runs after its
+// children's, a finished span's finished ancestors always appear in
+// the export; a still-open ancestor degrades the span to a root.
+func (t *Trace) Export() []SpanExport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]*spanData, len(t.spans))
+	copy(spans, t.spans)
+	epoch := t.start
+	t.mu.Unlock()
+
+	index := make(map[*spanData]int, len(spans))
+	for i, d := range spans {
+		index[d] = i
+	}
+	out := make([]SpanExport, len(spans))
+	for i, d := range spans {
+		name := d.path
+		if j := strings.LastIndexByte(name, '/'); j >= 0 {
+			name = name[j+1:]
+		}
+		parent := -1
+		if d.parent != nil {
+			if pi, ok := index[d.parent]; ok {
+				parent = pi
+			}
+		}
+		out[i] = SpanExport{
+			ID:         i,
+			Parent:     parent,
+			Name:       name,
+			Path:       d.path,
+			Worker:     d.worker,
+			Start:      d.start.Sub(epoch),
+			Dur:        d.dur,
+			Measured:   d.measured,
+			AllocBytes: d.allocBytes,
+			AllocObjs:  d.allocObjs,
+		}
+	}
+	return out
 }
 
 // SummaryRow aggregates every finished span sharing a path and worker.

@@ -1,12 +1,14 @@
 package report
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
 
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/sim"
 )
 
@@ -63,6 +65,56 @@ func TestRunStudyInstrumentedIdentical(t *testing.T) {
 	}
 	if !strings.Contains(progress.String(), "analyze CrosswordSage") {
 		t.Errorf("progress missing analyze step:\n%s", progress.String())
+	}
+}
+
+// TestSelfProfileDoesNotPerturb: running the study with self-profiling
+// on (a trace on the context, then encoding the spans as a LiLa v2
+// self-trace) must leave the formatted analysis output byte-identical
+// to a plain run, and the self-trace encoding itself must be
+// deterministic for one recorded trace.
+func TestSelfProfileDoesNotPerturb(t *testing.T) {
+	run := func(tr *obs.Trace) *StudyResult {
+		ctx := context.Background()
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		res, err := RunStudyContext(ctx, StudyConfig{
+			Apps:           []*sim.Profile{apps.CrosswordSage(), apps.GanttProject()},
+			SessionsPerApp: 2,
+			Seed:           99,
+			SessionSeconds: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := run(nil)
+	tr := obs.NewTrace()
+	profiled := run(tr)
+
+	if a, b := FormatAll(plain), FormatAll(profiled); a != b {
+		t.Error("formatted study output differs with self-profiling on")
+	}
+
+	enc1, err := selftrace.Encode(tr, selftrace.Options{App: "lagreport"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := selftrace.Encode(tr, selftrace.Options{App: "lagreport"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc1, enc2) {
+		t.Error("self-trace encoding is not deterministic for one trace")
+	}
+
+	// The formatted output must also be unaffected by *when* the
+	// encoding happens — Encode only reads the finished spans.
+	if a, b := FormatAll(profiled), FormatAll(plain); a != b {
+		t.Error("encoding the self-trace perturbed the study result")
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/report"
@@ -12,27 +14,82 @@ import (
 
 // Handler exposes the job API:
 //
-//	POST /jobs                  submit a JobSpec       → 202 {"id": ...}
-//	GET  /jobs                  list jobs              → 200 [Status]
-//	GET  /jobs/{id}             poll one job           → 200 Status
-//	GET  /jobs/{id}/result      fetch the result       → 200 (text|html|json)
-//	GET  /healthz               liveness + drain state
-//	GET  /metrics               obs registry snapshot (text)
+//	POST /jobs                    submit a JobSpec       → 202 {"id": ...}
+//	GET  /jobs                    list jobs              → 200 [Status]
+//	GET  /jobs/{id}               poll one job           → 200 Status
+//	GET  /jobs/{id}/result        fetch the result       → 200 (text|html|json)
+//	GET  /jobs/{id}/selftrace     the job's own LiLa v2 trace (Config.SelfProfile)
+//	GET  /healthz                 liveness + drain state
+//	GET  /metrics                 obs registry snapshot (text); ?format=prom or a
+//	                              Prometheus Accept header switches to the
+//	                              Prometheus text exposition format
 //
 // Shed submissions answer 429 with a Retry-After hint; a draining
-// server answers 503.
+// server answers 503. When Config.Logger is set, every request is
+// access-logged with method, path, status, and elapsed time.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/selftrace", s.handleSelfTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	return s.accessLog(mux)
+}
+
+// handleMetrics serves the process metrics: the obs text snapshot by
+// default, the Prometheus exposition format on ?format=prom or when
+// the Accept header asks for a versioned Prometheus/OpenMetrics
+// payload (the header scrapers send).
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	prom := format == "prom" ||
+		(format == "" && (strings.Contains(accept, "version=0.0.4") ||
+			strings.Contains(accept, "application/openmetrics-text")))
+	switch {
+	case prom:
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, obs.Default().FormatProm())
+	case format == "" || format == "text":
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, obs.Default().Snapshot().Format())
+	default:
+		http.Error(w, "unknown format "+format, http.StatusBadRequest)
+	}
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// accessLog wraps the API with one structured log line per request.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.cfg.Logger.Info("http",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"bytes", rec.bytes, "remote", r.RemoteAddr,
+			"elapsed", time.Since(start).Round(time.Microsecond).String())
 	})
-	return mux
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +165,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, "unknown format "+format, http.StatusBadRequest)
 	}
+}
+
+// handleSelfTrace serves a job's own execution as a LiLa v2 trace —
+// ready to feed back through `lagalyzer report`.
+func (s *Server) handleSelfTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	data, ok := s.SelfTrace(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("job %s has no self-trace (state %s; server must run with self-profiling on)", id, st.State),
+			http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".lila"))
+	w.Write(data)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

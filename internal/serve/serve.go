@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"lagalyzer/internal/apps"
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
+	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/report"
 	"lagalyzer/internal/sim"
 	"lagalyzer/internal/trace"
@@ -99,6 +101,10 @@ type Job struct {
 	Result *report.StudyResult
 
 	estimate int64
+	started  time.Time
+	// selfTrace is the LiLa v2 encoding of the job's own pipeline
+	// spans (Config.SelfProfile), served by GET /jobs/{id}/selftrace.
+	selfTrace []byte
 }
 
 // Status is the externally visible snapshot of a job.
@@ -151,6 +157,14 @@ type Config struct {
 	// (0 = one per CPU, 1 = sequential). Total decode parallelism is
 	// Workers × LoadJobs; cap it on small machines.
 	LoadJobs int
+	// SelfProfile records each job's pipeline spans and keeps them as
+	// a LiLa v2 self-trace, downloadable via GET /jobs/{id}/selftrace
+	// and — with StateDir — persisted under StateDir/selftrace beside
+	// the checkpoint stores.
+	SelfProfile bool
+	// Logger receives structured job-lifecycle and HTTP access logs;
+	// nil disables logging (tests, embedded use).
+	Logger *slog.Logger
 	// Runner overrides job execution (tests); nil runs the real
 	// pipelines.
 	Runner Runner
@@ -239,10 +253,24 @@ type Server struct {
 	idle chan struct{}
 }
 
+// discardHandler drops every record; it stands in for a nil
+// Config.Logger so call sites never nil-check. (The stdlib gained an
+// equivalent in go1.24; this stays compatible with the module's go
+// directive.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
 // New starts a server: spawns the worker pool and, when cfg.StateDir
 // holds a pending.json from a previous shutdown, restores and
 // re-queues those jobs.
 func New(cfg Config) (*Server, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(discardHandler{})
+	}
 	s := &Server{
 		cfg:   cfg,
 		queue: make(chan *Job, cfg.queueDepth()),
@@ -301,8 +329,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.memInUse += est
+	queued := len(s.queue)
 	s.mu.Unlock()
 	mAccepted.Inc()
+	s.cfg.Logger.Info("job accepted",
+		"job", job.ID, "kind", spec.Kind, "state", string(StateQueued), "queue", queued)
 	return job, nil
 }
 
@@ -432,9 +463,13 @@ func (s *Server) worker() {
 			continue
 		}
 		job.State = StateRunning
+		job.started = time.Now()
 		s.inflight++
+		queued := len(s.queue)
 		s.mu.Unlock()
 		mInflight.Add(1)
+		s.cfg.Logger.Info("job running",
+			"job", job.ID, "kind", job.Spec.Kind, "state", string(StateRunning), "queue", queued)
 
 		s.runJob(job)
 	}
@@ -470,10 +505,12 @@ func (s *Server) runJob(job *Job) {
 		err := s.runOnce(job, deadline)
 
 		s.mu.Lock()
+		queued := len(s.queue)
 		if err == nil {
 			job.State = StateDone
 			job.Err = ""
 			s.mu.Unlock()
+			s.logLifecycle(job, StateDone, queued, nil)
 			return
 		}
 		// Shutdown cut the attempt off: the job goes back into the
@@ -484,17 +521,23 @@ func (s *Server) runJob(job *Job) {
 			job.Err = err.Error()
 			s.pending = append(s.pending, job)
 			s.mu.Unlock()
+			s.logLifecycle(job, StateCheckpointed, queued, err)
 			return
 		}
 		if !Retryable(err) || attempt >= s.cfg.maxRetries() {
 			job.State = StateFailed
 			job.Err = err.Error()
 			s.mu.Unlock()
+			s.logLifecycle(job, StateFailed, queued, err)
 			return
 		}
 		job.Err = err.Error()
 		s.mu.Unlock()
 		mRetries.Inc()
+		s.cfg.Logger.Warn("job retrying",
+			"job", job.ID, "kind", job.Spec.Kind, "state", string(StateRunning),
+			"queue", queued, "attempt", attempt+1, "err", err.Error(),
+			"elapsed", time.Since(job.started).Round(time.Millisecond).String())
 		select {
 		case <-time.After(backoff(s.cfg.retryBase(), attempt, job.ID)):
 		case <-s.runCtx.Done():
@@ -504,12 +547,37 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
+// logLifecycle emits one structured line for a job's terminal states.
+func (s *Server) logLifecycle(job *Job, state JobState, queued int, cause error) {
+	args := []any{
+		"job", job.ID, "kind", job.Spec.Kind, "state", string(state),
+		"queue", queued, "attempts", job.Attempts,
+		"elapsed", time.Since(job.started).Round(time.Millisecond).String(),
+	}
+	if cause != nil {
+		args = append(args, "err", cause.Error())
+		s.cfg.Logger.Warn("job finished", args...)
+		return
+	}
+	s.cfg.Logger.Info("job finished", args...)
+}
+
 // runOnce executes a single attempt under the job deadline with panic
 // containment: a panicking pipeline is converted to ErrWorkerPanic
 // (retryable) instead of taking the worker down.
 func (s *Server) runOnce(job *Job, deadline time.Duration) (err error) {
 	ctx, cancel := context.WithTimeout(s.runCtx, deadline)
 	defer cancel()
+	// With self-profiling on, the attempt's pipeline spans are recorded
+	// into a fresh trace (each attempt overwrites the last: the trace
+	// that survives describes the run that produced the result). The
+	// save defer is registered before the recover defer, so a panicking
+	// attempt still flushes the spans it completed.
+	if s.cfg.SelfProfile {
+		tr := obs.NewTrace()
+		ctx = obs.WithTrace(ctx, tr)
+		defer s.saveSelfTrace(job, tr)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			mPanics.Inc()
@@ -527,6 +595,48 @@ func (s *Server) runOnce(job *Job, deadline time.Duration) (err error) {
 	}
 	s.mu.Unlock()
 	return err
+}
+
+// saveSelfTrace encodes a job attempt's span trace as LiLa v2, keeps
+// the bytes on the job for the download endpoint, and — when the
+// server persists state — writes StateDir/selftrace/<job>.lila beside
+// the checkpoint stores. Failures are logged, never fatal: the job's
+// result must not depend on its observability.
+func (s *Server) saveSelfTrace(job *Job, tr *obs.Trace) {
+	sid := 0
+	fmt.Sscanf(job.ID, "job-%d", &sid)
+	data, err := selftrace.Encode(tr, selftrace.Options{App: "lagd-" + job.Spec.Kind, SessionID: sid})
+	if err != nil {
+		s.cfg.Logger.Warn("self-trace encode failed", "job", job.ID, "err", err.Error())
+		return
+	}
+	s.mu.Lock()
+	job.selfTrace = data
+	s.mu.Unlock()
+	if s.cfg.StateDir == "" {
+		return
+	}
+	path := filepath.Join(s.cfg.StateDir, "selftrace", job.ID+".lila")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err == nil {
+		err = obs.WriteFileAtomic(path, data, 0o644)
+	} else {
+		err = fmt.Errorf("creating selftrace dir: %w", err)
+	}
+	if err != nil {
+		s.cfg.Logger.Warn("self-trace write failed", "job", job.ID, "err", err.Error())
+	}
+}
+
+// SelfTrace returns a job's LiLa v2 self-trace bytes, if the job ran
+// with Config.SelfProfile and has completed at least one attempt.
+func (s *Server) SelfTrace(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.selfTrace == nil {
+		return nil, false
+	}
+	return job.selfTrace, true
 }
 
 // run is the production Runner: dispatch on the spec kind into the
