@@ -4,8 +4,9 @@
 # supervisor) under the race detector. `make chaos` is the robustness
 # tier: the fault-injection suites (salvage decoding, lenient rebuild,
 # engine panic containment, checkpoint-store corruption and stalled
-# reads, service shedding/retry/shutdown, CLI kill-and-resume) plus a
-# fuzz smoke pass over the salvage decoders. `make profile` runs the
+# reads, service shedding/retry/shutdown, CLI kill-and-resume, and the
+# multi-node distributed-study suite under network fault injection)
+# plus a fuzz smoke pass over the salvage decoders. `make profile` runs the
 # engine benchmark under the CPU and heap profilers and prints the
 # top-10 hot spots from each.
 
@@ -25,14 +26,16 @@ check: build test
 
 race:
 	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs \
-		./internal/serve ./internal/checkpoint ./internal/intern ./internal/lila
+		./internal/serve ./internal/checkpoint ./internal/intern ./internal/lila ./internal/dist
 
 chaos:
 	$(GO) test ./internal/faultinject ./internal/lila ./internal/treebuild \
 		-run 'Salvage|Lenient|Robust|Fault|Panic|Budget'
 	$(GO) test ./internal/engine ./internal/report -run 'Robust|Panic|Cancel|Damaged|Salvaged|Resume|TimedOut' -race
 	$(GO) test ./internal/checkpoint ./internal/serve \
-		-run 'Fault|Corrupt|Truncat|Orphan|Resume|Shed|Panic|Retry|Shutdown|Deadline' -race
+		-run 'Fault|Corrupt|Truncat|Orphan|Resume|Shed|Panic|Retry|Shutdown|Deadline|Shard|Drain' -race
+	$(GO) test ./internal/dist \
+		-run 'Golden|Hedge|Eject|Degrad|Itemized|Resume|Backoff|Pool|Metrics' -race
 	$(GO) test -run TestCLIFaultTolerance .
 	$(GO) test -run TestCLICheckpointKillResume .
 	$(GO) test -run TestCLIConvertGolden .

@@ -5,7 +5,15 @@
 // exponential backoff, sheds load with 429 + Retry-After when the
 // queue or memory budget fills, isolates worker panics, and on
 // SIGINT/SIGTERM drains in-flight jobs and checkpoints the rest so a
-// restarted daemon picks up where it left off.
+// restarted daemon picks up where it left off. While draining,
+// /healthz answers 503 with a "draining" body so load balancers and
+// distributed-study coordinators stop routing new work here.
+//
+// lagd nodes also serve as workers for distributed studies: a "shard"
+// job runs one application (or loads one slice of a trace corpus) and
+// exposes its mergeable partial state — checksum-framed — at
+// /jobs/{id}/state for the coordinator (lagreport -workers) to
+// collect.
 //
 // Usage:
 //
@@ -18,6 +26,10 @@
 //	curl -s localhost:8077/jobs/job-1
 //	# fetch the result
 //	curl -s 'localhost:8077/jobs/job-1/result?format=text'
+//	# run a distributed shard and fetch its partial state
+//	curl -s -X POST localhost:8077/jobs \
+//	  -d '{"kind":"shard","apps":["Jmol"],"sessions":2,"seed":7}'
+//	curl -s localhost:8077/jobs/job-2/state -o shard.bin
 //	# with -self-profile: fetch the job's own trace and analyze it
 //	curl -s localhost:8077/jobs/job-1/selftrace -o job-1.lila
 //	lagalyzer report job-1.lila
@@ -120,6 +132,11 @@ func run() int {
 	}
 	stopSignals()
 	fmt.Fprintln(os.Stderr, "lagd: signal received — draining")
+
+	// Flip the health signal before touching the listener: keep-alive
+	// clients probing /healthz during the connection drain must see
+	// 503 "draining", not a healthy 200.
+	srv.BeginDrain()
 
 	// Stop accepting connections first, then drain the job queue. The
 	// whole shutdown is bounded by twice the grace (listener close plus

@@ -12,6 +12,8 @@
 //	lagreport -traces dir/            # analyze recorded traces instead
 //	lagreport -traces dir/ -salvage   # tolerate damaged traces (resync + lenient rebuild)
 //	lagreport -traces dir/ -strict    # historical fail-fast: first bad file aborts
+//	lagreport -workers http://w1:8080,http://w2:8080
+//	                                  # distribute the study over lagd workers
 //	lagreport -only table3,fig5      # subset of sections
 //	lagreport -progress               # per-session progress + ETA on stderr
 //	lagreport -phases                 # per-phase span summary on stderr
@@ -23,6 +25,14 @@
 // is checkpointed under <out>/.checkpoint, SIGINT/SIGTERM flush the
 // completed part as a partial report, and rerunning with the same
 // flags resumes from the checkpoints to byte-identical final output.
+//
+// With -workers the study (or -traces load) is sharded over the named
+// lagd job servers and merged back to byte-identical output, with
+// retries, hedging, worker ejection, and local fallback on exhausted
+// shards (unrecoverable shards are itemized in the Health section).
+// The checkpoint store under -out is shared with single-node runs:
+// resuming a distributed study locally, or vice versa, reuses every
+// completed app.
 //
 // Exit codes: 0 success, 1 total failure, 2 usage error, 3 partial
 // success (the study completed but lost whole sessions or apps; see
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"lagalyzer/internal/dist"
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/obs/selftrace"
 	"lagalyzer/internal/report"
@@ -68,6 +79,9 @@ func run() int {
 		phases      = flag.Bool("phases", false, "print the per-phase span summary to stderr after the run")
 		debugAddr   = flag.String("debug-addr", "", "serve live pprof and /metrics JSON on this address while running")
 		selfProfile = flag.String("self-profile", "", "write a LiLa v2 trace of this run's own pipeline spans to this file")
+		workersFlag = flag.String("workers", "", "comma-separated lagd worker base URLs: shard the study (or -traces load) across them")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "with -workers: hedge a straggling shard on a second worker after this long (0 = no hedging)")
+		noFallback  = flag.Bool("no-local-fallback", false, "with -workers: itemize exhausted shards as lost instead of re-running them locally")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -111,16 +125,46 @@ func run() int {
 		}
 	}
 
+	var coord *dist.Coordinator
+	if *workersFlag != "" {
+		if *strict {
+			fail(fmt.Errorf("-strict is a single-node fail-fast mode; it cannot combine with -workers"))
+		}
+		var workers []string
+		for _, w := range strings.Split(*workersFlag, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workers = append(workers, w)
+			}
+		}
+		coord, err = dist.New(dist.Options{
+			Workers:         workers,
+			HedgeAfter:      *hedgeAfter,
+			NoLocalFallback: *noFallback,
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	start := time.Now()
 	var res *report.StudyResult
 	if *traces != "" {
-		var suites []*trace.Suite
-		var loadHealth *report.StudyHealth
-		suites, loadHealth, err = report.LoadTraceDirContext(ctx, *traces, report.LoadOptions{
+		opts := report.LoadOptions{
 			Salvage: *salvage,
 			Strict:  *strict,
 			Jobs:    *jobs,
-		})
+		}
+		var suites []*trace.Suite
+		var loadHealth *report.StudyHealth
+		if coord != nil {
+			var tr *dist.TracesResult
+			tr, err = coord.RunTraces(ctx, *traces, opts, 0)
+			if tr != nil {
+				suites, loadHealth = tr.Suites, tr.Health
+			}
+		} else {
+			suites, loadHealth, err = report.LoadTraceDirContext(ctx, *traces, opts)
+		}
 		if err == nil {
 			res = report.AnalyzeSuitesContext(ctx, suites, 0, progressW)
 			res.Health.Merge(loadHealth)
@@ -135,7 +179,11 @@ func run() int {
 		if *outDir != "" {
 			cfg.CheckpointDir = filepath.Join(*outDir, ".checkpoint")
 		}
-		res, err = report.RunStudyContext(ctx, cfg)
+		if coord != nil {
+			res, err = coord.RunStudy(ctx, cfg)
+		} else {
+			res, err = report.RunStudyContext(ctx, cfg)
+		}
 	}
 	if err != nil {
 		if res == nil {

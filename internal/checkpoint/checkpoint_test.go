@@ -223,3 +223,76 @@ func TestFaultWrappedReaders(t *testing.T) {
 		t.Fatal("Load hit through a truncated transfer")
 	}
 }
+
+// TestTruncatedPayloadIsMiss: a payload cut short on disk (torn
+// write, full filesystem) must degrade to a re-run miss — never a
+// partial suite or a crash.
+func TestTruncatedPayloadIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(dir, "apps"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one payload file, got %d (err %v)", len(entries), err)
+	}
+	path := filepath.Join(dir, "apps", entries[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faultinject.TruncateFrac(data, 0.7), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Load(suite.App); ok {
+		t.Fatal("Load hit on a truncated payload")
+	}
+	// The store stays usable: a fresh Save repairs the entry.
+	if err := st2.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Load(suite.App); !ok {
+		t.Fatal("re-saved entry does not load")
+	}
+}
+
+// TestCorruptManifestResets: seeded bit flips in the manifest must
+// degrade Open to an empty store (re-run everything), never to
+// loading under a wrong configuration or crashing.
+func TestCorruptManifestResets(t *testing.T) {
+	dir := t.TempDir()
+	suite := testSuite(t)
+	st, err := Open(dir, "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(suite); err != nil {
+		t.Fatal(err)
+	}
+
+	mp := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mp, faultinject.FlipBits(data, 19, 12, 0, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, "h")
+	if err != nil {
+		t.Fatalf("Open failed on a bit-flipped manifest: %v", err)
+	}
+	if _, ok := st2.Load(suite.App); ok {
+		t.Fatal("Load hit through a bit-flipped manifest")
+	}
+}

@@ -1,0 +1,382 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"lagalyzer/internal/serve"
+)
+
+// The shard client: one remote attempt is submit → poll → fetch
+// state, bounded by Options.AttemptTimeout. Around it sit the three
+// resilience layers, innermost first:
+//
+//   - hedging: a straggling attempt races a second attempt on a
+//     different worker (attemptHedged);
+//   - retry: failed attempts are re-submitted to the next healthy
+//     worker, after a capped exponential backoff with deterministic
+//     jitter that honors any server Retry-After hint (runShard,
+//     Backoff);
+//   - ejection: consecutive failures eject a worker from the pool
+//     until a /healthz probe re-admits it (workerPool).
+//
+// Every transport-shaped failure — refused connection, mid-body
+// reset, stall past the attempt deadline, truncated or corrupted
+// shard state (serve.ErrBadShardState), shed submissions, a draining
+// worker, a server-side retryable failure — is retryable. Only the
+// coordinator's own context ending is permanent.
+
+// errDraining marks a worker that answered 503: it is shutting down
+// and must not receive further shards.
+var errDraining = errors.New("dist: worker draining")
+
+// retryAfterError carries a server's Retry-After hint (a shed 429)
+// into the backoff computation.
+type retryAfterError struct {
+	hint time.Duration
+	err  error
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// hintOf extracts a Retry-After hint from err (0 when absent).
+func hintOf(err error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.hint
+	}
+	return 0
+}
+
+// Backoff is the single backoff path for every retryable condition —
+// shed submissions and transport failures alike. It returns the delay
+// before retry number attempt (1-based): exponential from base,
+// raised to any server Retry-After hint, jittered deterministically
+// from (key, attempt) so reruns reproduce the exact schedule, and
+// always capped at max — a server cannot stretch the shard's retry
+// budget by hinting a huge Retry-After.
+func Backoff(base time.Duration, attempt int, key string, hint, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if hint > d {
+		d = hint
+	}
+	if d > max {
+		d = max
+	}
+	// Deterministic jitter in [0.75, 1.25): the same (key, attempt)
+	// always waits the same amount, but distinct shards desynchronize
+	// instead of thundering back together.
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	fmt.Fprintf(h, "/%d", attempt)
+	frac := float64(h.Sum64()%1000) / 1000
+	d = time.Duration(float64(d) * (0.75 + 0.5*frac))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// retryable reports whether a shard attempt failure is worth another
+// attempt. The parent context ending is the only permanent condition:
+// everything else — refused, reset, stalled past the attempt
+// deadline, damaged state, shed, draining, server-side failure — may
+// succeed on another worker or a later try.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return err != nil
+}
+
+// runShard runs one shard to completion against the pool: hedged
+// attempts, unified backoff, ejection bookkeeping. It returns the
+// decoded state, or the attempt count and last error once the budget
+// is exhausted.
+func (c *Coordinator) runShard(ctx context.Context, label string, spec serve.JobSpec) (*serve.ShardState, int, error) {
+	mShards.Add(1)
+	c.mu.Lock()
+	c.stats.Shards++
+	c.mu.Unlock()
+
+	var lastErr error
+	maxAttempts := c.opt.maxAttempts()
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		w, hedge := c.pool.pick(label, attempt)
+		if w == nil {
+			lastErr = fmt.Errorf("dist: no healthy workers (of %d): %w",
+				len(c.opt.Workers), errOr(lastErr, errAllEjected))
+			break
+		}
+		st, err := c.attemptHedged(ctx, label, spec, w, hedge)
+		if err == nil {
+			return st, attempt, nil
+		}
+		lastErr = err
+		if !retryable(ctx, err) {
+			return nil, attempt, err
+		}
+		if attempt == maxAttempts {
+			break
+		}
+		mRetries.Add(1)
+		c.mu.Lock()
+		c.stats.Retries++
+		c.mu.Unlock()
+		delay := Backoff(c.opt.backoffBase(), attempt, label, hintOf(err), c.opt.backoffMax())
+		c.log.Info("dist: shard retry", "shard", label, "attempt", attempt,
+			"delay", delay.String(), "err", err)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, attempt, ctx.Err()
+		}
+	}
+	if ctx.Err() != nil {
+		return nil, maxAttempts, ctx.Err()
+	}
+	return nil, maxAttempts, fmt.Errorf("dist: shard %s exhausted %d attempts: %w",
+		label, maxAttempts, lastErr)
+}
+
+var errAllEjected = errors.New("all workers ejected")
+
+func errOr(err, fallback error) error {
+	if err != nil {
+		return err
+	}
+	return fallback
+}
+
+// attemptHedged runs one attempt on primary; if it has not finished
+// within Options.HedgeAfter and a second healthy worker exists, a
+// hedge attempt races it, first success wins, and the loser is
+// canceled. Both outcomes feed the pool's health bookkeeping.
+func (c *Coordinator) attemptHedged(ctx context.Context, label string, spec serve.JobSpec, primary, hedge *worker) (*serve.ShardState, error) {
+	if c.opt.HedgeAfter <= 0 || hedge == nil {
+		st, err := c.attemptOnce(ctx, spec, primary)
+		c.pool.record(primary, err)
+		return st, err
+	}
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		st     *serve.ShardState
+		err    error
+		w      *worker
+		hedged bool
+	}
+	results := make(chan outcome, 2)
+	launch := func(w *worker, hedged bool) {
+		st, err := c.attemptOnce(actx, spec, w)
+		results <- outcome{st, err, w, hedged}
+	}
+	go launch(primary, false)
+
+	timer := time.NewTimer(c.opt.HedgeAfter)
+	defer timer.Stop()
+	inFlight := 1
+	for {
+		select {
+		case <-timer.C:
+			// The primary is straggling: race a second attempt. The
+			// primary keeps running — whichever finishes first wins.
+			mHedges.Add(1)
+			c.mu.Lock()
+			c.stats.Hedges++
+			c.mu.Unlock()
+			c.log.Info("dist: hedging straggler", "shard", label,
+				"primary", primary.url, "hedge", hedge.url)
+			inFlight++
+			go launch(hedge, true)
+		case out := <-results:
+			if out.err == nil {
+				c.pool.record(out.w, nil)
+				if out.hedged {
+					c.mu.Lock()
+					c.stats.HedgeWins++
+					c.mu.Unlock()
+				}
+				cancel() // release the loser
+				return out.st, nil
+			}
+			// Don't punish the canceled loser of a decided race; a
+			// genuine failure counts against its worker.
+			if actx.Err() == nil || ctx.Err() != nil {
+				c.pool.record(out.w, out.err)
+			}
+			inFlight--
+			if inFlight == 0 {
+				// Both racers failed (or the primary failed before the
+				// hedge delay): surface the last error to the retry
+				// layer, which owns backoff and worker rotation.
+				return nil, out.err
+			}
+			// One racer failed while the other is still running: the
+			// survivor decides the outcome.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attemptOnce is one complete remote attempt against worker w:
+// submit the shard job, poll it to a terminal state, fetch and decode
+// the partial state. The whole attempt shares one deadline.
+func (c *Coordinator) attemptOnce(ctx context.Context, spec serve.JobSpec, w *worker) (*serve.ShardState, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opt.attemptTimeout())
+	defer cancel()
+
+	id, err := c.submit(ctx, w, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.await(ctx, w, id); err != nil {
+		return nil, err
+	}
+	return c.fetchState(ctx, w, id)
+}
+
+// submit POSTs the job spec, mapping the server's back-pressure
+// answers onto the retry layer's vocabulary.
+func (c *Coordinator) submit(ctx context.Context, w *worker, spec serve.JobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("dist: encoding job spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", w.url+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("dist: submit to %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		// Shed: respect the server's Retry-After hint through the
+		// unified backoff (capped there against the retry budget).
+		hint := time.Duration(0)
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			hint = time.Duration(s) * time.Second
+		}
+		return "", &retryAfterError{hint: hint,
+			err: fmt.Errorf("dist: %s shed the job: %s", w.url, readError(resp.Body))}
+	case http.StatusServiceUnavailable:
+		return "", fmt.Errorf("%w: %s: %s", errDraining, w.url, readError(resp.Body))
+	default:
+		return "", fmt.Errorf("dist: submit to %s: %s: %s", w.url, resp.Status, readError(resp.Body))
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil || out.ID == "" {
+		return "", fmt.Errorf("dist: submit to %s: undecodable accept body: %v", w.url, err)
+	}
+	return out.ID, nil
+}
+
+// await polls the job until it reaches a terminal state.
+func (c *Coordinator) await(ctx context.Context, w *worker, id string) error {
+	tick := time.NewTicker(c.opt.pollInterval())
+	defer tick.Stop()
+	for {
+		st, err := c.status(ctx, w, id)
+		if err != nil {
+			return err
+		}
+		switch st.State {
+		case serve.StateDone:
+			return nil
+		case serve.StateFailed:
+			return fmt.Errorf("dist: shard job %s failed on %s: %s", id, w.url, st.Error)
+		case serve.StateCheckpointed:
+			// The worker parked the job for its own restart; this
+			// attempt will never finish here.
+			return fmt.Errorf("dist: shard job %s checkpointed on draining %s", id, w.url)
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Coordinator) status(ctx context.Context, w *worker, id string) (*serve.Status, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", w.url+"/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: polling %s on %s: %w", id, w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: polling %s on %s: %s", id, w.url, resp.Status)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("dist: polling %s on %s: %w", id, w.url, err)
+	}
+	return &st, nil
+}
+
+// fetchState retrieves and verifies the shard's partial state. Any
+// wire damage — truncation, reset, bit flips — fails the checksum
+// framing (serve.ErrBadShardState) and is retried like any transport
+// error, never merged.
+func (c *Coordinator) fetchState(ctx context.Context, w *worker, id string) (*serve.ShardState, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", w.url+"/jobs/"+id+"/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dist: fetching state of %s from %s: %w", id, w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dist: fetching state of %s from %s: %s: %s",
+			id, w.url, resp.Status, readError(resp.Body))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: reading state of %s from %s: %w", id, w.url, err)
+	}
+	st, err := serve.DecodeShardState(data)
+	if err != nil {
+		return nil, fmt.Errorf("dist: state of %s from %s: %w", id, w.url, err)
+	}
+	return st, nil
+}
+
+// readError drains up to a line of an error response body for
+// messages.
+func readError(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 256))
+	return string(bytes.TrimSpace(data))
+}

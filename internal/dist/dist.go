@@ -1,0 +1,455 @@
+// Package dist runs a study as shards fanned out over worker lagd
+// nodes, merged back into a result byte-identical to a single-node
+// run.
+//
+// The partitioning is chosen so the merge is trivially deterministic:
+//
+//   - A simulated study shards by application (one shard per app —
+//     the simulator derives each app's sessions independently from
+//     the seed). A worker runs the full single-node pipeline for its
+//     app and returns the session suite; the coordinator re-derives
+//     the analysis locally through the same deterministic engine a
+//     single-node run uses, via report.StudyConfig.SuiteSource. Merge
+//     order is catalog order, exactly as a local run.
+//
+//   - A trace corpus shards into contiguous ranges of the sorted path
+//     list. Workers only LOAD their files (an app's sessions may span
+//     shards, so per-shard analysis would diverge); the coordinator
+//     concatenates per-app session lists in shard order — which, for
+//     contiguous ranges, is precisely sorted path order — then
+//     analyzes, reproducing the single-node scan byte for byte.
+//
+// Robustness is layered around that core: per-attempt timeouts,
+// capped exponential backoff with deterministic jitter (Backoff),
+// Retry-After-aware re-submission, hedged requests for stragglers,
+// worker health probing with ejection and re-admission (workerPool),
+// and graceful degradation — a shard that exhausts every remote
+// attempt is re-run locally on the coordinator, or, when local
+// fallback is disabled or fails too, itemized in the StudyHealth
+// ledger with the LossShard reason. A shard is never silently
+// dropped.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lagalyzer/internal/obs"
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/serve"
+	"lagalyzer/internal/sim"
+	"lagalyzer/internal/trace"
+)
+
+// Distribution metrics: the five counters the coordinator exports
+// (text and Prometheus forms via the obs registry).
+var (
+	mShards = obs.NewCounter("dist_shards_total",
+		"shards dispatched to workers by the distributed coordinator")
+	mRetries = obs.NewCounter("dist_shard_retries_total",
+		"shard attempts retried after a retryable failure")
+	mHedges = obs.NewCounter("dist_hedges_total",
+		"hedge requests launched against straggling shard attempts")
+	mEjected = obs.NewCounter("dist_workers_ejected_total",
+		"workers ejected from the pool after consecutive failures")
+	mDegraded = obs.NewCounter("dist_shards_degraded_total",
+		"shards that exhausted remote attempts and degraded to a local re-run or an itemized loss")
+)
+
+// Options configure a Coordinator.
+type Options struct {
+	// Workers are the base URLs of the worker lagd nodes (e.g.
+	// "http://host:8080"). At least one is required.
+	Workers []string
+	// HTTPClient performs the requests; nil uses http.DefaultClient.
+	// Tests wire a faultinject.FlakyTransport here.
+	HTTPClient *http.Client
+	// AttemptTimeout bounds one remote attempt end to end (submit,
+	// poll, fetch state); 0 means 60s.
+	AttemptTimeout time.Duration
+	// MaxAttempts is the remote-attempt budget per shard (hedges
+	// count as part of the attempt that launched them); 0 means 3.
+	MaxAttempts int
+	// BackoffBase seeds the exponential backoff between attempts;
+	// 0 means 25ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff, including any server Retry-After
+	// hint; 0 means 2s.
+	BackoffMax time.Duration
+	// HedgeAfter launches a second attempt on another worker when the
+	// first has not finished within this duration; 0 disables hedging.
+	HedgeAfter time.Duration
+	// PollInterval is the job-status polling cadence; 0 means 15ms.
+	PollInterval time.Duration
+	// EjectAfter ejects a worker after this many consecutive failed
+	// attempts; 0 means 3. A draining worker (healthz 503) is ejected
+	// immediately.
+	EjectAfter int
+	// EjectCooldown is how long an ejected worker sits out before the
+	// pool probes its /healthz for re-admission; 0 means 1s.
+	EjectCooldown time.Duration
+	// NoLocalFallback disables the coordinator-local re-run of an
+	// exhausted shard; the shard is itemized in StudyHealth instead.
+	NoLocalFallback bool
+	// Logger receives coordination events; nil discards them.
+	Logger *slog.Logger
+}
+
+func (o Options) attemptTimeout() time.Duration {
+	if o.AttemptTimeout > 0 {
+		return o.AttemptTimeout
+	}
+	return 60 * time.Second
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts > 0 {
+		return o.MaxAttempts
+	}
+	return 3
+}
+
+func (o Options) backoffBase() time.Duration {
+	if o.BackoffBase > 0 {
+		return o.BackoffBase
+	}
+	return 25 * time.Millisecond
+}
+
+func (o Options) backoffMax() time.Duration {
+	if o.BackoffMax > 0 {
+		return o.BackoffMax
+	}
+	return 2 * time.Second
+}
+
+func (o Options) pollInterval() time.Duration {
+	if o.PollInterval > 0 {
+		return o.PollInterval
+	}
+	return 15 * time.Millisecond
+}
+
+// Stats are the coordinator's own counts for one run (the obs
+// counters aggregate process-wide; Stats isolate a single
+// coordinator, which the golden tests assert against).
+type Stats struct {
+	// Shards dispatched (remote attempts started for distinct shards).
+	Shards int
+	// Retries after retryable failures.
+	Retries int
+	// Hedges launched, and how many of them won their race.
+	Hedges, HedgeWins int
+	// Ejected workers (re-admissions do not decrement).
+	Ejected int
+	// Degraded shards: exhausted remotely, handled by local re-run or
+	// itemized loss.
+	Degraded int
+	// LocalReruns and Lost split Degraded by outcome.
+	LocalReruns, Lost int
+}
+
+// Coordinator fans a study out over worker lagd nodes.
+type Coordinator struct {
+	opt  Options
+	pool *workerPool
+	log  *slog.Logger
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds a Coordinator over opt.Workers.
+func New(opt Options) (*Coordinator, error) {
+	if len(opt.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers configured")
+	}
+	log := opt.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	c := &Coordinator{opt: opt, log: log}
+	c.pool = newWorkerPool(opt, c.httpClient(), c.onEject)
+	return c, nil
+}
+
+func (c *Coordinator) httpClient() *http.Client {
+	if c.opt.HTTPClient != nil {
+		return c.opt.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Coordinator) onEject(url string, err error) {
+	c.mu.Lock()
+	c.stats.Ejected++
+	c.mu.Unlock()
+	mEjected.Add(1)
+	c.log.Warn("dist: worker ejected", "worker", url, "err", err)
+}
+
+// Stats returns a snapshot of the coordinator's counts.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ShardLostError marks a shard the coordinator could not recover: the
+// remote budget is exhausted and the local fallback was disabled or
+// failed too. It implements LossReason(), so the report layer's
+// health ledger records the app with the LossShard reason instead of
+// dropping it silently.
+type ShardLostError struct {
+	// Shard labels the lost unit (app name, or a file-range label for
+	// trace shards).
+	Shard string
+	// Attempts is how many remote attempts were spent.
+	Attempts int
+	// Err is the last failure.
+	Err error
+}
+
+func (e *ShardLostError) Error() string {
+	return fmt.Sprintf("dist: shard %s lost after %d attempts: %v", e.Shard, e.Attempts, e.Err)
+}
+
+func (e *ShardLostError) Unwrap() error { return e.Err }
+
+// LossReason classifies the loss for report.StudyHealth.
+func (e *ShardLostError) LossReason() string { return report.LossShard }
+
+// RunStudy runs cfg as a distributed study: one shard per application,
+// remote suites merged through the single-node pipeline. The result —
+// rows, health, checkpoint payloads — is byte-identical to
+// report.RunStudyContext on one node, because it IS
+// report.RunStudyContext: only the suite producer is swapped for the
+// shard client. cfg.Checkpoint / cfg.CheckpointDir double as a shared
+// result cache — a checkpointed app (same config hash) is never
+// dispatched, whether the checkpoint came from a local or a
+// distributed run.
+func (c *Coordinator) RunStudy(ctx context.Context, cfg report.StudyConfig) (*report.StudyResult, error) {
+	cfg.SuiteSource = func(ctx context.Context, p *sim.Profile) (*trace.Suite, error) {
+		return c.appSuite(ctx, cfg, p)
+	}
+	return report.RunStudyContext(ctx, cfg)
+}
+
+// appSuite fetches one app's session suite from a worker shard, with
+// the full recovery ladder: retries/hedging inside runShard, then
+// local re-run, then itemized loss.
+func (c *Coordinator) appSuite(ctx context.Context, cfg report.StudyConfig, p *sim.Profile) (*trace.Suite, error) {
+	spec := serve.JobSpec{
+		Kind:     "shard",
+		Apps:     []string{p.Name},
+		Sessions: cfg.SessionsPerApp,
+		Seed:     cfg.Seed,
+		Seconds:  cfg.SessionSeconds,
+	}
+	st, attempts, rerr := c.runShard(ctx, p.Name, spec)
+	if rerr == nil {
+		for _, suite := range st.Suites {
+			if suite != nil && suite.App == p.Name {
+				return suite, nil
+			}
+		}
+		// The worker ran but produced no suite: the app failed
+		// deterministically on the worker (its error is itemized in the
+		// shard health). Surface it and let the degradation ladder
+		// decide.
+		rerr = fmt.Errorf("dist: shard returned no suite for app %s%s", p.Name, shardHealthNote(st))
+	}
+	return c.degradeApp(ctx, cfg, p, attempts, rerr)
+}
+
+// shardHealthNote summarizes a shard's health ledger for error text.
+func shardHealthNote(st *serve.ShardState) string {
+	if st == nil || st.Health == nil || len(st.Health.Apps) == 0 {
+		return ""
+	}
+	a := st.Health.Apps[0]
+	return fmt.Sprintf(" (worker: app %s failed: %s)", a.App, a.Error)
+}
+
+// degradeApp is the graceful-degradation tail for a study shard whose
+// remote budget is exhausted: re-run the app locally unless local
+// fallback is off, and itemize the loss if that fails too.
+func (c *Coordinator) degradeApp(ctx context.Context, cfg report.StudyConfig, p *sim.Profile, attempts int, rerr error) (*trace.Suite, error) {
+	if ctx.Err() != nil {
+		// The coordinator itself is shutting down: this is a
+		// cancellation (LossCanceled in the health ledger), not a
+		// degraded shard.
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	c.stats.Degraded++
+	c.mu.Unlock()
+	mDegraded.Add(1)
+	if c.opt.NoLocalFallback {
+		c.mu.Lock()
+		c.stats.Lost++
+		c.mu.Unlock()
+		return nil, &ShardLostError{Shard: p.Name, Attempts: attempts, Err: rerr}
+	}
+	c.log.Warn("dist: shard degraded to local re-run", "app", p.Name, "err", rerr)
+	suite, lerr := c.localSuite(ctx, cfg, p)
+	if lerr != nil {
+		c.mu.Lock()
+		c.stats.Lost++
+		c.mu.Unlock()
+		return nil, &ShardLostError{Shard: p.Name, Attempts: attempts,
+			Err: fmt.Errorf("remote: %v; local re-run: %w", rerr, lerr)}
+	}
+	c.mu.Lock()
+	c.stats.LocalReruns++
+	c.mu.Unlock()
+	return suite, nil
+}
+
+// localSuite re-derives one app's suite on the coordinator by running
+// a single-app study through the ordinary local pipeline — the same
+// sim.Run calls, seeds, and session IDs a single-node run uses, so
+// the fallback suite is byte-identical to the one the worker would
+// have produced.
+func (c *Coordinator) localSuite(ctx context.Context, cfg report.StudyConfig, p *sim.Profile) (*trace.Suite, error) {
+	local := report.StudyConfig{
+		Apps:           []*sim.Profile{p},
+		SessionsPerApp: cfg.SessionsPerApp,
+		Seed:           cfg.Seed,
+		Threshold:      cfg.Threshold,
+		SessionSeconds: cfg.SessionSeconds,
+		Sequential:     true,
+	}
+	res, err := report.RunStudyContext(ctx, local)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Apps) == 0 {
+		if len(res.Health.Apps) > 0 {
+			return nil, fmt.Errorf("%s", res.Health.Apps[0].Error)
+		}
+		return nil, fmt.Errorf("local re-run produced nothing")
+	}
+	return res.Apps[0].Suite, nil
+}
+
+// TracesResult is a distributed corpus load: the merged suites and
+// health, in exactly the order and shape report.LoadTraceDirContext
+// would have produced on one node.
+type TracesResult struct {
+	Suites []*trace.Suite
+	Health *report.StudyHealth
+}
+
+// RunTraces loads the trace corpus under dir across the worker pool:
+// the sorted file list is carved into shards contiguous ranges
+// (0 means one per worker), each loaded remotely with the same
+// recovery ladder as study shards, and the per-app session lists are
+// concatenated in shard order — which for contiguous ranges is sorted
+// path order, so the merged suites and health ledger are
+// byte-identical to a single-node LoadTraceDirContext scan. Analysis
+// is the caller's (AnalyzeSuitesContext), as in the single-node flow.
+func (c *Coordinator) RunTraces(ctx context.Context, dir string, o report.LoadOptions, shards int) (*TracesResult, error) {
+	paths, err := report.ListTraceFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("report: no trace files under %s", dir)
+	}
+	if shards <= 0 {
+		shards = len(c.opt.Workers)
+	}
+	if shards > len(paths) {
+		shards = len(paths)
+	}
+
+	health := &report.StudyHealth{}
+	byApp := make(map[string]*trace.Suite)
+	var order []string
+	for i := 0; i < shards; i++ {
+		// Contiguous range [lo, hi): shard boundaries in sorted path
+		// order, so in-order concatenation reproduces the full scan.
+		lo, hi := i*len(paths)/shards, (i+1)*len(paths)/shards
+		label := fmt.Sprintf("files[%d:%d]", lo, hi)
+		st, err := c.traceShard(ctx, dir, o, paths[lo:hi], label)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Itemized loss: the shard's files are recorded, never
+			// silently dropped.
+			health.Apps = append(health.Apps, report.AppHealth{
+				App: label, Error: err.Error(), Reason: report.LossShard})
+			health.SessionsSkipped += hi - lo
+			continue
+		}
+		health.Merge(st.Health)
+		for _, suite := range st.Suites {
+			dst := byApp[suite.App]
+			if dst == nil {
+				dst = &trace.Suite{App: suite.App}
+				byApp[suite.App] = dst
+				order = append(order, suite.App)
+			}
+			dst.Sessions = append(dst.Sessions, suite.Sessions...)
+		}
+	}
+	if len(byApp) == 0 {
+		return &TracesResult{Health: health}, fmt.Errorf(
+			"report: no loadable trace sessions under %s (%d files failed)", dir, len(health.Files))
+	}
+	sort.Strings(order)
+	res := &TracesResult{Health: health}
+	for _, app := range order {
+		res.Suites = append(res.Suites, byApp[app])
+	}
+	return res, nil
+}
+
+// traceShard loads one contiguous file range remotely, degrading to a
+// coordinator-local load when the remote budget is exhausted.
+func (c *Coordinator) traceShard(ctx context.Context, dir string, o report.LoadOptions, files []string, label string) (*serve.ShardState, error) {
+	spec := serve.JobSpec{Kind: "shard", Dir: dir, Files: files, Salvage: o.Salvage}
+	st, attempts, err := c.runShard(ctx, label, spec)
+	if err == nil {
+		return st, nil
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	c.mu.Lock()
+	c.stats.Degraded++
+	c.mu.Unlock()
+	mDegraded.Add(1)
+	if c.opt.NoLocalFallback {
+		c.mu.Lock()
+		c.stats.Lost++
+		c.mu.Unlock()
+		return nil, &ShardLostError{Shard: label, Attempts: attempts, Err: err}
+	}
+	c.log.Warn("dist: trace shard degraded to local load", "shard", label, "err", err)
+	lo := o
+	lo.Paths = files
+	suites, health, lerr := report.LoadTraceDirContext(ctx, dir, lo)
+	if lerr != nil && health == nil {
+		c.mu.Lock()
+		c.stats.Lost++
+		c.mu.Unlock()
+		return nil, &ShardLostError{Shard: label, Attempts: attempts,
+			Err: fmt.Errorf("remote: %v; local load: %w", err, lerr)}
+	}
+	c.mu.Lock()
+	c.stats.LocalReruns++
+	c.mu.Unlock()
+	// A local load with health (even all-files-failed) mirrors what a
+	// worker shard would have returned: itemized file damage, not a
+	// lost shard.
+	return &serve.ShardState{Suites: suites, Health: health}, nil
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"lagalyzer/internal/report"
+)
+
+// countingTransport counts shard submissions and optionally cancels
+// the coordinator's context when the Nth submission starts — the
+// "coordinator crashed mid-study" lever.
+type countingTransport struct {
+	base           http.RoundTripper
+	cancelAtSubmit int
+	cancel         context.CancelFunc
+
+	mu      sync.Mutex
+	submits int
+}
+
+func (c *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if req.Method == "POST" && strings.HasSuffix(req.URL.Path, "/jobs") {
+		c.mu.Lock()
+		c.submits++
+		n := c.submits
+		c.mu.Unlock()
+		if c.cancelAtSubmit > 0 && n >= c.cancelAtSubmit && c.cancel != nil {
+			c.cancel()
+			return nil, context.Canceled
+		}
+	}
+	return c.base.RoundTrip(req)
+}
+
+func (c *countingTransport) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.submits
+}
+
+// TestDistResumeAfterCoordinatorCrash: a coordinator torn down
+// mid-study leaves its completed shards in the checkpoint store; a
+// fresh coordinator over the same store re-dispatches ONLY the
+// missing shard and produces output byte-identical to an
+// uninterrupted single-node run.
+func TestDistResumeAfterCoordinatorCrash(t *testing.T) {
+	want, _ := localGolden(t)
+	ckpt := t.TempDir()
+	cfg := studyConfig(t)
+	cfg.CheckpointDir = ckpt
+
+	// Run 1: the third shard submission kills the coordinator.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ct := &countingTransport{base: http.DefaultTransport, cancelAtSubmit: 3, cancel: cancel}
+	c1, err := New(Options{Workers: startWorkers(t, 2), HTTPClient: &http.Client{Transport: ct}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c1.RunStudy(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("crashed run err = %v, want context.Canceled", err)
+	}
+	if res1 == nil || len(res1.Apps) != 2 {
+		t.Fatalf("crashed run salvaged %d apps, want the 2 completed ones", len(res1.Apps))
+	}
+	if len(res1.Health.Apps) != 1 || res1.Health.Apps[0].Reason != report.LossCanceled {
+		t.Fatalf("crashed run health = %+v, want the abandoned app marked canceled",
+			res1.Health.Apps)
+	}
+
+	// Run 2: fresh coordinator, same checkpoint store. The two
+	// completed shards resume from the store; only the third is
+	// dispatched.
+	ct2 := &countingTransport{base: http.DefaultTransport}
+	c2, err := New(Options{Workers: startWorkers(t, 2), HTTPClient: &http.Client{Transport: ct2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct2.count(); got != 1 {
+		t.Errorf("resumed run submitted %d shards, want 1 (two served from checkpoint)", got)
+	}
+	if got := formatted(res2); got != want {
+		t.Errorf("resumed distributed output diverges from single-node:\n--- got ---\n%s\n--- want ---\n%s",
+			got, want)
+	}
+}
+
+// TestDistCheckpointSharedCache: the checkpoint store is a shared
+// result cache across execution shapes — a completed LOCAL run means
+// a distributed run over the same store dispatches nothing at all
+// (the config hash deliberately excludes execution-shape knobs).
+func TestDistCheckpointSharedCache(t *testing.T) {
+	want, _ := localGolden(t)
+	ckpt := t.TempDir()
+	cfg := studyConfig(t)
+	cfg.CheckpointDir = ckpt
+
+	if _, err := report.RunStudy(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	ct := &countingTransport{base: http.DefaultTransport}
+	c, err := New(Options{Workers: startWorkers(t, 2), HTTPClient: &http.Client{Transport: ct}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count(); got != 0 {
+		t.Errorf("distributed run over a warm cache submitted %d shards, want 0", got)
+	}
+	if got := formatted(res); got != want {
+		t.Errorf("cache-served distributed output diverges:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,253 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FlakyTransport is the network half of the fault-injection layer: an
+// http.RoundTripper that damages requests and responses on a
+// deterministic plan, the way real distributed lagd deployments fail —
+// connections refused by a dead worker, responses reset mid-body by a
+// dropped TCP stream, stalls from an overloaded node, and truncated or
+// bit-flipped partial-state payloads from a flaky proxy.
+//
+// Faults are chosen by a Plan: a pure function of the 1-based call
+// number and the outgoing request, so a test's fault schedule is
+// reproducible run to run regardless of goroutine interleaving. The
+// provided plan constructors (HostPlan, FirstNPlan, PathPlan,
+// SeededPlan) cover the common shapes; compose arbitrary schedules
+// with a closure.
+
+// Fault is one injected network failure mode.
+type Fault int
+
+const (
+	// FaultNone lets the request through untouched.
+	FaultNone Fault = iota
+	// FaultRefuse fails the request before it is sent, as a refused
+	// connection would (the worker process is gone).
+	FaultRefuse
+	// FaultReset delivers headers and roughly half the body, then
+	// errors the stream — a TCP reset mid-transfer.
+	FaultReset
+	// FaultStall delays the request by the transport's Stall duration
+	// before forwarding it (an overloaded or GC-pausing worker). The
+	// request context still cancels the wait, so hedges and deadlines
+	// observe the stall instead of being blocked by it.
+	FaultStall
+	// FaultTruncate delivers roughly half the body and then a clean
+	// EOF — the payload looks complete to the stream but is short.
+	FaultTruncate
+	// FaultCorrupt delivers the full body with seed-derived bit flips —
+	// wire damage that only a content checksum can catch.
+	FaultCorrupt
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultRefuse:
+		return "refuse"
+	case FaultReset:
+		return "reset"
+	case FaultStall:
+		return "stall"
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ErrRefused is the error a FaultRefuse round trip returns (wrapped in
+// the *url.Error net/http clients surface).
+var ErrRefused = errors.New("faultinject: connection refused")
+
+// ErrReset is the mid-body error a FaultReset response stream returns.
+var ErrReset = errors.New("faultinject: connection reset mid-body")
+
+// FlakyTransport wraps an http.RoundTripper with plan-driven faults.
+// Safe for concurrent use; the call counter is shared across
+// goroutines, so plans keyed on the call number should tolerate
+// concurrent interleaving (plans keyed on host or path do naturally).
+type FlakyTransport struct {
+	// Base performs the real round trips; nil uses
+	// http.DefaultTransport.
+	Base http.RoundTripper
+	// Plan picks the fault for each call (1-based); nil injects
+	// nothing.
+	Plan func(call int, req *http.Request) Fault
+	// Stall is the FaultStall delay (default 50ms).
+	Stall time.Duration
+	// Seed drives FaultCorrupt's bit-flip positions; each call mixes in
+	// its call number, so repeated corruption of the same payload
+	// damages different bytes.
+	Seed uint64
+
+	mu       sync.Mutex
+	calls    int
+	injected int
+}
+
+// Calls returns how many round trips the transport has seen.
+func (t *FlakyTransport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// Injected returns how many faults the transport has injected.
+func (t *FlakyTransport) Injected() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected
+}
+
+func (t *FlakyTransport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+func (t *FlakyTransport) stall() time.Duration {
+	if t.Stall > 0 {
+		return t.Stall
+	}
+	return 50 * time.Millisecond
+}
+
+// RoundTrip implements http.RoundTripper with the planned fault
+// applied to this call.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.calls++
+	call := t.calls
+	t.mu.Unlock()
+
+	fault := FaultNone
+	if t.Plan != nil {
+		fault = t.Plan(call, req)
+	}
+	if fault != FaultNone {
+		t.mu.Lock()
+		t.injected++
+		t.mu.Unlock()
+	}
+
+	switch fault {
+	case FaultRefuse:
+		return nil, fmt.Errorf("%w (%s %s)", ErrRefused, req.Method, req.URL)
+	case FaultStall:
+		select {
+		case <-time.After(t.stall()):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+
+	switch fault {
+	case FaultReset, FaultTruncate, FaultCorrupt:
+		// Body faults buffer the real payload and re-serve a damaged
+		// view; ContentLength is left as the server sent it, so a short
+		// delivery looks exactly like a cut transfer.
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		switch fault {
+		case FaultReset:
+			resp.Body = io.NopCloser(&erroringReader{
+				r: bytes.NewReader(data[:len(data)/2]), err: ErrReset})
+		case FaultTruncate:
+			resp.Body = io.NopCloser(bytes.NewReader(data[:len(data)/2]))
+		case FaultCorrupt:
+			resp.Body = io.NopCloser(bytes.NewReader(
+				FlipBits(data, t.Seed+uint64(call), 16, 0, 0)))
+		}
+	}
+	return resp, nil
+}
+
+// erroringReader yields r's bytes, then err instead of EOF.
+type erroringReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *erroringReader) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		err = e.err
+	}
+	return n, err
+}
+
+// HostPlan applies fault to every request whose URL host matches host.
+func HostPlan(host string, fault Fault) func(int, *http.Request) Fault {
+	return func(_ int, req *http.Request) Fault {
+		if req.URL.Host == host {
+			return fault
+		}
+		return FaultNone
+	}
+}
+
+// FirstNPlan applies fault to the first n calls, then lets everything
+// through — the "worker was sick for a moment" schedule.
+func FirstNPlan(n int, fault Fault) func(int, *http.Request) Fault {
+	return func(call int, _ *http.Request) Fault {
+		if call <= n {
+			return fault
+		}
+		return FaultNone
+	}
+}
+
+// PathPlan applies fault to the first n requests whose URL path
+// contains substr (n ≤ 0 means every matching request).
+func PathPlan(substr string, n int, fault Fault) func(int, *http.Request) Fault {
+	var mu sync.Mutex
+	hits := 0
+	return func(_ int, req *http.Request) Fault {
+		if !strings.Contains(req.URL.Path, substr) {
+			return FaultNone
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		hits++
+		if n > 0 && hits > n {
+			return FaultNone
+		}
+		return fault
+	}
+}
+
+// SeededPlan injects fault on a deterministic pseudo-random subset of
+// calls: each call flips an independent seed-derived coin with
+// probability num/den. Useful for soak-style chaos runs where the
+// schedule should be arbitrary but reproducible.
+func SeededPlan(seed uint64, num, den int, fault Fault) func(int, *http.Request) Fault {
+	return func(call int, _ *http.Request) Fault {
+		r := newRNG(seed + uint64(call))
+		if r.intn(den) < num {
+			return fault
+		}
+		return FaultNone
+	}
+}

@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// flakyClient wires a FlakyTransport in front of a test server serving
+// a fixed payload.
+func flakyClient(t *testing.T, payload string, ft *FlakyTransport) (*http.Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	t.Cleanup(ts.Close)
+	return &http.Client{Transport: ft}, ts
+}
+
+func TestFlakyTransportRefuse(t *testing.T) {
+	ft := &FlakyTransport{Plan: FirstNPlan(1, FaultRefuse)}
+	client, ts := flakyClient(t, "ok", ft)
+
+	if _, err := client.Get(ts.URL); !errors.Is(err, ErrRefused) {
+		t.Fatalf("first call err = %v, want ErrRefused", err)
+	}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("second call should pass: %v", err)
+	}
+	resp.Body.Close()
+	if ft.Calls() != 2 || ft.Injected() != 1 {
+		t.Errorf("calls=%d injected=%d, want 2/1", ft.Calls(), ft.Injected())
+	}
+}
+
+func TestFlakyTransportBodyFaults(t *testing.T) {
+	payload := strings.Repeat("lagalyzer-partial-state-", 64)
+
+	t.Run("reset", func(t *testing.T) {
+		ft := &FlakyTransport{Plan: FirstNPlan(1, FaultReset)}
+		client, ts := flakyClient(t, payload, ft)
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if !errors.Is(err, ErrReset) {
+			t.Fatalf("read err = %v, want ErrReset", err)
+		}
+		if len(data) >= len(payload) {
+			t.Errorf("reset delivered the whole body (%d bytes)", len(data))
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		ft := &FlakyTransport{Plan: FirstNPlan(1, FaultTruncate)}
+		client, ts := flakyClient(t, payload, ft)
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if len(data) != len(payload)/2 {
+			t.Errorf("truncate delivered %d bytes, want %d", len(data), len(payload)/2)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		ft := &FlakyTransport{Plan: FirstNPlan(1, FaultCorrupt), Seed: 99}
+		client, ts := flakyClient(t, payload, ft)
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) == payload {
+			t.Error("corrupt delivered an undamaged body")
+		}
+		if len(data) != len(payload) {
+			t.Errorf("corrupt changed the length: %d, want %d", len(data), len(payload))
+		}
+	})
+}
+
+func TestFlakyTransportStallHonorsContext(t *testing.T) {
+	ft := &FlakyTransport{Plan: FirstNPlan(1, FaultStall), Stall: 10 * time.Second}
+	client, ts := flakyClient(t, "ok", ft)
+	client.Timeout = 30 * time.Millisecond
+	start := time.Now()
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("stalled request succeeded under a 30ms client timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall ignored cancellation: took %s", elapsed)
+	}
+}
+
+func TestFlakyPlans(t *testing.T) {
+	req := func(url string) *http.Request {
+		r, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	host := HostPlan("worker-2:80", FaultRefuse)
+	if f := host(1, req("http://worker-2:80/jobs")); f != FaultRefuse {
+		t.Errorf("HostPlan miss on matching host: %v", f)
+	}
+	if f := host(1, req("http://worker-1:80/jobs")); f != FaultNone {
+		t.Errorf("HostPlan hit on other host: %v", f)
+	}
+
+	path := PathPlan("/state", 1, FaultCorrupt)
+	if f := path(1, req("http://w/jobs/job-1/state")); f != FaultCorrupt {
+		t.Errorf("PathPlan first matching call: %v", f)
+	}
+	if f := path(2, req("http://w/jobs/job-2/state")); f != FaultNone {
+		t.Errorf("PathPlan second matching call should pass: %v", f)
+	}
+
+	// SeededPlan is a pure function of (seed, call): identical across
+	// instances, different across seeds somewhere in a window.
+	a := SeededPlan(7, 1, 4, FaultReset)
+	b := SeededPlan(7, 1, 4, FaultReset)
+	c := SeededPlan(8, 1, 4, FaultReset)
+	same, diff := true, false
+	for call := 1; call <= 64; call++ {
+		fa, fb, fc := a(call, nil), b(call, nil), c(call, nil)
+		if fa != fb {
+			same = false
+		}
+		if fa != fc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("SeededPlan not deterministic for identical seeds")
+	}
+	if !diff {
+		t.Error("SeededPlan identical across different seeds")
+	}
+}

@@ -58,6 +58,11 @@ const (
 	// LossCanceled marks an app abandoned because the whole study's
 	// context was canceled (signal, shutdown, parent deadline).
 	LossCanceled = "canceled"
+	// LossShard marks an app a distributed study could not recover: its
+	// shard exhausted every remote attempt and the local re-run was
+	// unavailable or failed too. Set via errors implementing
+	// LossReason() (internal/dist.ShardLostError).
+	LossShard = "shard_lost"
 )
 
 // AppHealth is the analysis outcome of one failed application.

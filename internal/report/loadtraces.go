@@ -52,6 +52,11 @@ type LoadOptions struct {
 	// under Strict the error surfaced is always the path-order-first
 	// failure, exactly as a sequential scan would report.
 	Jobs int
+	// Paths, when non-empty, names the exact files to load (already
+	// sorted) instead of walking the directory — the hook distributed
+	// trace shards use to load their slice of a corpus. Paths outside
+	// dir are allowed; dir is then only used in error messages.
+	Paths []string
 }
 
 func (o LoadOptions) jobs() int {
@@ -95,20 +100,13 @@ func LoadTraceDirContext(ctx context.Context, dir string, o LoadOptions) ([]*tra
 	ctx, endLoad := obs.PhaseSpan(ctx, "load")
 	defer endLoad()
 
-	var paths []string
-	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
+	paths := o.Paths
+	if len(paths) == 0 {
+		var err error
+		if paths, err = ListTraceFiles(dir); err != nil {
+			return nil, nil, err
 		}
-		if !d.IsDir() {
-			paths = append(paths, path)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, nil, fmt.Errorf("report: scanning %s: %w", dir, err)
 	}
-	sort.Strings(paths)
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("report: no trace files under %s", dir)
 	}
@@ -188,6 +186,28 @@ func LoadTraceDirContext(ctx context.Context, dir string, o LoadOptions) ([]*tra
 		suites = append(suites, byApp[app])
 	}
 	return suites, health, nil
+}
+
+// ListTraceFiles returns every file under dir (recursively), sorted by
+// path — the canonical corpus order the loader merges in. Shard
+// planners use it to carve a corpus into contiguous path ranges whose
+// concatenation in shard order reproduces the single-node scan.
+func ListTraceFiles(dir string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: scanning %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 // filterFor resolves the effective record selection for one file,

@@ -70,6 +70,20 @@ type StudyConfig struct {
 	// and is recorded in the study health with the LossTimedOut reason.
 	AppTimeout time.Duration
 
+	// SuiteSource, when non-nil, replaces local simulation as the
+	// producer of each app's session suite — the distributed
+	// coordinator's hook: it fetches the suite from a worker shard (or
+	// re-runs it locally as a fallback). Analysis, merge order,
+	// checkpointing, and health accounting are untouched, which is what
+	// makes a distributed study byte-identical to a single-node run. An
+	// error from SuiteSource is handled exactly like a simulation
+	// failure: classified by lossReason (errors exposing a
+	// LossReason() string method set the health Reason directly) and
+	// recorded in the study health. Like Sequential and Progress, it is
+	// an execution-shape knob excluded from Hash(), so distributed and
+	// single-node runs share checkpoint stores.
+	SuiteSource func(ctx context.Context, p *sim.Profile) (*trace.Suite, error)
+
 	// CheckpointDir, when non-empty, makes the study crash-safe: each
 	// app's completed session suite is persisted to a content-addressed
 	// store rooted there (lagreport uses <out>/.checkpoint), and a
@@ -359,7 +373,12 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*StudyResult, error)
 // per-app timeout firing; any cancellation-shaped error under a dead
 // study context means the whole run was being torn down.
 func lossReason(ctx context.Context, cfg StudyConfig, err error) string {
+	var lr interface{ LossReason() string }
 	switch {
+	case errors.As(err, &lr):
+		// The producer already classified the loss (e.g. a distributed
+		// shard exhausted every recovery path → LossShard).
+		return lr.LossReason()
 	case errors.Is(err, context.DeadlineExceeded) && cfg.AppTimeout > 0 && ctx.Err() == nil:
 		return LossTimedOut
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
@@ -371,6 +390,24 @@ func lossReason(ctx context.Context, cfg StudyConfig, err error) string {
 func runApp(ctx context.Context, cfg StudyConfig, p *sim.Profile, pr *progress) (*AppResult, error) {
 	ctx, endApp := obs.Span(ctx, "app:"+p.Name)
 	defer endApp()
+
+	if cfg.SuiteSource != nil {
+		// Distributed path: the suite comes from a shard instead of the
+		// local simulator. Everything downstream — analysis, checkpoint
+		// save, health — is the single-node code.
+		suite, err := cfg.SuiteSource(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		pr.skip(cfg.sessions(), "shard "+p.Name)
+		a, err := analyzeSuite(ctx, suite, cfg.threshold(), cfg.workers())
+		if err != nil {
+			return nil, err
+		}
+		a.Profile = p
+		pr.step("analyze " + p.Name)
+		return a, nil
+	}
 
 	n := cfg.sessions()
 	sessions := make([]*trace.Session, n)

@@ -18,8 +18,10 @@ import (
 //	GET  /jobs                    list jobs              → 200 [Status]
 //	GET  /jobs/{id}               poll one job           → 200 Status
 //	GET  /jobs/{id}/result        fetch the result       → 200 (text|html|json)
+//	GET  /jobs/{id}/state         a shard job's partial state (checksum-framed)
 //	GET  /jobs/{id}/selftrace     the job's own LiLa v2 trace (Config.SelfProfile)
-//	GET  /healthz                 liveness + drain state
+//	GET  /healthz                 readiness: 200 while serving, 503 "draining"
+//	                              once shutdown has begun
 //	GET  /metrics                 obs registry snapshot (text); ?format=prom or a
 //	                              Prometheus Accept header switches to the
 //	                              Prometheus text exposition format
@@ -33,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /jobs/{id}/state", s.handleState)
 	mux.HandleFunc("GET /jobs/{id}/selftrace", s.handleSelfTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", handleMetrics)
@@ -140,6 +143,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such job", http.StatusNotFound)
 		return
 	}
+	if st.Kind == "shard" {
+		// A shard's deliverable is its mergeable partial state, not a
+		// rendered report (its result may hold bare suites with no
+		// analysis rows).
+		http.Error(w, fmt.Sprintf("job %s is a shard; fetch /jobs/%s/state", id, id),
+			http.StatusConflict)
+		return
+	}
 	res, ok := s.Result(id)
 	if !ok {
 		http.Error(w, fmt.Sprintf("job %s has no result yet (state %s)", id, st.State),
@@ -167,6 +178,26 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleState serves a finished shard job's checksum-framed partial
+// state — the coordinator's merge input. The framing's SHA-256 lets
+// the client detect any damage the network added.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Status(id)
+	if !ok {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	data, ok := s.ShardStateBytes(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("job %s has no partial state (state %s, kind %s)",
+			id, st.State, st.Kind), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
 // handleSelfTrace serves a job's own execution as a LiLa v2 trace —
 // ready to feed back through `lagalyzer report`.
 func (s *Server) handleSelfTrace(w http.ResponseWriter, r *http.Request) {
@@ -187,10 +218,23 @@ func (s *Server) handleSelfTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// handleHealthz is the readiness probe. While serving it answers 200;
+// once SIGTERM drain begins it answers 503 with a "draining" body, so
+// coordinators and load balancers stop routing new shards to a worker
+// that would only park them (liveness stays observable — the endpoint
+// itself keeps responding through the drain).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"ok":       false,
+			"draining": true,
+		})
+		return
+	}
 	json.NewEncoder(w).Encode(map[string]any{
 		"ok":       true,
-		"draining": s.Draining(),
+		"draining": false,
 	})
 }

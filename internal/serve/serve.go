@@ -69,19 +69,25 @@ const (
 type JobSpec struct {
 	// Kind selects the pipeline: "study" simulates and characterizes a
 	// profile study; "traces" ingests and characterizes a directory of
-	// recorded LiLa traces.
+	// recorded LiLa traces; "shard" runs one partition of a distributed
+	// study (a subset of apps, or an explicit subset of trace files)
+	// and keeps its mergeable partial state for GET /jobs/{id}/state.
 	Kind string `json:"kind"`
 
-	// Study parameters (Kind "study"). Empty Apps means the full
+	// Study parameters (Kind "study"; "shard" requires a non-empty
+	// Apps for a study-shaped shard). Empty Apps means the full
 	// catalog.
 	Apps     []string `json:"apps,omitempty"`
 	Sessions int      `json:"sessions,omitempty"`
 	Seed     uint64   `json:"seed,omitempty"`
 	Seconds  float64  `json:"seconds,omitempty"`
 
-	// Trace parameters (Kind "traces").
-	Dir     string `json:"dir,omitempty"`
-	Salvage bool   `json:"salvage,omitempty"`
+	// Trace parameters (Kind "traces"). A traces-shaped "shard" instead
+	// names its exact input files in Files (the coordinator owns the
+	// directory walk and the partition).
+	Dir     string   `json:"dir,omitempty"`
+	Files   []string `json:"files,omitempty"`
+	Salvage bool     `json:"salvage,omitempty"`
 
 	// DeadlineMS bounds the job's execution (per attempt); 0 takes the
 	// server default.
@@ -105,6 +111,9 @@ type Job struct {
 	// selfTrace is the LiLa v2 encoding of the job's own pipeline
 	// spans (Config.SelfProfile), served by GET /jobs/{id}/selftrace.
 	selfTrace []byte
+	// shardState is the checksum-framed partial state of a finished
+	// "shard" job, served by GET /jobs/{id}/state.
+	shardState []byte
 }
 
 // Status is the externally visible snapshot of a job.
@@ -241,6 +250,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
+	shut     bool
 	jobs     map[string]*Job
 	order    []string
 	nextID   int
@@ -384,11 +394,23 @@ func statusOf(job *Job) Status {
 	return st
 }
 
-// Draining reports whether Shutdown has begun.
+// Draining reports whether drain has begun (BeginDrain or Shutdown).
 func (s *Server) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// BeginDrain flips the drain signal ahead of Shutdown: /healthz
+// answers 503 with a draining body and Submit sheds with ErrDraining,
+// so load balancers and distributed-study coordinators stop routing
+// here while the HTTP listener finishes its connection drain.
+// Idempotent; Shutdown still performs the actual drain and must be
+// called afterwards.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 }
 
 func validateSpec(spec JobSpec) error {
@@ -403,6 +425,23 @@ func validateSpec(spec JobSpec) error {
 	case "traces":
 		if spec.Dir == "" {
 			return errors.New("serve: traces job needs dir")
+		}
+		return nil
+	case "shard":
+		// A shard is study-shaped (explicit apps) or traces-shaped
+		// (explicit files) — exactly one, and never the implicit "whole
+		// catalog"/"whole directory" forms: the coordinator owns the
+		// partition, the worker must not guess it.
+		if len(spec.Apps) > 0 && len(spec.Files) > 0 {
+			return errors.New("serve: shard job takes apps or files, not both")
+		}
+		if len(spec.Apps) == 0 && len(spec.Files) == 0 {
+			return errors.New("serve: shard job needs apps or files")
+		}
+		for _, name := range spec.Apps {
+			if _, err := apps.ByName(name); err != nil {
+				return fmt.Errorf("serve: %w", err)
+			}
 		}
 		return nil
 	}
@@ -429,6 +468,21 @@ func estimateMemory(spec JobSpec, cfg Config) int64 {
 			return nil
 		})
 		return total
+	case "shard":
+		if len(spec.Files) > 0 {
+			var total int64
+			for _, path := range spec.Files {
+				if info, err := os.Stat(path); err == nil {
+					total += info.Size()
+				}
+			}
+			return total
+		}
+		// Study-shaped shard: same per-session-second constant as a
+		// study job, over the shard's explicit app list.
+		shard := spec
+		shard.Kind = "study"
+		return estimateMemory(shard, cfg)
 	case "study":
 		nApps := len(spec.Apps)
 		if nApps == 0 {
@@ -589,12 +643,34 @@ func (s *Server) runOnce(job *Job, deadline time.Duration) (err error) {
 		runner = s.run
 	}
 	res, err := runner(ctx, job.Spec)
+	var state []byte
+	if job.Spec.Kind == "shard" && err == nil && res != nil {
+		// Freeze the mergeable partial state now, while the attempt owns
+		// the result: the coordinator fetches these exact bytes from
+		// GET /jobs/{id}/state and verifies their checksum end to end.
+		state, err = EncodeShardState(shardStateOf(res))
+	}
 	s.mu.Lock()
 	if res != nil {
 		job.Result = res
 	}
+	if state != nil {
+		job.shardState = state
+	}
 	s.mu.Unlock()
 	return err
+}
+
+// ShardStateBytes returns a finished shard job's checksum-framed
+// partial state, if any.
+func (s *Server) ShardStateBytes(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok || job.shardState == nil || job.State != StateDone {
+		return nil, false
+	}
+	return job.shardState, true
 }
 
 // saveSelfTrace encodes a job attempt's span trace as LiLa v2, keeps
@@ -681,8 +757,65 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*report.StudyResult, er
 			return res, errors.New("serve: no app survived analysis")
 		}
 		return res, nil
+	case "shard":
+		return s.runShard(ctx, spec)
 	}
 	return nil, fmt.Errorf("serve: unknown job kind %q", spec.Kind)
+}
+
+// runShard executes one partition of a distributed study. A
+// study-shaped shard (explicit apps) runs the normal study pipeline —
+// simulation plus analysis, so a sick shard fails loudly here instead
+// of poisoning the coordinator's merge — and reuses the worker's own
+// checkpoint store under StateDir, which turns repeated dispatches of
+// the same shard (coordinator retries, hedges won elsewhere) into
+// cache hits. A traces-shaped shard (explicit files) only LOADS its
+// files: the coordinator analyzes the merged per-app suites, because
+// an app's sessions may span shards and per-shard analysis of a
+// partial suite would diverge from the single-node result.
+func (s *Server) runShard(ctx context.Context, spec JobSpec) (*report.StudyResult, error) {
+	if len(spec.Apps) > 0 {
+		var profiles []*sim.Profile
+		for _, name := range spec.Apps {
+			p, err := apps.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			profiles = append(profiles, p)
+		}
+		cfg := report.StudyConfig{
+			Apps:           profiles,
+			SessionsPerApp: spec.Sessions,
+			Seed:           spec.Seed,
+			SessionSeconds: spec.Seconds,
+		}
+		if s.cfg.StateDir != "" {
+			cfg.CheckpointDir = filepath.Join(s.cfg.StateDir, "checkpoint", cfg.Hash())
+		}
+		return report.RunStudyContext(ctx, cfg)
+	}
+	suites, health, err := report.LoadTraceDirContext(ctx, spec.Dir, report.LoadOptions{
+		Paths:   spec.Files,
+		Salvage: spec.Salvage,
+		Limits:  s.cfg.Limits,
+		Jobs:    s.cfg.LoadJobs,
+	})
+	if err != nil {
+		if health == nil {
+			return nil, err
+		}
+		// Every file in the shard failed to load. For a whole directory
+		// that is fatal, but for one partition it is legitimate partial
+		// state: the losses are itemized per file in the health ledger,
+		// and the coordinator merges them exactly as a single-node scan
+		// would have recorded them.
+		return &report.StudyResult{Health: health}, nil
+	}
+	res := &report.StudyResult{Health: health}
+	for _, suite := range suites {
+		res.Apps = append(res.Apps, &report.AppResult{Suite: suite})
+	}
+	return res, nil
 }
 
 // Shutdown drains the server: stop admissions, collect still-queued
@@ -692,10 +825,11 @@ func (s *Server) run(ctx context.Context, spec JobSpec) (*report.StudyResult, er
 // the next instance. The server is unusable afterwards.
 func (s *Server) Shutdown(ctx context.Context) (int, error) {
 	s.mu.Lock()
-	if s.draining {
+	if s.shut {
 		s.mu.Unlock()
 		return 0, errors.New("serve: already shut down")
 	}
+	s.shut = true
 	s.draining = true
 	// Close under the mutex: Submit holds it across its queue send, so
 	// no submission can race the close and panic on a closed channel.

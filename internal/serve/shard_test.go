@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/sim"
+)
+
+// TestShardJobStudy runs a study-shaped shard through the real
+// pipeline and checks the partial-state contract end to end: the
+// /state endpoint serves a decodable checksum-framed payload holding
+// exactly the app's session suite, and /result refuses the shard with
+// a pointer to /state.
+func TestShardJobStudy(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	job, err := s.Submit(JobSpec{
+		Kind: "shard", Apps: []string{"CrosswordSage"}, Sessions: 2, Seed: 7, Seconds: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateDone)
+
+	resp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/state status = %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := DecodeShardState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Suites) != 1 || st.Suites[0].App != "CrosswordSage" {
+		t.Fatalf("shard suites = %+v, want one CrosswordSage suite", st.Suites)
+	}
+	if got := len(st.Suites[0].Sessions); got != 2 {
+		t.Errorf("sessions = %d, want 2", got)
+	}
+
+	// The suite must be the same sessions a single-node run derives:
+	// same seed, same session IDs.
+	p, err := apps.ByName("CrosswordSage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(sim.Config{Profile: p, SessionID: 0, Seed: 7, SessionSeconds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Suites[0].Sessions[0]; len(got.Episodes) != len(want.Episodes) {
+		t.Errorf("shard session 0 has %d episodes, local sim has %d",
+			len(got.Episodes), len(want.Episodes))
+	}
+
+	// A shard has no rendered result; callers are pointed at /state.
+	rr, err := http.Get(ts.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Errorf("/result on a shard = %s, want 409", rr.Status)
+	}
+	body, _ := io.ReadAll(rr.Body)
+	if !strings.Contains(string(body), "/state") {
+		t.Errorf("/result refusal %q does not point at /state", body)
+	}
+}
+
+// shardCorpus writes a tiny two-app trace corpus and returns the dir
+// and its sorted file list.
+func shardCorpus(t *testing.T) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, app string, id int) {
+		t.Helper()
+		p, err := apps.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := sim.Run(sim.Config{Profile: p, SessionID: id, Seed: 5, SessionSeconds: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := lila.WriteSession(&b, lila.FormatBinary, sess); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a0.lila", "CrosswordSage", 0)
+	write("a1.lila", "CrosswordSage", 1)
+	write("b0.lila", "JEdit", 0)
+	paths, err := report.ListTraceFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, paths
+}
+
+// TestShardJobTraces: a traces-shaped shard loads exactly its file
+// slice — no analysis — and returns the sessions grouped by app.
+func TestShardJobTraces(t *testing.T) {
+	dir, paths := shardCorpus(t)
+	s := newTestServer(t, Config{Workers: 1})
+
+	job, err := s.Submit(JobSpec{Kind: "shard", Dir: dir, Files: paths[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateDone)
+	data, ok := s.ShardStateBytes(job.ID)
+	if !ok {
+		t.Fatal("done traces shard has no state")
+	}
+	st, err := DecodeShardState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Suites) != 1 || st.Suites[0].App != "CrosswordSage" {
+		t.Fatalf("suites = %+v, want one CrosswordSage suite", st.Suites)
+	}
+	if got := len(st.Suites[0].Sessions); got != 2 {
+		t.Errorf("sessions = %d, want 2", got)
+	}
+}
+
+// TestShardJobTracesAllBad: a shard whose every file fails to load is
+// legitimate partial state — itemized file health, zero suites — not
+// a failed job.
+func TestShardJobTracesAllBad(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "junk.lila")
+	if err := os.WriteFile(bad, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Workers: 1})
+	job, err := s.Submit(JobSpec{Kind: "shard", Dir: dir, Files: []string{bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateDone)
+	data, _ := s.ShardStateBytes(job.ID)
+	st, err := DecodeShardState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Suites) != 0 {
+		t.Errorf("suites = %d, want none", len(st.Suites))
+	}
+	if st.Health == nil || len(st.Health.Files) != 1 || st.Health.Files[0].Path != bad {
+		t.Errorf("health = %+v, want the bad file itemized", st.Health)
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, Runner: okRunner})
+	if _, err := s.Submit(JobSpec{Kind: "shard"}); err == nil {
+		t.Error("shard with neither apps nor files accepted")
+	}
+	if _, err := s.Submit(JobSpec{Kind: "shard", Apps: []string{"CrosswordSage"}, Files: []string{"x"}}); err == nil {
+		t.Error("shard with both apps and files accepted")
+	}
+	if _, err := s.Submit(JobSpec{Kind: "shard", Apps: []string{"NoSuchApp"}}); err == nil {
+		t.Error("shard with unknown app accepted")
+	}
+}
+
+// TestShardStateDamage: every way the framing can be damaged decodes
+// to ErrBadShardState, never to a silently wrong state.
+func TestShardStateDamage(t *testing.T) {
+	st := &ShardState{Health: &report.StudyHealth{SessionsSkipped: 3}}
+	data, err := EncodeShardState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := DecodeShardState(data); err != nil || back.Health.SessionsSkipped != 3 {
+		t.Fatalf("clean round trip: %v, %+v", err, back)
+	}
+	damage := map[string][]byte{
+		"short":        data[:10],
+		"truncated":    data[:len(data)-4],
+		"bad magic":    append([]byte("WRONGMAG"), data[8:]...),
+		"payload flip": flipByte(data, len(data)-1),
+		"sum flip":     flipByte(data, 12),
+	}
+	for name, d := range damage {
+		if _, err := DecodeShardState(d); !errors.Is(err, ErrBadShardState) {
+			t.Errorf("%s: err = %v, want ErrBadShardState", name, err)
+		}
+	}
+}
+
+func flipByte(data []byte, i int) []byte {
+	out := append([]byte(nil), data...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestHealthzDrainSequence is the satellite's drain test: /healthz
+// answers 200 while serving and flips to 503 with a "draining" body
+// the moment SIGTERM-style shutdown begins, while in-flight work
+// finishes.
+func TestHealthzDrainSequence(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec JobSpec) (*report.StudyResult, error) {
+			<-release
+			return okRunner(ctx, spec)
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getHealth := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := getHealth(); code != http.StatusOK || body["ok"] != true || body["draining"] != false {
+		t.Fatalf("pre-drain healthz = %d %v, want 200 ok", code, body)
+	}
+
+	job, err := s.Submit(JobSpec{Kind: "study"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, job.ID, StateRunning)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	// The drain flag flips before the in-flight job is done.
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	code, body := getHealth()
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("mid-drain healthz status = %d, want 503", code)
+	}
+	if body["draining"] != true || body["ok"] != false {
+		t.Errorf("mid-drain healthz body = %v, want draining", body)
+	}
+
+	close(release)
+	<-done
+	if st, _ := s.Status(job.ID); st.State != StateDone {
+		t.Errorf("in-flight job = %s, want done (drain waits for it)", st.State)
+	}
+	// Still 503 after the drain completes: the process is going away.
+	if code, _ := getHealth(); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain healthz status = %d, want 503", code)
+	}
+}
+
+// TestBeginDrainBeforeShutdown: lagd flips the health signal with
+// BeginDrain before closing its HTTP listener — /healthz must answer
+// 503 and Submit must shed with ErrDraining from that moment, while
+// the real Shutdown still drains normally afterwards.
+func TestBeginDrainBeforeShutdown(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.BeginDrain()
+	s.BeginDrain() // idempotent
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz after BeginDrain = %d, want 503", resp.StatusCode)
+	}
+	if _, err := s.Submit(JobSpec{Kind: "study"}); !errors.Is(err, ErrDraining) {
+		t.Errorf("Submit after BeginDrain err = %v, want ErrDraining", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after BeginDrain: %v", err)
+	}
+	if _, err := s.Shutdown(ctx); err == nil {
+		t.Error("second Shutdown succeeded, want already-shut-down error")
+	}
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"lagalyzer/internal/report"
+	"lagalyzer/internal/trace"
+)
+
+// Shard partial state: the wire form a worker lagd returns for a
+// "shard" job, consumed by the distributed coordinator
+// (internal/dist). The payload is the mergeable part of a study — the
+// session suites plus the shard's health ledger — NOT the derived
+// analysis: the engine re-derives analysis deterministically at the
+// coordinator, which is what makes a distributed merge byte-identical
+// to a single-node run (the same argument that makes checkpoint
+// resume byte-identical).
+//
+// Framing is paranoid by design, because this payload crosses a
+// network that the fault-injection suite is allowed to damage:
+//
+//	8 bytes  magic "LAGSHRD1"
+//	32 bytes SHA-256 of the gob payload
+//	N bytes  gob(ShardState)
+//
+// Any truncation, reset, or bit flip — in the header, checksum, or
+// payload — surfaces as ErrBadShardState, never as a silently wrong
+// merge. The coordinator treats ErrBadShardState as retryable wire
+// damage.
+
+// shardStateMagic identifies (and versions) the shard-state framing.
+const shardStateMagic = "LAGSHRD1"
+
+// ErrBadShardState marks a shard-state payload that failed its framing
+// or checksum validation: the bytes on the wire are not the bytes the
+// worker produced.
+var ErrBadShardState = errors.New("serve: shard state damaged in transit")
+
+// ShardState is one worker's contribution to a distributed study.
+type ShardState struct {
+	// Suites are the session suites the shard produced (simulated apps
+	// or loaded trace files), in the shard's deterministic order:
+	// profile order for study shards, sorted-app order for trace
+	// shards.
+	Suites []*trace.Suite
+	// Health itemizes everything the shard lost or worked around, in
+	// the same per-file/per-app shape the single-node pipeline uses, so
+	// the coordinator's merged ledger is indistinguishable from a local
+	// run's.
+	Health *report.StudyHealth
+}
+
+// EncodeShardState serializes st with checksum framing.
+func EncodeShardState(st *ShardState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("serve: encoding shard state: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	out := make([]byte, 0, len(shardStateMagic)+len(sum)+buf.Len())
+	out = append(out, shardStateMagic...)
+	out = append(out, sum[:]...)
+	out = append(out, buf.Bytes()...)
+	return out, nil
+}
+
+// DecodeShardState parses and verifies a shard-state payload. Every
+// failure mode — short header, wrong magic, checksum mismatch, gob
+// damage — returns an error wrapping ErrBadShardState.
+func DecodeShardState(data []byte) (*ShardState, error) {
+	header := len(shardStateMagic) + sha256.Size
+	if len(data) < header {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header",
+			ErrBadShardState, len(data), header)
+	}
+	if string(data[:len(shardStateMagic)]) != shardStateMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadShardState, data[:len(shardStateMagic)])
+	}
+	payload := data[header:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[len(shardStateMagic):header]) {
+		return nil, fmt.Errorf("%w: checksum mismatch over %d payload bytes",
+			ErrBadShardState, len(payload))
+	}
+	var st ShardState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		// The checksum passed but gob still failed: the worker encoded
+		// something this build cannot read (version skew), which is just
+		// as unusable as wire damage.
+		return nil, fmt.Errorf("%w: %v", ErrBadShardState, err)
+	}
+	return &st, nil
+}
+
+// shardStateOf extracts the mergeable partial state from a finished
+// shard job's pipeline result.
+func shardStateOf(res *report.StudyResult) *ShardState {
+	st := &ShardState{Health: res.Health}
+	for _, a := range res.Apps {
+		st.Suites = append(st.Suites, a.Suite)
+	}
+	return st
+}
