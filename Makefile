@@ -5,8 +5,11 @@
 # tier: the fault-injection suites (salvage decoding, lenient rebuild,
 # engine panic containment, checkpoint-store corruption and stalled
 # reads, service shedding/retry/shutdown, CLI kill-and-resume, and the
-# multi-node distributed-study suite under network fault injection)
-# plus a fuzz smoke pass over the salvage decoders. `make profile` runs the
+# multi-node distributed-study suite under network fault injection,
+# and the live-ingest chaos suite: flaky upload swarms, kill-and-resume
+# over the ingest journal, budget eviction, and drain) plus a fuzz
+# smoke pass over the salvage decoders and the streaming ingest
+# endpoint. `make profile` runs the
 # engine benchmark under the CPU and heap profilers and prints the
 # top-10 hot spots from each.
 
@@ -26,7 +29,8 @@ check: build test
 
 race:
 	$(GO) test -race ./internal/engine ./internal/report ./internal/patterns ./internal/obs \
-		./internal/serve ./internal/checkpoint ./internal/intern ./internal/lila ./internal/dist
+		./internal/serve ./internal/checkpoint ./internal/intern ./internal/lila ./internal/dist \
+		./internal/ingest
 
 chaos:
 	$(GO) test ./internal/faultinject ./internal/lila ./internal/treebuild \
@@ -36,6 +40,8 @@ chaos:
 		-run 'Fault|Corrupt|Truncat|Orphan|Resume|Shed|Panic|Retry|Shutdown|Deadline|Shard|Drain' -race
 	$(GO) test ./internal/dist \
 		-run 'Golden|Hedge|Eject|Degrad|Itemized|Resume|Backoff|Pool|Metrics' -race
+	$(GO) test ./internal/ingest \
+		-run 'Chaos|Golden|Journal|Shed|Drain|Budget|Idle|Duplicate|Garbage|Degrad' -race
 	$(GO) test -run TestCLIFaultTolerance .
 	$(GO) test -run TestCLICheckpointKillResume .
 	$(GO) test -run TestCLIConvertGolden .
@@ -44,6 +50,7 @@ chaos:
 	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzSalvageBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz FuzzSalvageBinaryV2 -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/lila -run '^$$' -fuzz 'FuzzReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzIngestStream -fuzztime $(FUZZTIME) -fuzzminimizetime 2s
 
 vet:
 	$(GO) vet ./...

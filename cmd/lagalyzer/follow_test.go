@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lagalyzer/internal/apps"
+	"lagalyzer/internal/lila"
+	"lagalyzer/internal/sim"
+)
+
+// encodeTextSession renders one simulated session as a LiLa text
+// trace, returning the bytes and the offset where the header ends.
+func encodeTextSession(t *testing.T, app string, seed uint64, seconds float64) []byte {
+	t.Helper()
+	profile, err := apps.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, h, err := sim.Records(sim.Config{Profile: profile, Seed: seed, SessionSeconds: seconds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := lila.NewWriter(&buf, lila.FormatText, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFollowTailsGrowingTrace: -follow must pick up bytes appended
+// after it started — including an append that lands mid-record — and
+// return as soon as the end record arrives, the way a live profiler
+// finishes a session.
+func TestFollowTailsGrowingTrace(t *testing.T) {
+	data := encodeTextSession(t, "Jmol", 5, 10)
+	path := filepath.Join(t.TempDir(), "grow.lila")
+
+	// Start with 40% of the trace, cutting mid-line to prove the
+	// partial tail stays buffered until the writer completes it.
+	cut := 2 * len(data) / 5
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- followOne(path, 2*time.Millisecond, 0) }()
+
+	// Append the rest in three uneven chunks while the follower runs.
+	rest := data[cut:]
+	third := len(rest) / 3
+	for _, chunk := range [][]byte{rest[:third], rest[third : 2*third], rest[2*third:]} {
+		time.Sleep(10 * time.Millisecond)
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("followOne: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower did not stop at the end record")
+	}
+}
+
+// TestFollowIdleBudget: with no end record ever arriving, -follow-idle
+// bounds the wait — the follower reports what it saw and exits instead
+// of hanging forever on a dead writer. Runs in salvage mode, as a
+// live follower tailing an abruptly-dead profiler would: the strict
+// reader rightly rejects the missing end record.
+func TestFollowIdleBudget(t *testing.T) {
+	salvageMode = true
+	defer func() { salvageMode = false }()
+	data := encodeTextSession(t, "CrosswordSage", 6, 10)
+	path := filepath.Join(t.TempDir(), "stalled.lila")
+	// Truncate on a line boundary before the end record.
+	cut := bytes.LastIndexByte(data[:len(data)*3/4], '\n') + 1
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- followOne(path, 2*time.Millisecond, 50*time.Millisecond) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("followOne after idle: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("follower ignored the idle budget")
+	}
+}

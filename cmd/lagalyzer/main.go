@@ -166,7 +166,9 @@ func usage() {
   lagalyzer patterns [-n rows] [-sort count|total|max|avg] [-perceptible] <trace>...
   lagalyzer sketch   [-episode N] [-svg file] <trace>
   lagalyzer timeline [-svg file] <trace>   whole-session trace timeline
-  lagalyzer stream   <trace>...            single-pass statistics (O(1) memory)
+  lagalyzer stream   [-follow [-poll d] [-follow-idle d]] <trace>...
+                                           single-pass statistics (O(1) memory);
+                                           -follow tails one growing trace live
   lagalyzer browse   <trace>...            interactive pattern browser
   lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns
   lagalyzer convert  [-to text|binary|v2] [-out dir] <trace>...
@@ -430,6 +432,18 @@ func runTimeline(args []string) error {
 }
 
 func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	follow := fs.Bool("follow", false, "tail one growing trace file: poll for appended records, resume at the last complete record, stop at the end record, -follow-idle, or SIGINT")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval in -follow mode")
+	followIdle := fs.Duration("follow-idle", 0, "in -follow mode, stop after this long without new bytes (0 = wait for the end record or SIGINT)")
+	fs.Parse(args)
+	args = fs.Args()
+	if *follow {
+		if len(args) != 1 {
+			return fmt.Errorf("stream -follow takes exactly one trace file")
+		}
+		return followOne(args[0], *poll, *followIdle)
+	}
 	for i, path := range args {
 		if runCtx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "lagalyzer: interrupted — skipping %d remaining input(s)\n", len(args)-i)
@@ -445,21 +459,118 @@ func runStream(args []string) error {
 			}
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Printf("%s/%d: E2E %v, %d episodes (+%d short), %d perceptible, mean %.1fms max %.1fms\n",
-			st.App, st.SessionID, st.E2E, st.Episodes, st.ShortCount, st.Perceptible,
-			st.Durations.Mean(), st.Durations.Max)
-		fmt.Printf("  triggers: input %.0f%% output %.0f%% async %.0f%% unspecified %.0f%%  |  gc %.1f%% native %.1f%%  |  %.2f runnable threads\n",
-			st.Triggers.Frac(analysis.TriggerInput)*100, st.Triggers.Frac(analysis.TriggerOutput)*100,
-			st.Triggers.Frac(analysis.TriggerAsync)*100, st.Triggers.Frac(analysis.TriggerUnspecified)*100,
-			st.GCFrac()*100, st.NativeFrac()*100, st.Concurrency())
-		fmt.Printf("  decoded %d records (%.2f MB) in %v — %.0f records/s, %.1f MB/s\n",
-			st.Records, float64(st.Bytes)/1e6, st.Elapsed.Round(time.Millisecond),
-			st.RecordsPerSec(), st.BytesPerSec()/1e6)
+		printStreamStats(st)
 	}
 	if len(args) == 0 {
 		return fmt.Errorf("no trace files given")
 	}
 	return nil
+}
+
+func printStreamStats(st *stream.Stats) {
+	fmt.Printf("%s/%d: E2E %v, %d episodes (+%d short), %d perceptible, mean %.1fms max %.1fms\n",
+		st.App, st.SessionID, st.E2E, st.Episodes, st.ShortCount, st.Perceptible,
+		st.Durations.Mean(), st.Durations.Max)
+	fmt.Printf("  triggers: input %.0f%% output %.0f%% async %.0f%% unspecified %.0f%%  |  gc %.1f%% native %.1f%%  |  %.2f runnable threads\n",
+		st.Triggers.Frac(analysis.TriggerInput)*100, st.Triggers.Frac(analysis.TriggerOutput)*100,
+		st.Triggers.Frac(analysis.TriggerAsync)*100, st.Triggers.Frac(analysis.TriggerUnspecified)*100,
+		st.GCFrac()*100, st.NativeFrac()*100, st.Concurrency())
+	fmt.Printf("  decoded %d records (%.2f MB) in %v — %.0f records/s, %.1f MB/s\n",
+		st.Records, float64(st.Bytes)/1e6, st.Elapsed.Round(time.Millisecond),
+		st.RecordsPerSec(), st.BytesPerSec()/1e6)
+}
+
+// followOne tails a growing trace file the way a live profiler writes
+// one: decode what is there, then poll for appended bytes and resume
+// exactly where the last complete record ended (a partial record at
+// the tail simply stays buffered until the writer completes it).
+// Stops at the trace's end record, after -follow-idle without growth,
+// or on SIGINT — and prints the single-pass summary either way.
+func followOne(path string, poll, idle time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	tr := &tailReader{f: f, poll: poll, idle: idle}
+	cr := obs.NewCountingReader(tr, nil)
+	lr, err := lila.NewReaderOptions(cr, lila.ReaderOptions{Salvage: salvageMode})
+	if err != nil {
+		return err
+	}
+	an := stream.NewAnalyzer(lr.Header(), 0)
+	skipped, lastNote := 0, time.Now()
+	for {
+		rec, err := lr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !salvageMode {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "lagalyzer: %s: stream ended: %v\n", path, err)
+			break
+		}
+		if aerr := an.Add(rec); aerr != nil {
+			if !salvageMode {
+				return aerr
+			}
+			skipped++
+		}
+		if rec.Type == lila.RecEnd {
+			break
+		}
+		if time.Since(lastNote) >= 5*time.Second {
+			fmt.Fprintf(os.Stderr, "lagalyzer: following %s: %.2f MB, trace time %v\n",
+				path, float64(cr.Bytes())/1e6, trace.Dur(an.Now()))
+			lastNote = time.Now()
+		}
+	}
+	st := an.Stats()
+	st.Bytes = cr.Bytes()
+	st.Elapsed = time.Since(start)
+	if rep := lila.SalvageOf(lr); rep.Damaged() {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: salvage: %s\n", path, rep)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: %d records rejected by the analyzer\n", path, skipped)
+	}
+	printStreamStats(st)
+	return nil
+}
+
+// tailReader turns a regular file into a follow stream: an EOF from
+// the file is not the end, just "no new bytes yet" — sleep one poll
+// interval and retry. It gives up (a real EOF) when the idle budget
+// runs out or the run is interrupted.
+type tailReader struct {
+	f    *os.File
+	poll time.Duration
+	idle time.Duration
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	var waited time.Duration
+	for {
+		n, err := t.f.Read(p)
+		if n > 0 || (err != nil && err != io.EOF) {
+			return n, err
+		}
+		if runCtx.Err() != nil {
+			return 0, io.EOF
+		}
+		if t.idle > 0 && waited >= t.idle {
+			return 0, io.EOF
+		}
+		sleep := t.poll
+		if sleep <= 0 {
+			sleep = 500 * time.Millisecond
+		}
+		time.Sleep(sleep)
+		waited += sleep
+	}
 }
 
 // streamOne runs the single-pass analyzer over one trace file,

@@ -15,6 +15,22 @@
 // /jobs/{id}/state for the coordinator (lagreport -workers) to
 // collect.
 //
+// With -ingest (the default) lagd also accepts live LiLa record
+// streams: POST /ingest/{app}/{session} consumes a chunked stream
+// incrementally — salvage-decoded, memory-budgeted, slow-loris-proof —
+// and folds it into per-window aggregates queryable mid-session at
+// GET /ingest/stats. With -state, completed windows are journaled
+// crash-safely under <state>/ingest, so a killed daemon restarts
+// without double-counting; /readyz answers 503 with reasons while the
+// queue is saturated, the ingest budget is exhausted, or drain has
+// begun.
+//
+//	# stream a trace into the live aggregator and watch it
+//	curl -sN -X POST --data-binary @session.lila \
+//	  -H 'Content-Type: application/octet-stream' \
+//	  localhost:8077/ingest/Jmol/7
+//	curl -s localhost:8077/ingest/stats
+//
 // Usage:
 //
 //	lagd -addr :8077 -state /var/lib/lagd
@@ -55,8 +71,12 @@ import (
 	"syscall"
 	"time"
 
+	"path/filepath"
+
+	"lagalyzer/internal/ingest"
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/serve"
+	"lagalyzer/internal/trace"
 )
 
 func main() {
@@ -76,6 +96,14 @@ func run() int {
 		jobs        = flag.Int("jobs", 0, "trace files decoded concurrently per trace job (0 = one per CPU, 1 = sequential)")
 		logFormat   = flag.String("log-format", "text", "structured log encoding: text or json")
 		selfProfile = flag.Bool("self-profile", false, "record each job's own pipeline spans as a LiLa v2 trace (GET /jobs/{id}/selftrace; persisted under -state/selftrace)")
+
+		ingestOn     = flag.Bool("ingest", true, "serve live streaming ingestion (POST /ingest/{app}/{session}, GET /ingest/stats)")
+		ingestWindow = flag.Duration("ingest-window", 10*time.Second, "aggregation window for streamed sessions (session-relative trace time)")
+		ingestMemMB  = flag.Int64("ingest-mem-budget-mb", 0, "global memory budget for live ingest sessions in MiB (0 = 256)")
+		ingestSessMB = flag.Int64("ingest-session-mb", 0, "per-session ingest memory budget in MiB; over-budget sessions degrade to stats-only, then are evicted (0 = 32)")
+		ingestMax    = flag.Int("ingest-max-sessions", 0, "concurrent ingest session cap (0 = 1024)")
+		ingestIdle   = flag.Duration("ingest-idle", 60*time.Second, "evict ingest sessions idle this long")
+		ingestReadTO = flag.Duration("ingest-read-timeout", 30*time.Second, "per-chunk read deadline for ingest streams (slow-loris guard)")
 	)
 	profiler := obs.AddProfileFlags(flag.CommandLine)
 	flag.Parse()
@@ -97,6 +125,27 @@ func run() int {
 	}
 	defer stopProfiles()
 
+	var ingestSrv *ingest.Server
+	if *ingestOn {
+		journalDir := ""
+		if *stateDir != "" {
+			journalDir = filepath.Join(*stateDir, "ingest")
+		}
+		ingestSrv, err = ingest.New(ingest.Config{
+			WindowDur:     trace.Dur(*ingestWindow),
+			MemoryBudget:  *ingestMemMB << 20,
+			SessionBudget: *ingestSessMB << 20,
+			MaxSessions:   *ingestMax,
+			IdleTimeout:   *ingestIdle,
+			ReadTimeout:   *ingestReadTO,
+			JournalDir:    journalDir,
+			Logger:        logger,
+		})
+		if err != nil {
+			return fatal(err)
+		}
+	}
+
 	srv, err := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -108,6 +157,7 @@ func run() int {
 		LoadJobs:        *jobs,
 		SelfProfile:     *selfProfile,
 		Logger:          logger,
+		Ingest:          ingestSrv,
 	})
 	if err != nil {
 		return fatal(err)
@@ -120,8 +170,11 @@ func run() int {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "lagd: serving on http://%s (POST /jobs, GET /jobs/{id}, /metrics, /healthz)\n",
-		ln.Addr())
+	endpoints := "POST /jobs, GET /jobs/{id}, /metrics, /healthz, /readyz"
+	if ingestSrv != nil {
+		endpoints += ", POST /ingest/{app}/{session}, GET /ingest/stats"
+	}
+	fmt.Fprintf(os.Stderr, "lagd: serving on http://%s (%s)\n", ln.Addr(), endpoints)
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

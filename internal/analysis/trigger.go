@@ -32,6 +32,10 @@ const (
 	numTriggers = iota
 )
 
+// NumTriggers is the number of trigger classes, for callers sizing
+// mergeable per-trigger tallies.
+const NumTriggers = numTriggers
+
 var triggerNames = [numTriggers]string{
 	TriggerInput:       "input",
 	TriggerOutput:      "output",

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"lagalyzer/internal/analysis"
+	"lagalyzer/internal/patterns"
+	"lagalyzer/internal/trace"
+)
+
+// EpisodeInfo is the per-episode result of one fused walk, exposed
+// for consumers outside the batch pipeline (the ingest batch
+// reference uses it so streamed and batch window aggregates share the
+// exact same per-episode math).
+type EpisodeInfo struct {
+	// Structured reports whether the episode participates in pattern
+	// classification; Print is valid only when it does, and only
+	// until the next Analyze call on the same EpisodeAnalyzer.
+	Structured bool
+	Print      patterns.Print
+
+	Trigger    analysis.Trigger
+	GC, Native trace.Dur
+}
+
+// EpisodeAnalyzer wraps the engine's fused per-episode traversal
+// (canonical fingerprint, trigger class, exclusive GC/native time in
+// a single walk). Not safe for concurrent use.
+type EpisodeAnalyzer struct {
+	w *walker
+}
+
+// NewEpisodeAnalyzer builds an analyzer with the same defaults the
+// engine pipeline uses.
+func NewEpisodeAnalyzer(opts Options) *EpisodeAnalyzer {
+	return &EpisodeAnalyzer{w: newWalker(opts)}
+}
+
+// Analyze traverses one episode exactly once. The returned
+// Print.Canon aliases an internal buffer reused by the next call.
+func (ea *EpisodeAnalyzer) Analyze(e *trace.Episode) EpisodeInfo {
+	info := ea.w.analyze(e)
+	return EpisodeInfo{
+		Structured: info.structured,
+		Print:      info.print,
+		Trigger:    info.trigger,
+		GC:         info.gc,
+		Native:     info.native,
+	}
+}

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -84,8 +85,20 @@ type FlakyTransport struct {
 	// http.DefaultTransport.
 	Base http.RoundTripper
 	// Plan picks the fault for each call (1-based); nil injects
-	// nothing.
+	// nothing. It damages the response (download) direction.
 	Plan func(call int, req *http.Request) Fault
+	// RequestPlan damages the request (upload) direction — the shape
+	// hostile or unlucky streaming-ingest clients produce. The faults
+	// map to: refuse (request never sent), stall (body pauses mid-
+	// stream for Stall), truncate (clean EOF at half the body),
+	// corrupt (seed-derived bit flips at absolute byte offsets, so the
+	// damage is independent of chunking), reset (half the body, then a
+	// stream error). nil injects nothing.
+	RequestPlan func(call int, req *http.Request) Fault
+	// RecordBodies retains every request body as actually delivered
+	// upstream (after damage), retrievable via SentBodies — the
+	// byte-exact pairing golden equivalence tests need.
+	RecordBodies bool
 	// Stall is the FaultStall delay (default 50ms).
 	Stall time.Duration
 	// Seed drives FaultCorrupt's bit-flip positions; each call mixes in
@@ -96,6 +109,42 @@ type FlakyTransport struct {
 	mu       sync.Mutex
 	calls    int
 	injected int
+	sent     []SentBody
+}
+
+// SentBody is one recorded request-body delivery.
+type SentBody struct {
+	// Call is the transport-wide 1-based call number.
+	Call int
+	// Path is the request URL path.
+	Path string
+	// Fault is the request-direction fault applied.
+	Fault Fault
+	// Body is the payload as delivered (after damage).
+	Body []byte
+	// Reliable reports whether Body is byte-exact for what the server
+	// received: true for none/stall/truncate/corrupt, false for
+	// refuse (nothing sent) and reset (transport buffering may lose an
+	// unflushed tail).
+	Reliable bool
+}
+
+// SentBodies returns the recorded request deliveries in call order.
+func (t *FlakyTransport) SentBodies() []SentBody {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SentBody, len(t.sent))
+	copy(out, t.sent)
+	return out
+}
+
+func (t *FlakyTransport) recordBody(sb SentBody) {
+	if !t.RecordBodies {
+		return
+	}
+	t.mu.Lock()
+	t.sent = append(t.sent, sb)
+	t.mu.Unlock()
 }
 
 // Calls returns how many round trips the transport has seen.
@@ -133,6 +182,14 @@ func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	t.calls++
 	call := t.calls
 	t.mu.Unlock()
+
+	if t.RequestPlan != nil {
+		var err error
+		req, err = t.damageRequest(call, req)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	fault := FaultNone
 	if t.Plan != nil {
@@ -182,6 +239,97 @@ func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		}
 	}
 	return resp, nil
+}
+
+// damageRequest applies the RequestPlan fault to one outgoing request,
+// buffering the body so the damage is deterministic over absolute byte
+// offsets regardless of how the client chunked its writes.
+func (t *FlakyTransport) damageRequest(call int, req *http.Request) (*http.Request, error) {
+	fault := t.RequestPlan(call, req)
+	if fault != FaultNone {
+		t.mu.Lock()
+		t.injected++
+		t.mu.Unlock()
+	}
+	if fault == FaultRefuse {
+		t.recordBody(SentBody{Call: call, Path: req.URL.Path, Fault: fault})
+		return nil, fmt.Errorf("%w (%s %s)", ErrRefused, req.Method, req.URL)
+	}
+	if req.Body == nil {
+		return req, nil
+	}
+	data, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	out := req.Clone(req.Context())
+	out.GetBody = nil // damaged uploads must not be transparently retried
+	sb := SentBody{Call: call, Path: req.URL.Path, Fault: fault, Reliable: true}
+	switch fault {
+	case FaultNone:
+		out.Body = io.NopCloser(bytes.NewReader(data))
+		out.ContentLength = int64(len(data))
+		sb.Body = data
+	case FaultStall:
+		out.Body = io.NopCloser(&stallingBody{
+			data: data, at: len(data) / 2, delay: t.stall(), ctx: req.Context()})
+		out.ContentLength = int64(len(data))
+		sb.Body = data
+	case FaultTruncate:
+		cut := data[:len(data)/2]
+		out.Body = io.NopCloser(bytes.NewReader(cut))
+		out.ContentLength = int64(len(cut))
+		sb.Body = cut
+	case FaultCorrupt:
+		dam := FlipBits(data, t.Seed+uint64(call), 16, 0, 0)
+		out.Body = io.NopCloser(bytes.NewReader(dam))
+		out.ContentLength = int64(len(dam))
+		sb.Body = dam
+	case FaultReset:
+		half := data[:len(data)/2]
+		out.Body = io.NopCloser(&erroringReader{r: bytes.NewReader(half), err: ErrReset})
+		// Promise the full length so the short delivery is an abort,
+		// not a clean end.
+		out.ContentLength = int64(len(data))
+		sb.Body = half
+		sb.Reliable = false
+	}
+	t.recordBody(sb)
+	return out, nil
+}
+
+// stallingBody serves data but pauses once, mid-stream, for delay —
+// the slow-loris shape. The request context cuts the pause short.
+type stallingBody struct {
+	data    []byte
+	off     int
+	at      int
+	delay   time.Duration
+	stalled bool
+	ctx     context.Context
+}
+
+func (s *stallingBody) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	if !s.stalled && s.off >= s.at {
+		s.stalled = true
+		select {
+		case <-time.After(s.delay):
+		case <-s.ctx.Done():
+			return 0, s.ctx.Err()
+		}
+	}
+	// Stop at the stall point so the pause lands between chunks.
+	end := len(s.data)
+	if !s.stalled && s.at > s.off && s.at < end {
+		end = s.at
+	}
+	n := copy(p, s.data[s.off:end])
+	s.off += n
+	return n, nil
 }
 
 // erroringReader yields r's bytes, then err instead of EOF.

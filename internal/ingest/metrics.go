@@ -1,0 +1,46 @@
+package ingest
+
+import "lagalyzer/internal/obs"
+
+// The ingest metric schema. Eviction reasons are separate counters
+// (the obs registry is label-free by design); the schema test in
+// metrics_test.go pins every name in both exposition formats.
+var (
+	mSessionsActive = obs.NewGauge("ingest_sessions_active",
+		"live streaming ingest sessions currently connected")
+	mSessionsTotal = obs.NewCounter("ingest_sessions_total",
+		"streaming ingest sessions ever admitted")
+	mRecords = obs.NewCounter("ingest_records_total",
+		"trace records consumed by streaming ingest")
+	mBytes = obs.NewCounter("ingest_bytes_total",
+		"encoded bytes consumed by streaming ingest")
+	mShed = obs.NewCounter("ingest_shed_total",
+		"ingest sessions refused at admission (session cap or memory budget)")
+	mDegraded = obs.NewCounter("ingest_sessions_degraded_total",
+		"sessions switched to stats-only mode under memory pressure")
+	mWindows = obs.NewCounter("ingest_windows_committed_total",
+		"completed window aggregates journaled and folded into the tables")
+
+	mEvictedIdle = obs.NewCounter("ingest_sessions_evicted_idle_total",
+		"sessions evicted by the idle reaper")
+	mEvictedBudget = obs.NewCounter("ingest_sessions_evicted_budget_total",
+		"sessions evicted because degrading could not fit them in budget")
+	mEvictedDeadline = obs.NewCounter("ingest_sessions_evicted_deadline_total",
+		"sessions evicted by the per-chunk read deadline (slow-loris guard)")
+	mEvictedDrain = obs.NewCounter("ingest_sessions_evicted_drain_total",
+		"sessions flushed and closed by graceful drain")
+)
+
+func evictionCounter(reason string) *obs.Counter {
+	switch reason {
+	case evictIdle:
+		return mEvictedIdle
+	case evictBudget:
+		return mEvictedBudget
+	case evictDeadline:
+		return mEvictedDeadline
+	case evictDrain:
+		return mEvictedDrain
+	}
+	return nil
+}

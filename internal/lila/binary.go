@@ -226,7 +226,7 @@ func (br *BinaryReader) readString() (string, error) {
 		return "", err
 	}
 	if n > uint64(br.limits.MaxStringLen) {
-		return "", fmt.Errorf("implausible string length %d", n)
+		return "", limitErrf("implausible string length %d", n)
 	}
 	// Read into pooled scratch and intern: a string seen before (by
 	// any session in the process) costs no allocation at all.
@@ -255,7 +255,7 @@ func (br *BinaryReader) readRef() (string, error) {
 			return "", err
 		}
 		if len(br.strings) >= br.limits.MaxStringTable {
-			return "", fmt.Errorf("string table exceeds limit %d", br.limits.MaxStringTable)
+			return "", limitErrf("string table exceeds limit %d", br.limits.MaxStringTable)
 		}
 		br.strings = append(br.strings, s)
 		return s, nil
@@ -285,7 +285,7 @@ func (br *BinaryReader) Read() (*Record, error) {
 	}
 	if br.records >= br.limits.MaxRecords {
 		br.done = true
-		return nil, fmt.Errorf("lila: record limit %d exceeded", br.limits.MaxRecords)
+		return nil, limitErrf("lila: record limit %d exceeded", br.limits.MaxRecords)
 	}
 	rec, err := br.read()
 	if err != nil {
@@ -388,7 +388,7 @@ func (br *BinaryReader) read() (*Record, error) {
 			return fail(err)
 		}
 		if n > uint64(br.limits.MaxStackDepth) {
-			return fail(fmt.Errorf("implausible stack depth %d", n))
+			return fail(limitErrf("implausible stack depth %d", n))
 		}
 		// Decode into the reusable scratch, then collapse onto the
 		// session's canonical copy of this exact stack (real samplers

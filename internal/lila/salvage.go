@@ -1,11 +1,30 @@
 package lila
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"lagalyzer/internal/obs"
 )
+
+// ErrLimit marks errors caused by a Limits resource guard tripping
+// (string/stack/record/byte budgets), as opposed to malformed input.
+// Servers ingesting untrusted traces test errors.Is(err, ErrLimit) to
+// answer resource exhaustion with back-pressure (429) rather than
+// treating the stream as corrupt.
+var ErrLimit = errors.New("lila: resource limit exceeded")
+
+// limitErrf builds an error that formats like fmt.Errorf but matches
+// errors.Is(err, ErrLimit).
+func limitErrf(format string, args ...any) error {
+	return &limitError{msg: fmt.Sprintf(format, args...)}
+}
+
+type limitError struct{ msg string }
+
+func (e *limitError) Error() string        { return e.msg }
+func (e *limitError) Is(target error) bool { return target == ErrLimit }
 
 // Salvage metrics, flushed once per trace when the stream finishes
 // (never per record).

@@ -491,7 +491,7 @@ func (d *BinarySalvageReader) Read() (*Record, error) {
 		}
 		if d.records >= d.limits.MaxRecords {
 			d.finishStream()
-			return nil, fmt.Errorf("lila: record limit %d exceeded", d.limits.MaxRecords)
+			return nil, limitErrf("lila: record limit %d exceeded", d.limits.MaxRecords)
 		}
 		start := d.off
 		save := d.snapshot()

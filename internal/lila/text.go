@@ -345,7 +345,7 @@ func (tr *TextReader) Read() (*Record, error) {
 		if tr.records >= tr.limits.MaxRecords {
 			tr.done = true
 			tr.finishStream()
-			return nil, fmt.Errorf("lila: text line %d: record limit %d exceeded", tr.line, tr.limits.MaxRecords)
+			return nil, limitErrf("lila: text line %d: record limit %d exceeded", tr.line, tr.limits.MaxRecords)
 		}
 		rec, err := tr.parseLine(line)
 		if err != nil {
@@ -423,7 +423,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 		}
 		quoted := strings.Join(args[1:len(args)-1], " ")
 		if len(quoted) > tr.limits.MaxStringLen {
-			return nil, fmt.Errorf("thread name exceeds string limit %d", tr.limits.MaxStringLen)
+			return nil, limitErrf("thread name exceeds string limit %d", tr.limits.MaxStringLen)
 		}
 		if rec.Name, err = strconv.Unquote(quoted); err != nil {
 			return nil, fmt.Errorf("thread name %q: %w", quoted, err)
@@ -445,7 +445,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 			return nil, err
 		}
 		if len(args[3]) > tr.limits.MaxStringLen || len(args[4]) > tr.limits.MaxStringLen {
-			return nil, fmt.Errorf("symbol exceeds string limit %d", tr.limits.MaxStringLen)
+			return nil, limitErrf("symbol exceeds string limit %d", tr.limits.MaxStringLen)
 		}
 		rec.Class = internString(dashEmpty(args[3]))
 		rec.Method = internString(dashEmpty(args[4]))
@@ -495,7 +495,7 @@ func (tr *TextReader) parseLine(line string) (*Record, error) {
 			return nil, err
 		}
 		if len(rec.Stack) > tr.limits.MaxStackDepth {
-			return nil, fmt.Errorf("stack depth %d exceeds limit %d", len(rec.Stack), tr.limits.MaxStackDepth)
+			return nil, limitErrf("stack depth %d exceeds limit %d", len(rec.Stack), tr.limits.MaxStackDepth)
 		}
 	case "E":
 		if err = need(2); err != nil {

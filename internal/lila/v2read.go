@@ -138,7 +138,7 @@ func parseV2Prefix(data []byte, limits Limits) (*v2data, error) {
 		return nil, fmt.Errorf("lila: v2 string table: %w", err)
 	}
 	if nstr > uint64(limits.MaxStringTable) {
-		return nil, fmt.Errorf("lila: v2 string table exceeds limit %d", limits.MaxStringTable)
+		return nil, limitErrf("lila: v2 string table exceeds limit %d", limits.MaxStringTable)
 	}
 	d.strings = make([]string, nstr)
 	for i := range d.strings {
@@ -152,7 +152,7 @@ func parseV2Prefix(data []byte, limits Limits) (*v2data, error) {
 		return nil, fmt.Errorf("lila: v2 stack table: %w", err)
 	}
 	if nstk > uint64(limits.MaxStringTable) {
-		return nil, fmt.Errorf("lila: v2 stack table exceeds limit %d", limits.MaxStringTable)
+		return nil, limitErrf("lila: v2 stack table exceeds limit %d", limits.MaxStringTable)
 	}
 	d.stacks = make([][]trace.Frame, nstk)
 	var slab []trace.Frame // frames for all stacks, allocated in chunks
@@ -328,7 +328,7 @@ func scanV2Blocks(d *v2data) ([]V2BlockInfo, error) {
 		}
 		total += int(count)
 		if total > d.limits.MaxRecords {
-			return blocks, fmt.Errorf("lila: record limit %d exceeded", d.limits.MaxRecords)
+			return blocks, limitErrf("lila: record limit %d exceeded", d.limits.MaxRecords)
 		}
 		c.off += int(plen)
 		blocks = append(blocks, V2BlockInfo{
@@ -634,7 +634,7 @@ func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *Salvag
 			break
 		}
 		if total += b.Records; total > v.d.limits.MaxRecords {
-			return nil, report, fmt.Errorf("lila: record limit %d exceeded", v.d.limits.MaxRecords)
+			return nil, report, limitErrf("lila: record limit %d exceeded", v.d.limits.MaxRecords)
 		}
 		if state != nil && !state.blockMayMatch(b) {
 			continue
@@ -795,7 +795,7 @@ func (vr *V2Reader) nextBlock() error {
 		if vr.records+b.Records > vr.d.limits.MaxRecords {
 			vr.done = true
 			vr.finishStream()
-			return fmt.Errorf("lila: record limit %d exceeded", vr.d.limits.MaxRecords)
+			return limitErrf("lila: record limit %d exceeded", vr.d.limits.MaxRecords)
 		}
 		recs, err := vr.d.decodeV2Block(b, &vr.arena, vr.queue)
 		if err != nil {

@@ -12,15 +12,22 @@ import (
 // decode paths report throughput without the lila readers knowing
 // about metrics.
 type CountingReader struct {
-	r io.Reader
-	n atomic.Int64
-	c *Counter // optional mirror
+	r  io.Reader
+	n  atomic.Int64
+	c  *Counter  // optional mirror
+	fn func(int) // optional per-read hook
 }
 
 // NewCountingReader wraps r. counter may be nil.
 func NewCountingReader(r io.Reader, counter *Counter) *CountingReader {
 	return &CountingReader{r: r, c: counter}
 }
+
+// OnRead installs fn, called with the byte count after every
+// successful read. Streaming servers use it to extend per-connection
+// read deadlines and refresh idle stamps as bytes arrive. Install
+// before the first Read; the hook runs on the reading goroutine.
+func (cr *CountingReader) OnRead(fn func(int)) { cr.fn = fn }
 
 // Read implements io.Reader.
 func (cr *CountingReader) Read(p []byte) (int, error) {
@@ -29,6 +36,9 @@ func (cr *CountingReader) Read(p []byte) (int, error) {
 		cr.n.Add(int64(n))
 		if cr.c != nil {
 			cr.c.Add(int64(n))
+		}
+		if cr.fn != nil {
+			cr.fn(n)
 		}
 	}
 	return n, err

@@ -20,11 +20,21 @@ import (
 //	GET  /jobs/{id}/result        fetch the result       → 200 (text|html|json)
 //	GET  /jobs/{id}/state         a shard job's partial state (checksum-framed)
 //	GET  /jobs/{id}/selftrace     the job's own LiLa v2 trace (Config.SelfProfile)
-//	GET  /healthz                 readiness: 200 while serving, 503 "draining"
+//	GET  /healthz                 liveness: 200 while serving, 503 "draining"
 //	                              once shutdown has begun
+//	GET  /readyz                  readiness: 200 while the server would accept
+//	                              work; 503 with JSON reasons (queue-saturated,
+//	                              ingest-memory-budget, draining, ...) when not
 //	GET  /metrics                 obs registry snapshot (text); ?format=prom or a
 //	                              Prometheus Accept header switches to the
 //	                              Prometheus text exposition format
+//
+// With Config.Ingest set, the live streaming surface mounts too:
+//
+//	POST /ingest/{app}/{session}  stream LiLa records (chunked); salvage-decoded,
+//	                              budget-guarded, queryable mid-session (PUT works
+//	                              too, for curl -T and PUT-only uploaders)
+//	GET  /ingest/stats            committed per-window aggregates + live sessions
 //
 // Shed submissions answer 429 with a Retry-After hint; a draining
 // server answers 503. When Config.Logger is set, every request is
@@ -38,7 +48,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/state", s.handleState)
 	mux.HandleFunc("GET /jobs/{id}/selftrace", s.handleSelfTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", handleMetrics)
+	if s.cfg.Ingest != nil {
+		// PUT too: streaming uploaders (curl -T, most profiler agents)
+		// default to PUT for "send this byte stream to this path".
+		mux.HandleFunc("POST /ingest/{app}/{session}", s.cfg.Ingest.HandleIngest)
+		mux.HandleFunc("PUT /ingest/{app}/{session}", s.cfg.Ingest.HandleIngest)
+		mux.HandleFunc("GET /ingest/stats", s.cfg.Ingest.HandleStats)
+	}
 	return s.accessLog(mux)
 }
 
@@ -218,11 +236,42 @@ func (s *Server) handleSelfTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// handleHealthz is the readiness probe. While serving it answers 200;
-// once SIGTERM drain begins it answers 503 with a "draining" body, so
-// coordinators and load balancers stop routing new shards to a worker
-// that would only park them (liveness stays observable — the endpoint
-// itself keeps responding through the drain).
+// handleReadyz is the readiness probe, distinct from /healthz
+// liveness: it answers whether the server would accept new work right
+// now. A saturated job queue, an exhausted ingest memory budget, an
+// ingest session cap, or a begun drain each turn it 503, with every
+// applicable reason listed in the JSON body so operators see why
+// traffic is being turned away rather than just that it is.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.Draining() {
+		reasons = append(reasons, "draining")
+	}
+	if len(s.queue) >= cap(s.queue) {
+		reasons = append(reasons, "queue-saturated")
+	}
+	if s.cfg.Ingest != nil {
+		if ok, more := s.cfg.Ingest.Ready(); !ok {
+			for _, reason := range more {
+				if reason == "draining" && s.Draining() {
+					continue // already listed
+				}
+				reasons = append(reasons, reason)
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if len(reasons) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"ready": true})
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 with a
+// "draining" body once SIGTERM drain begins — the endpoint itself
+// keeps responding through the drain so liveness stays observable.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.Draining() {

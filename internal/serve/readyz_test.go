@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lagalyzer/internal/ingest"
+	"lagalyzer/internal/report"
+)
+
+// getReadyz fetches /readyz and decodes the JSON body.
+func getReadyz(t *testing.T, h http.Handler) (status int, ready bool, reasons []string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body struct {
+		Ready   bool     `json:"ready"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("/readyz body: %v", err)
+	}
+	return rec.Code, body.Ready, body.Reasons
+}
+
+// TestReadyzOK: a fresh server with capacity answers 200 ready, no
+// reasons — the signal load balancers route on.
+func TestReadyzOK(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Runner: okRunner})
+	status, ready, reasons := getReadyz(t, s.Handler())
+	if status != http.StatusOK || !ready || len(reasons) != 0 {
+		t.Errorf("fresh server: status=%d ready=%v reasons=%v", status, ready, reasons)
+	}
+}
+
+// TestReadyzQueueSaturated: with the one worker blocked and the
+// depth-1 queue holding a job, the next submission would shed — so
+// /readyz must already answer 503 queue-saturated, and recover once
+// the queue drains.
+func TestReadyzQueueSaturated(t *testing.T) {
+	release := make(chan struct{})
+	s := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(ctx context.Context, spec JobSpec) (*report.StudyResult, error) {
+			<-release
+			return okRunner(ctx, spec)
+		},
+	})
+	h := s.Handler()
+
+	first, err := s.Submit(JobSpec{Kind: "study"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, first.ID, StateRunning)
+	second, err := s.Submit(JobSpec{Kind: "study"})
+	if err != nil {
+		t.Fatalf("queued submission rejected: %v", err)
+	}
+
+	status, ready, reasons := getReadyz(t, h)
+	if status != http.StatusServiceUnavailable || ready {
+		t.Errorf("saturated queue: status=%d ready=%v", status, ready)
+	}
+	if len(reasons) != 1 || reasons[0] != "queue-saturated" {
+		t.Errorf("saturated queue reasons = %v, want [queue-saturated]", reasons)
+	}
+
+	close(release)
+	waitState(t, s, second.ID, StateDone)
+	if status, ready, _ := getReadyz(t, h); status != http.StatusOK || !ready {
+		t.Errorf("drained queue: status=%d ready=%v, want ready again", status, ready)
+	}
+}
+
+// TestReadyzDrainingDeduped: a drain begun on a server with ingest
+// mounted flips both the job side and the ingest side to draining;
+// /readyz must list the reason once, not twice.
+func TestReadyzDrainingDeduped(t *testing.T) {
+	ing, err := ingest.New(ingest.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Shutdown(context.Background())
+	s := newTestServer(t, Config{Workers: 1, Runner: okRunner, Ingest: ing})
+	h := s.Handler()
+
+	s.BeginDrain()
+	status, ready, reasons := getReadyz(t, h)
+	if status != http.StatusServiceUnavailable || ready {
+		t.Errorf("draining: status=%d ready=%v", status, ready)
+	}
+	if len(reasons) != 1 || reasons[0] != "draining" {
+		t.Errorf("draining reasons = %v, want exactly one \"draining\"", reasons)
+	}
+}
+
+// TestReadyzIngestSessionCap: an ingest surface at its session cap
+// turns /readyz not-ready with the ingest reason, while the job queue
+// is still fine — readiness covers both admission paths.
+func TestReadyzIngestSessionCap(t *testing.T) {
+	ing, err := ingest.New(ingest.Config{MaxSessions: 1, IdleTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ing.Shutdown(context.Background())
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Runner: okRunner, Ingest: ing})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	// Park one live upload to occupy the only session slot.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest(http.MethodPost, hs.URL+"/ingest/Jmol/hold", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	if _, err := pw.Write([]byte("#lila text 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ing.Sessions() != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	status, ready, reasons := getReadyz(t, s.Handler())
+	if status != http.StatusServiceUnavailable || ready {
+		t.Errorf("session cap: status=%d ready=%v", status, ready)
+	}
+	if len(reasons) != 1 || reasons[0] != "session-cap" {
+		t.Errorf("session cap reasons = %v, want [session-cap]", reasons)
+	}
+
+	pw.Close()
+	<-done
+	if status, ready, _ := getReadyz(t, s.Handler()); status != http.StatusOK || !ready {
+		t.Errorf("slot released: status=%d ready=%v, want ready again", status, ready)
+	}
+}

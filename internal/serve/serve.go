@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"lagalyzer/internal/apps"
+	"lagalyzer/internal/ingest"
 	"lagalyzer/internal/lila"
 	"lagalyzer/internal/obs"
 	"lagalyzer/internal/obs/selftrace"
@@ -177,6 +178,11 @@ type Config struct {
 	// Runner overrides job execution (tests); nil runs the real
 	// pipelines.
 	Runner Runner
+	// Ingest, when non-nil, mounts the live streaming ingestion
+	// surface (POST /ingest/{app}/{session}, GET /ingest/stats) on the
+	// handler and ties the ingest server's drain and shutdown to this
+	// server's.
+	Ingest *ingest.Server
 }
 
 func (c Config) workers() int {
@@ -411,6 +417,12 @@ func (s *Server) BeginDrain() {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	if s.cfg.Ingest != nil {
+		// Live ingest sessions flush their partial aggregates and close
+		// with drained=true, so the HTTP listener's connection drain is
+		// not held open by endless streams.
+		s.cfg.Ingest.BeginDrain()
+	}
 }
 
 func validateSpec(spec JobSpec) error {
@@ -875,6 +887,13 @@ func (s *Server) Shutdown(ctx context.Context) (int, error) {
 	s.wg.Wait()
 
 	n, err := s.persistPending()
+	if s.cfg.Ingest != nil {
+		// Drain the streaming side too: flush every live session's
+		// partials and rotate the journal into a fresh snapshot.
+		if _, ierr := s.cfg.Ingest.Shutdown(ctx); ierr != nil && err == nil {
+			err = fmt.Errorf("serve: ingest shutdown: %w", ierr)
+		}
+	}
 	return n, err
 }
 

@@ -142,9 +142,59 @@ func (st *Stats) CauseFrac(state trace.ThreadState) float64 {
 	return float64(st.Causes[state]) / float64(total)
 }
 
+// EpisodeResult is one finished traced episode's contribution, as
+// delivered to an Observe hook. Its tick tallies follow the batch
+// pipeline's per-episode semantics exactly (analysis.CauseAnalysis,
+// analysis.Concurrency, analysis.LocationAnalysis and the fused engine
+// all scan Session.EpisodeTicks, i.e. the half-open [Start, End) tick
+// range), so summing EpisodeResults over any episode partition matches
+// the engine's mergeable populations.
+type EpisodeResult struct {
+	Thread     trace.ThreadID
+	Start, End trace.Time
+	Trigger    analysis.Trigger
+
+	// KindTime is the episode's exclusive per-kind time (GC bracket
+	// override included), as in Stats.KindTime.
+	KindTime [6]trace.Dur
+
+	// Causes, Samples, AppSamples and LibSamples tally the episode
+	// thread's in-episode samples: by state, in total, and — for
+	// Java-leaf samples — by the app/library classification of the
+	// leaf frame. Runnable and Ticks are the episode's concurrency
+	// contribution over all threads.
+	Causes                 [4]int
+	Samples                int
+	AppSamples, LibSamples int
+	Runnable, Ticks        int
+
+	// Root is the episode's interval tree when tree building is on
+	// and the node budget held; nil otherwise. GC copy-nodes are not
+	// materialized — pattern fingerprints exclude them anyway, so the
+	// canonical form matches a treebuild-built episode's exactly.
+	Root *trace.Interval
+	// TreeDropped reports that tree building was on but this
+	// episode's node budget was exceeded (degraded stats-only).
+	TreeDropped bool
+}
+
+// Dur returns the episode's lag.
+func (er *EpisodeResult) Dur() trace.Dur { return er.End.Sub(er.Start) }
+
+// tickSample is one thread's sample within the pending tick, retained
+// until the tick flushes so its contribution can be attributed to the
+// episodes actually spanning the tick time.
+type tickSample struct {
+	thread  trace.ThreadID
+	state   trace.ThreadState
+	leaf    trace.Frame
+	hasLeaf bool
+}
+
 // episodeState tracks one thread's active episode.
 type episodeState struct {
 	active   bool
+	thread   trace.ThreadID
 	start    trace.Time
 	depth    int // open intervals including the dispatch
 	kinds    []trace.Kind
@@ -156,6 +206,18 @@ type episodeState struct {
 
 	kindTime [6]trace.Dur
 	causes   [4]int
+
+	// Engine-equivalent tick tallies (see EpisodeResult).
+	samples  int
+	app, lib int
+	runnable int
+	ticks    int
+
+	// Incremental interval tree (BuildTrees).
+	root        *trace.Interval
+	stack       []*trace.Interval
+	nodes       int
+	treeDropped bool
 }
 
 // Analyzer consumes records incrementally; see Analyze for the
@@ -175,6 +237,15 @@ type Analyzer struct {
 	tickRunnable  int
 	tickValid     bool
 	tickInEpisode bool
+	tickSamples   []tickSample
+
+	// Incremental-consumption extensions (Observe/BuildTrees).
+	onEpisode func(*EpisodeResult)
+	buildTree bool
+	maxNodes  int
+	treeNodes int
+	isLibrary analysis.LibraryClassifier
+	lastTime  trace.Time
 }
 
 // NewAnalyzer builds a streaming analyzer for one trace. threshold 0
@@ -188,7 +259,59 @@ func NewAnalyzer(h lila.Header, threshold trace.Dur) *Analyzer {
 		filter:    h.FilterThreshold,
 		st:        Stats{App: h.App, SessionID: h.SessionID},
 		threads:   make(map[trace.ThreadID]*episodeState),
+		isLibrary: analysis.DefaultLibraryClassifier,
 	}
+}
+
+// Observe installs a hook called once per finished traced episode
+// (sub-filter episodes are dropped, matching the batch builder). The
+// passed EpisodeResult is only valid during the call.
+func (a *Analyzer) Observe(fn func(*EpisodeResult)) { a.onEpisode = fn }
+
+// BuildTrees makes the analyzer materialize each open episode's
+// interval tree incrementally, delivered via EpisodeResult.Root. An
+// episode exceeding maxNodes retained intervals (0 means 1<<16) has
+// its tree dropped — stats keep flowing — and reports TreeDropped.
+func (a *Analyzer) BuildTrees(maxNodes int) {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 16
+	}
+	a.buildTree, a.maxNodes = true, maxNodes
+}
+
+// DropTrees stops tree building and frees every open episode's
+// partial tree: the degraded stats-only mode entered under memory
+// pressure. Aggregate statistics are unaffected.
+func (a *Analyzer) DropTrees() {
+	a.buildTree = false
+	for _, es := range a.threads {
+		if es.nodes > 0 || es.root != nil {
+			a.treeNodes -= es.nodes
+			es.root, es.stack, es.nodes = nil, nil, 0
+			es.treeDropped = true
+		}
+	}
+}
+
+// TreeNodes returns the number of interval nodes currently retained
+// by open episode trees — the basis of ingest memory estimates.
+func (a *Analyzer) TreeNodes() int { return a.treeNodes }
+
+// Now returns the time stamp of the last timed record consumed.
+func (a *Analyzer) Now() trace.Time { return a.lastTime }
+
+// MinOpenStart returns the earliest start time among episodes still
+// open, and whether any episode is open. Everything before that point
+// (or before Now when nothing is open) is final.
+func (a *Analyzer) MinOpenStart() (trace.Time, bool) {
+	var minStart trace.Time
+	open := false
+	for _, es := range a.threads {
+		if es.active && (!open || es.start < minStart) {
+			minStart, open = es.start, true
+		}
+	}
+	return minStart, open
 }
 
 func (a *Analyzer) thread(id trace.ThreadID) *episodeState {
@@ -222,6 +345,17 @@ func (es *episodeState) account(now trace.Time, inGC bool) {
 // Add consumes one record.
 func (a *Analyzer) Add(rec *lila.Record) error {
 	a.st.Records++
+	// A pending sampling tick is complete as soon as any record with a
+	// different time stamp arrives (equal-time samples are contiguous
+	// in a well-formed stream): flush it before this record can close
+	// or open episodes, so the per-episode attribution sees exactly
+	// the episodes whose [Start, End) range spans the tick.
+	if rec.Type != lila.RecThread {
+		if a.tickValid && rec.Time != a.tickTime {
+			a.flushTick()
+		}
+		a.lastTime = rec.Time
+	}
 	switch rec.Type {
 	case lila.RecThread:
 		// Thread identity is irrelevant to the aggregates.
@@ -230,7 +364,8 @@ func (a *Analyzer) Add(rec *lila.Record) error {
 		es := a.thread(rec.Thread)
 		if !es.active && rec.Kind == trace.KindDispatch {
 			*es = episodeState{
-				active: true, start: rec.Time, lastTime: rec.Time,
+				active: true, thread: rec.Thread,
+				start: rec.Time, lastTime: rec.Time,
 				trigger: analysis.TriggerUnspecified,
 			}
 		}
@@ -240,6 +375,26 @@ func (a *Analyzer) Add(rec *lila.Record) error {
 		es.account(rec.Time, a.inGC)
 		es.depth++
 		es.kinds = append(es.kinds, rec.Kind)
+		if a.buildTree && !es.treeDropped {
+			iv := &trace.Interval{
+				Kind: rec.Kind, Class: rec.Class, Method: rec.Method,
+				Start: rec.Time, End: -1,
+			}
+			if es.root == nil {
+				es.root = iv
+			} else {
+				parent := es.stack[len(es.stack)-1]
+				parent.Children = append(parent.Children, iv)
+			}
+			es.stack = append(es.stack, iv)
+			es.nodes++
+			a.treeNodes++
+			if es.nodes > a.maxNodes {
+				a.treeNodes -= es.nodes
+				es.root, es.stack, es.nodes = nil, nil, 0
+				es.treeDropped = true
+			}
+		}
 		switch {
 		case es.asyncPending > 0:
 			// Inside the deciding async interval only a paint can
@@ -274,6 +429,11 @@ func (a *Analyzer) Add(rec *lila.Record) error {
 		es.account(rec.Time, a.inGC)
 		es.depth--
 		es.kinds = es.kinds[:len(es.kinds)-1]
+		if len(es.stack) > 0 {
+			iv := es.stack[len(es.stack)-1]
+			iv.End = rec.Time
+			es.stack = es.stack[:len(es.stack)-1]
+		}
 		if es.asyncPending > 0 && es.depth < es.asyncPending {
 			// The deciding async interval closed without a paint.
 			es.decided = true
@@ -317,8 +477,10 @@ func (a *Analyzer) Add(rec *lila.Record) error {
 
 func (a *Analyzer) addSample(rec *lila.Record) {
 	// Group equal-time samples into ticks for the concurrency count.
-	// Whether the tick falls inside an episode must be decided *now*:
-	// the episode may end before the next record arrives.
+	// Whether the tick falls inside an episode for the *global* count
+	// must be decided now: the episode may end before the next record
+	// arrives. Per-episode attribution instead waits for the flush,
+	// which matches the batch pipeline's half-open [Start, End) scan.
 	if !a.tickValid || rec.Time != a.tickTime {
 		a.flushTick()
 		a.tickValid = true
@@ -335,15 +497,18 @@ func (a *Analyzer) addSample(rec *lila.Record) {
 	if rec.State == trace.StateRunnable {
 		a.tickRunnable++
 	}
-	// Cause shares: samples of a thread currently handling an
-	// episode.
-	if es := a.threads[rec.Thread]; es != nil && es.active {
-		es.causes[rec.State]++
+	ts := tickSample{thread: rec.Thread, state: rec.State}
+	if len(rec.Stack) > 0 {
+		ts.leaf, ts.hasLeaf = rec.Stack[0], true
 	}
+	a.tickSamples = append(a.tickSamples, ts)
 }
 
-// flushTick finalizes the pending sampling tick: it counts toward
-// concurrency if a thread was inside an episode when it fired.
+// flushTick finalizes the pending sampling tick: globally it counts
+// toward concurrency if a thread was inside an episode when it fired,
+// and per episode it is attributed to every episode still spanning
+// the tick time — exactly the ticks a batch EpisodeTicks scan of the
+// finished episode would visit.
 func (a *Analyzer) flushTick() {
 	if !a.tickValid {
 		return
@@ -352,12 +517,37 @@ func (a *Analyzer) flushTick() {
 		a.st.RunnableSum += a.tickRunnable
 		a.st.TickCount++
 	}
+	for _, es := range a.threads {
+		if es.active {
+			es.ticks++
+			es.runnable += a.tickRunnable
+		}
+	}
+	for _, ts := range a.tickSamples {
+		es := a.threads[ts.thread]
+		if es == nil || !es.active {
+			continue
+		}
+		es.causes[ts.state]++
+		es.samples++
+		if ts.hasLeaf && !ts.leaf.Native {
+			if a.isLibrary(ts.leaf) {
+				es.lib++
+			} else {
+				es.app++
+			}
+		}
+	}
+	a.tickSamples = a.tickSamples[:0]
 	a.tickValid = false
 }
 
 func (a *Analyzer) finishEpisode(es *episodeState, end trace.Time) {
 	dur := end.Sub(es.start)
 	es.active = false
+	root, dropped := es.root, es.treeDropped
+	a.treeNodes -= es.nodes
+	es.root, es.stack, es.nodes, es.treeDropped = nil, nil, 0, false
 	if dur < a.filter {
 		a.st.ShortCount++
 		return
@@ -378,6 +568,18 @@ func (a *Analyzer) finishEpisode(es *episodeState, end trace.Time) {
 	}
 	for state, n := range es.causes {
 		a.st.Causes[state] += n
+	}
+	if a.onEpisode != nil {
+		a.onEpisode(&EpisodeResult{
+			Thread: es.thread, Start: es.start, End: end,
+			Trigger:    es.trigger,
+			KindTime:   es.kindTime,
+			Causes:     es.causes,
+			Samples:    es.samples,
+			AppSamples: es.app, LibSamples: es.lib,
+			Runnable: es.runnable, Ticks: es.ticks,
+			Root: root, TreeDropped: dropped,
+		})
 	}
 }
 
