@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -204,7 +205,7 @@ func BenchmarkStudy_EndToEnd(b *testing.B) {
 
 // benchTraceDir writes the shared ingestion corpus — two applications,
 // eight sessions — choosing each file's encoding via pick(sessionID).
-func benchTraceDir(b *testing.B, pick func(id int) lila.Format) (string, int) {
+func benchTraceDir(b *testing.B, pick func(id int) lila.WriteOptions) (string, int) {
 	b.Helper()
 	dir := b.TempDir()
 	files := 0
@@ -215,7 +216,7 @@ func benchTraceDir(b *testing.B, pick func(id int) lila.Format) (string, int) {
 				b.Fatal(err)
 			}
 			var buf bytes.Buffer
-			if err := lila.WriteSession(&buf, pick(id), s); err != nil {
+			if err := lila.WriteSessionOptions(&buf, pick(id), s); err != nil {
 				b.Fatal(err)
 			}
 			name := fmt.Sprintf("app%d_session%d.lila", ai, id)
@@ -254,11 +255,11 @@ func benchLoadTraceDir(b *testing.B, dir string, files int, o report.LoadOptions
 // encodings — is written once outside the timed loop.
 func BenchmarkLoadTraceDir(b *testing.B) {
 	b.ReportAllocs()
-	dir, files := benchTraceDir(b, func(id int) lila.Format {
+	dir, files := benchTraceDir(b, func(id int) lila.WriteOptions {
 		if id%2 == 1 {
-			return lila.FormatText
+			return lila.WriteOptions{Format: lila.FormatText}
 		}
-		return lila.FormatBinary
+		return lila.WriteOptions{Format: lila.FormatBinary}
 	})
 	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
 }
@@ -269,7 +270,19 @@ func BenchmarkLoadTraceDir(b *testing.B) {
 // ingestion win.
 func BenchmarkLoadTraceDirV2(b *testing.B) {
 	b.ReportAllocs()
-	dir, files := benchTraceDir(b, func(int) lila.Format { return lila.FormatV2 })
+	dir, files := benchTraceDir(b, func(int) lila.WriteOptions { return lila.WriteOptions{Format: lila.FormatV2} })
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
+}
+
+// BenchmarkLoadTraceDirV2Compressed is the same corpus with
+// flate-compressed blocks: every block pays one crc + inflate on
+// decode. Compare against BenchmarkLoadTraceDirV2 for the decode cost
+// of the ~2x size reduction.
+func BenchmarkLoadTraceDirV2Compressed(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchTraceDir(b, func(int) lila.WriteOptions {
+		return lila.WriteOptions{Format: lila.FormatV2, Compression: lila.CompressionFlate}
+	})
 	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
 }
 
@@ -278,7 +291,84 @@ func BenchmarkLoadTraceDirV2(b *testing.B) {
 // without decoding, the headline selective-decode case.
 func BenchmarkLoadTraceDirV2_GUIOnly(b *testing.B) {
 	b.ReportAllocs()
-	dir, files := benchTraceDir(b, func(int) lila.Format { return lila.FormatV2 })
+	dir, files := benchTraceDir(b, func(int) lila.WriteOptions { return lila.WriteOptions{Format: lila.FormatV2} })
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{GUIOnly: true})
+}
+
+// benchDaemonHeavyDir hand-builds a corpus where daemon threads
+// dominate: eight worker threads each producing long runs of
+// call/sample/return triples between sparse GUI episodes, stored with
+// small blocks so most blocks carry no GUI-thread bit at all. This is
+// the corpus where block skipping should actually pay — the simulated
+// sessions above are GUI-dominated, which is why their GUIOnly numbers
+// barely move.
+func benchDaemonHeavyDir(b *testing.B) (string, int) {
+	b.Helper()
+	dir := b.TempDir()
+	const daemons = 8
+	for file := 0; file < 2; file++ {
+		h := lila.Header{App: "daemonheavy", SessionID: file, GUIThread: 1,
+			FilterThreshold: trace.Ms(3), SamplePeriod: trace.Ms(10)}
+		recs := []*lila.Record{{Type: lila.RecThread, Thread: 1, Name: "AWT-EventQueue-0"}}
+		for d := 0; d < daemons; d++ {
+			recs = append(recs, &lila.Record{Type: lila.RecThread, Thread: trace.ThreadID(2 + d),
+				Name: fmt.Sprintf("Worker-%d", d), Daemon: true})
+		}
+		tm := trace.Time(trace.Ms(1))
+		step := trace.Time(trace.Ms(1))
+		for ep := 0; ep < 100; ep++ {
+			recs = append(recs,
+				&lila.Record{Type: lila.RecCall, Time: tm, Thread: 1, Kind: trace.KindDispatch},
+				&lila.Record{Type: lila.RecCall, Time: tm, Thread: 1, Kind: trace.KindListener, Class: "app.Button", Method: "actionPerformed"},
+				&lila.Record{Type: lila.RecReturn, Time: tm + step, Thread: 1},
+				&lila.Record{Type: lila.RecReturn, Time: tm + step, Thread: 1})
+			tm += 2 * step
+			for i := 0; i < 100; i++ {
+				id := trace.ThreadID(2 + (ep*100+i)%daemons)
+				recs = append(recs,
+					&lila.Record{Type: lila.RecCall, Time: tm, Thread: id, Kind: trace.KindListener, Class: "app.Worker", Method: "run"},
+					&lila.Record{Type: lila.RecSample, Time: tm, Thread: id, State: trace.StateRunnable,
+						Stack: []trace.Frame{{Class: "app.Worker", Method: "run"}}},
+					&lila.Record{Type: lila.RecReturn, Time: tm + step, Thread: id})
+				tm += step
+			}
+		}
+		recs = append(recs, &lila.Record{Type: lila.RecEnd, Time: tm, Count: daemons + 1})
+
+		var buf bytes.Buffer
+		w, err := lila.NewV2WriterOptions(&buf, h, lila.V2WriterOptions{BlockRecords: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := w.WriteRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("daemonheavy_%d.lila", file)
+		if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir, 2
+}
+
+// BenchmarkLoadTraceDirV2_DaemonHeavy is the full-load baseline for the
+// daemon-heavy corpus; BenchmarkLoadTraceDirV2_GUIOnlyDaemonHeavy is
+// the selective load that gets to skip the ~90% of blocks holding only
+// worker records.
+func BenchmarkLoadTraceDirV2_DaemonHeavy(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchDaemonHeavyDir(b)
+	benchLoadTraceDir(b, dir, files, report.LoadOptions{})
+}
+
+func BenchmarkLoadTraceDirV2_GUIOnlyDaemonHeavy(b *testing.B) {
+	b.ReportAllocs()
+	dir, files := benchDaemonHeavyDir(b)
 	benchLoadTraceDir(b, dir, files, report.LoadOptions{GUIOnly: true})
 }
 
@@ -384,11 +474,11 @@ func BenchmarkTraceDecode_Binary(b *testing.B) { benchDecode(b, lila.FormatBinar
 // standing in for the mmap'd file).
 func BenchmarkTraceDecode_V2(b *testing.B) { benchDecode(b, lila.FormatV2) }
 
-func BenchmarkTraceDecode_V2Mmap(b *testing.B) {
+func benchDecodeV2Random(b *testing.B, comp lila.Compression, jobs int) {
 	b.ReportAllocs()
 	recs, h := benchRecords(b)
 	var buf bytes.Buffer
-	w, err := lila.NewWriter(&buf, lila.FormatV2, h)
+	w, err := lila.NewWriterOptions(&buf, h, lila.WriteOptions{Format: lila.FormatV2, Compression: comp})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -408,7 +498,7 @@ func BenchmarkTraceDecode_V2Mmap(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		got, _, err := v.Records(nil, false)
+		got, _, err := v.RecordsJobs(nil, false, jobs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -416,6 +506,25 @@ func BenchmarkTraceDecode_V2Mmap(b *testing.B) {
 			b.Fatalf("decoded %d of %d records", len(got), len(recs))
 		}
 	}
+}
+
+func BenchmarkTraceDecode_V2Mmap(b *testing.B) {
+	benchDecodeV2Random(b, lila.CompressionNone, 1)
+}
+
+// BenchmarkTraceDecode_V2Compressed is the random-access decode of the
+// same trace with flate-compressed blocks: crc + inflate per block on
+// top of the V2Mmap baseline.
+func BenchmarkTraceDecode_V2Compressed(b *testing.B) {
+	benchDecodeV2Random(b, lila.CompressionFlate, 1)
+}
+
+// BenchmarkTraceDecode_V2ParallelBlocks inflates and decodes blocks on
+// a worker pool sized to GOMAXPROCS — run with -cpu 1,4 to see the
+// intra-file scaling (output is pinned byte-identical across worker
+// counts by TestV2ParallelDecodeDeterminism).
+func BenchmarkTraceDecode_V2ParallelBlocks(b *testing.B) {
+	benchDecodeV2Random(b, lila.CompressionFlate, runtime.GOMAXPROCS(0))
 }
 
 // --- Ablations (design decisions of Section II) ---

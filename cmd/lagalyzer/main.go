@@ -171,12 +171,14 @@ func usage() {
                                            -follow tails one growing trace live
   lagalyzer browse   <trace>...            interactive pattern browser
   lagalyzer diff     [-n rows] <old> <new> compare two runs' patterns
-  lagalyzer convert  [-to text|binary|v2] [-out dir] <trace>...
-                                           re-encode traces (record-preserving)
+  lagalyzer convert  [-to text|binary|v2] [-compress] [-out dir] <trace>...
+                                           re-encode traces (record-preserving);
+                                           -compress DEFLATEs each v2 block
 
 global flags (before the subcommand):
   -salvage           tolerate damaged traces (skip unrecoverable files; exit 3 if any)
-  -jobs n            trace files decoded concurrently (0 = one per CPU, 1 = sequential)
+  -jobs n            decode workers (0 = one per CPU, 1 = sequential); workers beyond
+                     the file count decode v2 blocks within a file concurrently
   -self-profile f    write a LiLa v2 trace of this run's own pipeline spans to f
   -cpuprofile file   write a CPU profile
   -memprofile file   write a heap profile at exit
@@ -194,7 +196,12 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	// Workers beyond the file count are not wasted: they become the
+	// intra-file share, decoding one v2 file's blocks concurrently —
+	// a single huge trace with -jobs 4 uses all four workers.
+	blockJobs := 1
 	if jobs > len(paths) {
+		blockJobs = jobs / len(paths)
 		jobs = len(paths)
 	}
 
@@ -211,7 +218,7 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 				break
 			}
 			_, endLoad := obs.Span(runCtx, "load")
-			s, err := loadSession(path)
+			s, err := loadSession(path, blockJobs)
 			endLoad()
 			if err != nil && !salvageMode {
 				return nil, fmt.Errorf("%s: %w", path, err)
@@ -234,7 +241,7 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 						return
 					}
 					_, endLoad := obs.Span(wctx, "load")
-					s, err := loadSession(paths[i])
+					s, err := loadSession(paths[i], blockJobs)
 					endLoad()
 					results[i] = result{s, err}
 				}
@@ -277,13 +284,19 @@ func loadSessions(paths []string) ([]*trace.Session, error) {
 
 // loadSession ingests one trace file, strictly by default; in salvage
 // mode it decodes leniently and reports any damage worked around on
-// stderr.
-func loadSession(path string) (*trace.Session, error) {
+// stderr. v2 traces take the mmap + block-index fast path, with up to
+// blockJobs workers decoding one file's blocks concurrently.
+func loadSession(path string, blockJobs int) (*trace.Session, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	var magic [5]byte
+	if _, err := f.ReadAt(magic[:], 0); err == nil &&
+		string(magic[:4]) == "LILA" && magic[4] == lila.V2FormatVersion {
+		return loadSessionV2(f, path, blockJobs)
+	}
 	if !salvageMode {
 		return treebuild.ReadSession(f)
 	}
@@ -305,6 +318,38 @@ func loadSession(path string) (*trace.Session, error) {
 			}
 			fmt.Fprintf(os.Stderr, "lagalyzer: %s: rebuild: %s\n", path, msg)
 		}
+	}
+	return s, nil
+}
+
+// loadSessionV2 decodes a v2 trace via its footer index: the file is
+// mapped, blocks (compressed or raw) fan out to blockJobs workers, and
+// the merged record stream rebuilds the session. Salvage notes print
+// exactly like the streaming path's.
+func loadSessionV2(f *os.File, path string, blockJobs int) (*trace.Session, error) {
+	v, err := lila.OpenV2File(f, lila.Limits{})
+	if err != nil {
+		return nil, err
+	}
+	defer v.Close()
+	recs, rep, err := v.RecordsJobs(nil, salvageMode, blockJobs)
+	if err != nil {
+		return nil, err
+	}
+	s, diag, err := treebuild.BuildRecordsOptions(v.Header(), recs, treebuild.Options{Lenient: salvageMode})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Damaged() {
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: salvage: %s\n", path, rep)
+	}
+	if diag.Degraded() {
+		msg := fmt.Sprintf("skipped %d records, dropped %d open intervals, %d episodes",
+			diag.SkippedRecords, diag.DroppedOpenIntervals, diag.DroppedEpisodes)
+		if diag.SynthesizedEnd {
+			msg += ", synthesized end"
+		}
+		fmt.Fprintf(os.Stderr, "lagalyzer: %s: rebuild: %s\n", path, msg)
 	}
 	return s, nil
 }
@@ -697,11 +742,16 @@ func runDiff(args []string) error {
 func runConvert(args []string) error {
 	fs := flag.NewFlagSet("convert", flag.ExitOnError)
 	to := fs.String("to", "v2", "output encoding: text, binary, or v2")
+	compress := fs.Bool("compress", false, "DEFLATE-compress v2 blocks (only with -to v2)")
 	outDir := fs.String("out", "", "output directory, keeping base names (default: alongside each input as <input>.<format>)")
 	fs.Parse(args)
 	format, err := lila.ParseFormat(*to)
 	if err != nil {
 		return err
+	}
+	wo := lila.WriteOptions{Format: format}
+	if *compress {
+		wo.Compression = lila.CompressionFlate
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("no trace files given")
@@ -721,7 +771,7 @@ func runConvert(args []string) error {
 		if *outDir != "" {
 			dst = filepath.Join(*outDir, filepath.Base(path))
 		}
-		if err := convertOne(path, dst, format); err != nil {
+		if err := convertOne(path, dst, wo); err != nil {
 			if salvageMode {
 				fmt.Fprintf(os.Stderr, "lagalyzer: %s: skipped: %v\n", path, err)
 				lostInputs++
@@ -736,7 +786,7 @@ func runConvert(args []string) error {
 // convertOne re-encodes one trace, writing the output atomically (a
 // temp file renamed into place) so an interrupted convert never leaves
 // a truncated trace under the final name.
-func convertOne(path, dst string, format lila.Format) error {
+func convertOne(path, dst string, wo lila.WriteOptions) error {
 	if same, err := filepath.Abs(dst); err == nil {
 		if orig, err := filepath.Abs(path); err == nil && same == orig {
 			return fmt.Errorf("output would overwrite the input")
@@ -752,7 +802,7 @@ func convertOne(path, dst string, format lila.Format) error {
 		return err
 	}
 	var buf bytes.Buffer
-	w, err := lila.NewWriter(&buf, format, r.Header())
+	w, err := lila.NewWriterOptions(&buf, r.Header(), wo)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@
 //	lilasim -list
 //	lilasim -app Jmol -seconds 60 -seed 7 -format binary -o jmol.lila
 //	lilasim -app Jmol -format v2 -o jmol.lila            (block-indexed v2)
+//	lilasim -app Jmol -format v2 -compress -o jmol.lila  (DEFLATE-compressed blocks)
 //	lilasim -app GanttProject -session 2 > gantt.lila.txt
 //
 // Exit codes: 0 success, 1 total failure, 2 usage error (the shared
@@ -37,6 +38,7 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "base random seed")
 		seconds     = flag.Float64("seconds", 0, "session length override in seconds (0 = profile default)")
 		format      = flag.String("format", "text", "trace encoding: text, binary, or v2")
+		compress    = flag.Bool("compress", false, "DEFLATE-compress v2 blocks (v2 format only)")
 		out         = flag.String("o", "", "output file (default stdout)")
 		short       = flag.Bool("materialize-short", false, "emit sub-3ms episodes as records instead of a count")
 		selfProfile = flag.String("self-profile", "", "write a LiLa v2 trace of this run's own generate/encode spans to this file")
@@ -68,6 +70,10 @@ func main() {
 	f, err := lila.ParseFormat(*format)
 	if err != nil {
 		fail(err)
+	}
+	wo := lila.WriteOptions{Format: f}
+	if *compress {
+		wo.Compression = lila.CompressionFlate
 	}
 
 	// With -self-profile the generate and encode phases are recorded as
@@ -109,7 +115,7 @@ func main() {
 		w = tmp
 	}
 	_, endEnc := obs.PhaseSpan(ctx, "encode")
-	lw, err := lila.NewWriter(w, f, header)
+	lw, err := lila.NewWriterOptions(w, header, wo)
 	if err != nil {
 		fail(err)
 	}

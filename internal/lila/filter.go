@@ -93,39 +93,53 @@ func (s *filterState) keep(rec *Record) bool {
 	return true
 }
 
+// blockThreadHit reports whether the block's thread bitmap intersects
+// the selected threads (vacuously true without a thread restriction;
+// the bitmap has false positives but never false negatives).
+func (s *filterState) blockThreadHit(b *V2BlockInfo) bool {
+	if s.threads == nil {
+		return true
+	}
+	for id := range s.threads {
+		if b.threadBits&threadBit(id) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// blockTimeExcluded reports whether every timed record of the block
+// falls outside the filter window.
+func (s *filterState) blockTimeExcluded(b *V2BlockInfo) bool {
+	if s.f.MaxTime != 0 && b.MinTime > s.f.MaxTime {
+		return true
+	}
+	return b.MaxTime < s.f.MinTime
+}
+
 // blockMayMatch is the v2 index-level pre-test: false only when no
 // record of the block can survive the filter, so skipping the block is
 // sound. Global blocks always decode (they carry records every
-// selection keeps), and an open call depth forces decoding so returns
-// stay balanced.
+// selection keeps). A thread-bitmap miss is sound even while a kept
+// call is open: the writer sets a thread's bit for its returns as well
+// as its calls, so a missed block can hold neither a selected thread's
+// call nor the return that closes one — and only selected threads ever
+// have open depth. An open call therefore only forces decoding of
+// blocks the *window* test would exclude, where the call's return (in
+// a later, out-of-window block) may hide.
 func (s *filterState) blockMayMatch(b *V2BlockInfo) bool {
 	if b.flags&v2FlagGlobal != 0 {
 		return true
+	}
+	if !s.blockThreadHit(b) {
+		return false
 	}
 	for _, d := range s.depth {
 		if d > 0 {
 			return true
 		}
 	}
-	if s.f.MaxTime != 0 && b.MinTime > s.f.MaxTime {
-		return false
-	}
-	if b.MaxTime < s.f.MinTime {
-		return false
-	}
-	if s.threads != nil {
-		hit := false
-		for id := range s.threads {
-			if b.threadBits&threadBit(id) != 0 {
-				hit = true
-				break
-			}
-		}
-		if !hit {
-			return false
-		}
-	}
-	return true
+	return !s.blockTimeExcluded(b)
 }
 
 // NewFilteredReader wraps r so that Read yields only records selected

@@ -156,21 +156,43 @@ func ParseFormat(s string) (Format, error) {
 // NewWriter returns a Writer for the chosen format, with the header
 // already emitted.
 func NewWriter(w io.Writer, f Format, h Header) (Writer, error) {
-	switch f {
+	return NewWriterOptions(w, h, WriteOptions{Format: f})
+}
+
+// WriteOptions select a trace encoding together with its tuning knobs.
+type WriteOptions struct {
+	// Format selects the encoding; the zero value is FormatText.
+	Format Format
+	// Compression selects the per-block codec. Only FormatV2 is
+	// block-structured, so any other format rejects a non-zero value.
+	Compression Compression
+}
+
+// NewWriterOptions is NewWriter with explicit encoding options.
+func NewWriterOptions(w io.Writer, h Header, o WriteOptions) (Writer, error) {
+	if o.Compression != CompressionNone && o.Format != FormatV2 {
+		return nil, fmt.Errorf("lila: %s format does not support compression (only v2 is block-structured)", o.Format)
+	}
+	switch o.Format {
 	case FormatText:
 		return NewTextWriter(w, h)
 	case FormatBinary:
 		return NewBinaryWriter(w, h)
 	case FormatV2:
-		return NewV2Writer(w, h)
+		return NewV2WriterOptions(w, h, V2WriterOptions{Compression: o.Compression})
 	default:
-		return nil, fmt.Errorf("lila: unknown format %d", f)
+		return nil, fmt.Errorf("lila: unknown format %d", o.Format)
 	}
 }
 
 // WriteSession flattens s and writes it to w in the chosen format.
 func WriteSession(w io.Writer, f Format, s *trace.Session) error {
-	lw, err := NewWriter(w, f, HeaderOf(s))
+	return WriteSessionOptions(w, WriteOptions{Format: f}, s)
+}
+
+// WriteSessionOptions is WriteSession with explicit encoding options.
+func WriteSessionOptions(w io.Writer, o WriteOptions, s *trace.Session) error {
+	lw, err := NewWriterOptions(w, HeaderOf(s), o)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,25 @@ func corpus(t testing.TB) [][]byte {
 		}
 		out = append(out, buf.Bytes())
 	}
+	// A flate-compressed v2 trace seeds the fuzzers near the inflate
+	// path: block CRCs over the stored bytes, the count==0 header
+	// escape, and the inflated-length bound check.
+	{
+		var buf bytes.Buffer
+		w, err := lila.NewWriterOptions(&buf, h, lila.WriteOptions{Format: lila.FormatV2, Compression: lila.CompressionFlate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range compressibleRecords() {
+			if err := w.WriteRecord(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
 	out = append(out,
 		[]byte(""),
 		[]byte("#lila text 1\n"),
@@ -54,6 +73,24 @@ func corpus(t testing.TB) [][]byte {
 		[]byte("LILA\x02junk"),
 	)
 	return out
+}
+
+// compressibleRecords is a repetitive stream long enough that the v2
+// writer's flate pass genuinely compresses its blocks (tiny payloads
+// stay raw, which would leave the inflate path unseeded).
+func compressibleRecords() []*lila.Record {
+	recs := []*lila.Record{{Type: lila.RecThread, Thread: 1, Name: "edt"}}
+	tm := trace.Time(10)
+	for i := 0; i < 200; i++ {
+		recs = append(recs,
+			&lila.Record{Type: lila.RecCall, Time: tm, Thread: 1, Kind: trace.KindListener, Class: "a.B", Method: "on"},
+			&lila.Record{Type: lila.RecSample, Time: tm + 1, Thread: 1, State: trace.StateRunnable,
+				Stack: []trace.Frame{{Class: "a.B", Method: "on"}}},
+			&lila.Record{Type: lila.RecReturn, Time: tm + 2, Thread: 1})
+		tm += 5
+	}
+	recs = append(recs, &lila.Record{Type: lila.RecEnd, Time: tm, Count: 3})
+	return recs
 }
 
 // drain reads everything the parser will give, feeding both downstream

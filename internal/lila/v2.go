@@ -2,6 +2,7 @@ package lila
 
 import (
 	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -23,12 +24,16 @@ import (
 //	stacktab  := uvarint(count) stack*                    (ref 0 = empty, ref i = entry i-1)
 //	stack     := uvarint(nframes) frame*                  (leaf first)
 //	frame     := byte(flags: bit0 native) uvarint(classRef) uvarint(methodRef)
-//	block     := uvarint(payloadLen > 0) uvarint(recordCount)
-//	             varint(baseTime) u32le(crc32c(payload)) payload
+//	block     := rawblock | deflateblock
+//	rawblock  := uvarint(storedLen > 0) uvarint(recordCount > 0)
+//	             varint(baseTime) u32le(crc32c(stored)) stored
+//	deflateblock := uvarint(storedLen > 0) uvarint(0) uvarint(recordCount)
+//	             uvarint(inflatedLen) varint(baseTime) u32le(crc32c(stored)) stored
 //	sentinel  := uvarint(0)                               (ends the block sequence)
 //	index     := uvarint(blockCount) entry*
 //	entry     := uvarint(offset) uvarint(length) uvarint(recordCount)
 //	             varint(minTime) varint(maxTime) uvarint(threadBits) uvarint(flags)
+//	             [uvarint(inflatedLen) iff flags&compressed]
 //	trailer   := u64le(indexOffset) u32le(indexLen) u32le(crc32c(index)) "LILAIDX2"
 //
 // Unlike v1, every string and every distinct sampled call stack is
@@ -45,15 +50,25 @@ import (
 // spans, a 64-bit thread bitmap (bit tid%64 set for every thread with
 // records in the block), and a global flag (the block holds thread
 // declarations, GC brackets, or the end record). Selective readers
-// skip blocks whose index entry cannot match their RecordFilter. An
-// entry flag bit is reserved for per-block compression; this writer
-// always stores blocks raw.
+// skip blocks whose index entry cannot match their RecordFilter.
+//
+// Blocks may be individually DEFLATE-compressed (v2.1). A record
+// count of 0 in the block header — impossible for a raw block, whose
+// count is always positive — escapes into the compressed framing: the
+// true record count and the inflated payload length follow, and the
+// stored bytes are the flate stream of the payload. The CRC always
+// covers the *stored* bytes, so damage is detected before any
+// inflation, and a compressed index entry carries the inflated length
+// after its flags, so selective readers still skip untouched blocks
+// without inflating anything. The writer compresses per block and
+// keeps whichever form is smaller, so pathological payloads never
+// grow; uncompressed writes are byte-identical to v2.0.
 //
 // Damage tolerance is per block: each block carries a CRC of its
-// payload and the index carries its own CRC, so a salvage reader drops
-// exactly the blocks that fail their checksum — an itemized loss, with
-// no resynchronization scan — and survives a destroyed index by
-// re-framing blocks from their self-describing headers.
+// stored bytes and the index carries its own CRC, so a salvage reader
+// drops exactly the blocks that fail their checksum — an itemized
+// loss, with no resynchronization scan — and survives a destroyed
+// index by re-framing blocks from their self-describing headers.
 
 // V2FormatVersion is the version byte of the block-indexed format.
 const V2FormatVersion = 2
@@ -82,10 +97,50 @@ const (
 	// thread (thread declarations, GC brackets, the end record); such
 	// blocks are decoded by every selective read.
 	v2FlagGlobal = 1 << 0
-	// v2FlagCompressed is reserved for per-block compression. This
-	// writer never sets it; readers reject blocks that carry it.
+	// v2FlagCompressed marks a block whose payload is stored as a raw
+	// DEFLATE stream; the index entry then carries the inflated length
+	// after its flags. The block's own header is authoritative for
+	// decode (the count-0 escape, see the format comment); the index
+	// flag exists so selective readers can account for compression
+	// without touching the block.
 	v2FlagCompressed = 1 << 1
 )
+
+// Compression selects the per-block codec of the v2 writer. It is a
+// property of the encoding pass, not the format: readers accept raw
+// and compressed blocks side by side in one file.
+type Compression int
+
+const (
+	// CompressionNone stores every block raw (the v2.0 encoding).
+	CompressionNone Compression = iota
+	// CompressionFlate DEFLATE-compresses each block independently,
+	// keeping a block raw when compression would not shrink it.
+	CompressionFlate
+)
+
+// String returns "none" or "flate".
+func (c Compression) String() string {
+	switch c {
+	case CompressionNone:
+		return "none"
+	case CompressionFlate:
+		return "flate"
+	default:
+		return fmt.Sprintf("compression(%d)", int(c))
+	}
+}
+
+// ParseCompression recognises "none" and "flate".
+func ParseCompression(s string) (Compression, error) {
+	switch s {
+	case "none", "":
+		return CompressionNone, nil
+	case "flate":
+		return CompressionFlate, nil
+	}
+	return 0, fmt.Errorf("lila: unknown compression %q (want none or flate)", s)
+}
 
 // threadBit maps a thread ID onto the 64-bit per-block thread bitmap.
 func threadBit(id trace.ThreadID) uint64 {
@@ -97,6 +152,9 @@ type V2WriterOptions struct {
 	// BlockRecords caps the records per block; 0 takes
 	// DefaultV2BlockRecords.
 	BlockRecords int
+	// Compression selects the per-block codec; the zero value stores
+	// blocks raw.
+	Compression Compression
 }
 
 // V2Writer writes a trace in the v2 block-indexed format. The string
@@ -121,6 +179,9 @@ func NewV2Writer(w io.Writer, h Header) (*V2Writer, error) {
 func NewV2WriterOptions(w io.Writer, h Header, opts V2WriterOptions) (*V2Writer, error) {
 	if opts.BlockRecords <= 0 {
 		opts.BlockRecords = DefaultV2BlockRecords
+	}
+	if opts.Compression != CompressionNone && opts.Compression != CompressionFlate {
+		return nil, fmt.Errorf("lila: unknown compression %d", int(opts.Compression))
 	}
 	return &V2Writer{w: w, h: h, opts: opts}, nil
 }
@@ -261,6 +322,7 @@ type blockMeta struct {
 	minTime, maxTime trace.Time
 	threadBits       uint64
 	flags            uint64
+	rawLen           uint64 // inflated payload length; set iff compressed
 }
 
 // Close encodes the buffered stream and writes the complete v2 file.
@@ -351,17 +413,47 @@ func (vw *V2Writer) Close() error {
 		}
 	}
 
+	var fw *flate.Writer
+	var cbuf bytes.Buffer
 	off := 0
 	for i := range blocks {
 		pb := &blocks[i]
 		payload := payloads[off : off+pb.payloadLen]
 		off += pb.payloadLen
+		stored := payload
+		if vw.opts.Compression == CompressionFlate {
+			cbuf.Reset()
+			if fw == nil {
+				fw, _ = flate.NewWriter(&cbuf, flate.DefaultCompression)
+			} else {
+				fw.Reset(&cbuf)
+			}
+			if _, err := fw.Write(payload); err != nil {
+				return fmt.Errorf("lila: compressing v2 block: %w", err)
+			}
+			if err := fw.Close(); err != nil {
+				return fmt.Errorf("lila: compressing v2 block: %w", err)
+			}
+			// Keep whichever form is smaller; incompressible blocks stay
+			// raw so no file ever grows from asking for compression.
+			if cbuf.Len() < len(payload) {
+				stored = cbuf.Bytes()
+				pb.meta.flags |= v2FlagCompressed
+				pb.meta.rawLen = uint64(len(payload))
+			}
+		}
 		pb.meta.offset = uint64(len(enc.buf))
-		enc.uvarint(uint64(len(payload)))
-		enc.uvarint(uint64(pb.meta.records))
+		enc.uvarint(uint64(len(stored)))
+		if pb.meta.flags&v2FlagCompressed != 0 {
+			enc.uvarint(0) // escape: compressed framing follows
+			enc.uvarint(uint64(pb.meta.records))
+			enc.uvarint(pb.meta.rawLen)
+		} else {
+			enc.uvarint(uint64(pb.meta.records))
+		}
 		enc.varint(int64(pb.baseTime))
-		enc.buf = binary.LittleEndian.AppendUint32(enc.buf, crc32.Checksum(payload, v2CRC))
-		enc.buf = append(enc.buf, payload...)
+		enc.buf = binary.LittleEndian.AppendUint32(enc.buf, crc32.Checksum(stored, v2CRC))
+		enc.buf = append(enc.buf, stored...)
 		pb.meta.length = uint64(len(enc.buf)) - pb.meta.offset
 	}
 	enc.uvarint(0) // sentinel: end of blocks
@@ -377,6 +469,9 @@ func (vw *V2Writer) Close() error {
 		enc.varint(int64(m.maxTime))
 		enc.uvarint(m.threadBits)
 		enc.uvarint(m.flags)
+		if m.flags&v2FlagCompressed != 0 {
+			enc.uvarint(m.rawLen)
+		}
 	}
 	index := enc.buf[indexOff:]
 	enc.buf = binary.LittleEndian.AppendUint64(enc.buf, indexOff)

@@ -459,10 +459,12 @@ func TestUnsupportedVersionBothDirections(t *testing.T) {
 	}
 }
 
-// TestV2RejectsCompressedFlag pins the reserved-bit contract: an index
-// entry carrying the compression flag (which this writer never sets)
-// is treated as index damage — the reader must not misdecode the
-// payload as raw records.
+// TestV2RejectsCompressedFlag pins the index-entry contract around the
+// compression flag: a compressed entry must carry its inflated length,
+// so a forged flag on a raw block's entry (with nothing following) is
+// treated as index damage — the reader must not misdecode the payload,
+// and salvage must still recover everything from the self-framing
+// block headers, whose own raw/compressed discipline is authoritative.
 func TestV2RejectsCompressedFlag(t *testing.T) {
 	// Single block, so the index's final byte is its flags uvarint.
 	data := writeV2(t, v2TestRecords(), 1<<20)

@@ -1,0 +1,436 @@
+package lila
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lagalyzer/internal/trace"
+)
+
+// writeV2C encodes recs at the given block granularity and compression.
+func writeV2C(t *testing.T, recs []*Record, blockRecords int, c Compression) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewV2WriterOptions(&buf, testHeader(), V2WriterOptions{BlockRecords: blockRecords, Compression: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// v2LongRecords builds a stream long and repetitive enough that every
+// reasonably sized block deflates well below its raw payload size.
+func v2LongRecords(pairs int) []*Record {
+	recs := []*Record{
+		{Type: RecThread, Thread: 1, Name: "AWT-EventQueue-0"},
+		{Type: RecThread, Thread: 2, Name: "Worker", Daemon: true},
+	}
+	t := trace.Time(1000)
+	for i := 0; i < pairs; i++ {
+		id := trace.ThreadID(1 + i/(pairs/2+1)) // first half GUI, second half worker
+		cls := fmt.Sprintf("app.Widget%d", i%3)
+		recs = append(recs,
+			&Record{Type: RecCall, Time: t, Thread: id, Kind: trace.KindListener, Class: cls, Method: "actionPerformed"},
+			&Record{Type: RecSample, Time: t + 1, Thread: id, State: trace.StateRunnable,
+				Stack: []trace.Frame{{Class: cls, Method: "actionPerformed"}, {Class: "java.awt.EventQueue", Method: "dispatchEvent"}}},
+			&Record{Type: RecReturn, Time: t + 2, Thread: id})
+		t += 10
+	}
+	recs = append(recs, &Record{Type: RecEnd, Time: t + 100, Count: 9})
+	return recs
+}
+
+// TestV2CompressedRoundTrip pins that flate-compressed traces decode
+// byte-identically to their record stream on both the random-access and
+// streaming paths, across block granularities (including single-record
+// blocks, where flate loses and the writer keeps blocks raw).
+func TestV2CompressedRoundTrip(t *testing.T) {
+	want := v2TestRecords()
+	for _, blockRecords := range []int{1, 4, 7, 64, 1 << 20} {
+		data := writeV2C(t, want, blockRecords, CompressionFlate)
+
+		v, err := ParseV2(data, Limits{})
+		if err != nil {
+			t.Fatalf("blockRecords=%d: ParseV2: %v", blockRecords, err)
+		}
+		got, rep, err := v.Records(nil, false)
+		if err != nil {
+			t.Fatalf("blockRecords=%d: Records: %v", blockRecords, err)
+		}
+		if rep != nil {
+			t.Fatalf("blockRecords=%d: strict decode produced a salvage report", blockRecords)
+		}
+		recordsEqual(t, got, want, fmt.Sprintf("compressed random access (blockRecords=%d)", blockRecords))
+
+		// Streaming path re-frames from the self-describing headers.
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("blockRecords=%d: NewReader: %v", blockRecords, err)
+		}
+		recordsEqual(t, drainReader(t, r), want, fmt.Sprintf("compressed streaming (blockRecords=%d)", blockRecords))
+
+		// Large blocks must actually end up compressed and smaller.
+		if blockRecords >= 64 {
+			anyCompressed := false
+			for _, b := range v.Blocks() {
+				if b.Compressed() {
+					anyCompressed = true
+				}
+			}
+			if !anyCompressed {
+				t.Errorf("blockRecords=%d: no block came out compressed", blockRecords)
+			}
+			raw := writeV2(t, want, blockRecords)
+			if len(data) >= len(raw) {
+				t.Errorf("blockRecords=%d: compressed file %d bytes >= raw %d", blockRecords, len(data), len(raw))
+			}
+		}
+	}
+}
+
+// TestV2CompressionRatio is the acceptance-criterion check: on a long
+// repetitive trace at the default block size, flate must at least halve
+// the file.
+func TestV2CompressionRatio(t *testing.T) {
+	recs := v2LongRecords(4000)
+	raw := writeV2C(t, recs, 0, CompressionNone)
+	comp := writeV2C(t, recs, 0, CompressionFlate)
+	if len(comp)*2 > len(raw) {
+		t.Errorf("compression ratio %.2fx < 2x (raw %d, compressed %d bytes)",
+			float64(len(raw))/float64(len(comp)), len(raw), len(comp))
+	}
+	// Compression must not perturb the records.
+	v, err := ParseV2(comp, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := v.Records(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, got, recs, "ratio corpus")
+}
+
+// TestV2UncompressedOptionByteIdentical pins that CompressionNone (and
+// the zero options) writes exactly the v2.0 byte stream — goldens and
+// the deterministic selftrace encoding depend on it.
+func TestV2UncompressedOptionByteIdentical(t *testing.T) {
+	recs := v2TestRecords()
+	a := writeV2(t, recs, 8)
+	b := writeV2C(t, recs, 8, CompressionNone)
+	if !bytes.Equal(a, b) {
+		t.Fatal("CompressionNone output differs from the v2.0 writer")
+	}
+}
+
+// TestV2CompressedSalvage corrupts one compressed block and checks the
+// loss is exactly that block: itemized counts, no resync, and correct
+// absolute times after the gap — the CRC is over the stored bytes, so
+// damage is rejected before any inflation is attempted.
+func TestV2CompressedSalvage(t *testing.T) {
+	all := v2LongRecords(200)
+	const blockRecords = 64
+	data := writeV2C(t, all, blockRecords, CompressionFlate)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a middle block and require it to really be compressed, so
+	// the corruption lands on a deflate payload.
+	target := len(v.Blocks()) / 2
+	info := v.Blocks()[target]
+	if !info.Compressed() {
+		t.Fatalf("block %d not compressed; corpus too small for the test", target)
+	}
+	bad := bytes.Clone(data)
+	bad[info.Offset+info.Length/2] ^= 0x40
+
+	vb, err := ParseV2(bad, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := vb.Records(nil, true)
+	if err != nil {
+		t.Fatalf("salvage Records: %v", err)
+	}
+	if rep == nil || !rep.Damaged() {
+		t.Fatal("salvage of a corrupt compressed block reported no damage")
+	}
+	if rep.RecordsDropped != info.Records {
+		t.Errorf("dropped %d records, want exactly the block's %d", rep.RecordsDropped, info.Records)
+	}
+	if rep.BytesSkipped != info.Length {
+		t.Errorf("skipped %d bytes, want the block's %d", rep.BytesSkipped, info.Length)
+	}
+	want := append(append([]*Record{}, all[:target*blockRecords]...), all[(target+1)*blockRecords:]...)
+	recordsEqual(t, got, want, "compressed salvage")
+
+	// The streaming salvage reader must agree record for record.
+	r, err := NewReaderOptions(bytes.NewReader(bad), ReaderOptions{Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*Record
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		streamed = append(streamed, rec)
+	}
+	recordsEqual(t, streamed, want, "compressed streaming salvage")
+	srep := SalvageOf(r)
+	if srep == nil || srep.RecordsDropped != info.Records {
+		t.Errorf("streaming salvage report = %+v, want %d dropped", srep, info.Records)
+	}
+}
+
+// TestV2CompressedIndexSalvageScan destroys the footer of a compressed
+// file: strict decode must refuse, while the salvage scan re-frames
+// every block — including deflate blocks via the count==0 escape in the
+// self-describing headers.
+func TestV2CompressedIndexSalvageScan(t *testing.T) {
+	all := v2LongRecords(200)
+	data := writeV2C(t, all, 64, CompressionFlate)
+	bad := bytes.Clone(data)
+	bad[len(bad)-1] ^= 0xff // trailer CRC
+
+	v, err := ParseV2(bad, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := v.Records(nil, false); err == nil {
+		t.Error("strict decode accepted a damaged index")
+	}
+	got, rep, err := v.Records(nil, true)
+	if err != nil {
+		t.Fatalf("salvage Records: %v", err)
+	}
+	recordsEqual(t, got, all, "compressed index-damage salvage")
+	if rep.FirstError == "" {
+		t.Error("index damage not noted in report")
+	}
+}
+
+// TestV2CompressedSelectiveDecodeEquivalence re-pins the selective
+// decode contract over the compressed encoding, sequentially and with
+// intra-file workers: block skipping via the index must yield exactly
+// what the same filter keeps over the full v1 stream.
+func TestV2CompressedSelectiveDecodeEquivalence(t *testing.T) {
+	all := v2TestRecords()
+	filters := []*RecordFilter{
+		{Threads: []trace.ThreadID{1}},
+		{Threads: []trace.ThreadID{2}},
+		{MinTime: 1100, MaxTime: 1300},
+		{Threads: []trace.ThreadID{1}, MinTime: 1050, MaxTime: 1200},
+	}
+	data := writeV2C(t, all, 8, CompressionFlate)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	w, err := NewWriter(&v1, FormatBinary, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range all {
+		if err := w.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range filters {
+		br, err := NewReader(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainReader(t, NewFilteredReader(br, f))
+		for _, jobs := range []int{1, 4} {
+			got, _, err := v.RecordsJobs(f, false, jobs)
+			if err != nil {
+				t.Fatalf("filter %d jobs %d: %v", i, jobs, err)
+			}
+			recordsEqual(t, got, want, fmt.Sprintf("compressed filter %d jobs %d", i, jobs))
+		}
+	}
+}
+
+// TestV2ParallelDecodeDeterminism is the worker-count pin of the
+// acceptance criteria: records, salvage reports, and strict errors must
+// be byte-identical at jobs 1, 2, and 8, for raw and compressed files,
+// clean and damaged, filtered and not.
+func TestV2ParallelDecodeDeterminism(t *testing.T) {
+	all := v2TestRecords()
+	filters := []*RecordFilter{
+		nil,
+		{Threads: []trace.ThreadID{1}},
+		{MinTime: 1100, MaxTime: 1300},
+		{Threads: []trace.ThreadID{2}, MinTime: 1050, MaxTime: 1400},
+	}
+	for _, comp := range []Compression{CompressionNone, CompressionFlate} {
+		data := writeV2C(t, all, 8, comp)
+		bad := bytes.Clone(data)
+		v, err := ParseV2(data, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := v.Blocks()[len(v.Blocks())/2]
+		bad[mid.Offset+mid.Length/2] ^= 0x40
+
+		for name, input := range map[string][]byte{"clean": data, "damaged": bad} {
+			vf, err := ParseV2(input, Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for fi, f := range filters {
+				for _, salvage := range []bool{false, true} {
+					label := fmt.Sprintf("%v/%s/filter%d/salvage=%v", comp, name, fi, salvage)
+					wantRecs, wantRep, wantErr := vf.RecordsJobs(f, salvage, 1)
+					for _, jobs := range []int{2, 8} {
+						gotRecs, gotRep, gotErr := vf.RecordsJobs(f, salvage, jobs)
+						if (gotErr == nil) != (wantErr == nil) ||
+							(gotErr != nil && gotErr.Error() != wantErr.Error()) {
+							t.Errorf("%s jobs=%d: err %v, want %v", label, jobs, gotErr, wantErr)
+							continue
+						}
+						if !reflect.DeepEqual(gotRecs, wantRecs) {
+							t.Errorf("%s jobs=%d: records diverge from sequential", label, jobs)
+						}
+						if !reflect.DeepEqual(gotRep, wantRep) {
+							t.Errorf("%s jobs=%d: report %+v, want %+v", label, jobs, gotRep, wantRep)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestV2ThreadSkipWithOpenCall pins the filter-conservatism fix: a
+// thread-bitmap miss is sound even while a kept call is open, so
+// worker-only blocks under an open GUI dispatch are skipped (previously
+// any open call forced every block to decode). A corrupt worker-only
+// block inside the open call proves the skip really happens, at every
+// worker count.
+func TestV2ThreadSkipWithOpenCall(t *testing.T) {
+	recs := []*Record{
+		{Type: RecThread, Thread: 1, Name: "AWT-EventQueue-0"},
+		{Type: RecThread, Thread: 2, Name: "Worker", Daemon: true},
+		{Type: RecCall, Time: 100, Thread: 1, Kind: trace.KindDispatch},
+	}
+	tm := trace.Time(110)
+	for i := 0; i < 40; i++ {
+		recs = append(recs,
+			&Record{Type: RecCall, Time: tm, Thread: 2, Kind: trace.KindListener, Class: "app.Worker", Method: "run"},
+			&Record{Type: RecSample, Time: tm + 1, Thread: 2, State: trace.StateRunnable,
+				Stack: []trace.Frame{{Class: "app.Worker", Method: "run"}}},
+			&Record{Type: RecReturn, Time: tm + 2, Thread: 2})
+		tm += 10
+	}
+	recs = append(recs,
+		&Record{Type: RecReturn, Time: tm, Thread: 1},
+		&Record{Type: RecEnd, Time: tm + 10, Count: 2})
+
+	for _, comp := range []Compression{CompressionNone, CompressionFlate} {
+		data := writeV2C(t, recs, 8, comp)
+		v, err := ParseV2(data, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := -1
+		for i, b := range v.Blocks() {
+			if !b.HasGlobal() && b.MayContainThread(2) && !b.MayContainThread(1) {
+				target = i
+				break
+			}
+		}
+		if target < 0 {
+			t.Fatal("no worker-only block in corpus; adjust the test stream")
+		}
+		bad := bytes.Clone(data)
+		b := v.Blocks()[target]
+		bad[b.Offset+b.Length-1] ^= 0xff
+
+		vb, err := ParseV2(bad, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := vb.Records(nil, false); err == nil {
+			t.Fatalf("%v: strict full decode of corrupt block succeeded", comp)
+		}
+		f := &RecordFilter{Threads: []trace.ThreadID{1}}
+		var want []*Record
+		st := newFilterState(f)
+		for _, rec := range recs {
+			if st.keep(rec) {
+				want = append(want, rec)
+			}
+		}
+		for _, jobs := range []int{1, 4} {
+			got, _, err := vb.RecordsJobs(f, false, jobs)
+			if err != nil {
+				t.Fatalf("%v jobs=%d: GUI-filtered decode touched the corrupt worker block under an open call: %v", comp, jobs, err)
+			}
+			recordsEqual(t, got, want, fmt.Sprintf("%v jobs=%d open-call skip", comp, jobs))
+		}
+	}
+}
+
+// TestV2SelectiveDecodeInflatesOnlyTouchedBlocks checks the
+// skip-effectiveness metrics: a filtered decode of a compressed file
+// must inflate strictly fewer blocks than a full decode, and account
+// for the skipped remainder.
+func TestV2SelectiveDecodeInflatesOnlyTouchedBlocks(t *testing.T) {
+	all := v2LongRecords(400)
+	data := writeV2C(t, all, 64, CompressionFlate)
+	v, err := ParseV2(data, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := 0
+	for _, b := range v.Blocks() {
+		if b.Compressed() {
+			compressed++
+		}
+	}
+	if compressed < 3 {
+		t.Fatalf("only %d compressed blocks; corpus too small", compressed)
+	}
+
+	before := mBlocksInflated.Value()
+	if _, _, err := v.Records(nil, false); err != nil {
+		t.Fatal(err)
+	}
+	full := mBlocksInflated.Value() - before
+	if full != int64(compressed) {
+		t.Errorf("full decode inflated %d blocks, want all %d compressed", full, compressed)
+	}
+
+	beforeInf, beforeSkip := mBlocksInflated.Value(), mBlocksSkipped.Value()
+	// Threads in v2LongRecords split the stream in half: the worker
+	// filter must leave the GUI half's blocks uninflated.
+	if _, _, err := v.Records(&RecordFilter{Threads: []trace.ThreadID{2}}, false); err != nil {
+		t.Fatal(err)
+	}
+	partial := mBlocksInflated.Value() - beforeInf
+	skipped := mBlocksSkipped.Value() - beforeSkip
+	if partial >= full {
+		t.Errorf("filtered decode inflated %d blocks, not fewer than the full decode's %d", partial, full)
+	}
+	if skipped == 0 {
+		t.Error("filtered decode skipped no blocks")
+	}
+}

@@ -1,13 +1,19 @@
 package lila
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"lagalyzer/internal/obs"
 	"lagalyzer/internal/trace"
 )
 
@@ -21,6 +27,15 @@ import (
 //     contract for sniffed io.Reader inputs (pipes, network, the
 //     convert pass); it buffers the input, bounded by MaxTraceBytes,
 //     and never needs the footer index — blocks are self-framing.
+
+// Decode-path metrics: how often the index lets a selective read skip
+// a whole block, how many compressed blocks readers inflate, and the
+// worker count of the most recent intra-file parallel decode.
+var (
+	mBlocksSkipped  = obs.NewCounter("lila_blocks_skipped_total", "v2 blocks skipped whole by index-level selective decode")
+	mBlocksInflated = obs.NewCounter("lila_blocks_inflated_total", "compressed v2 blocks inflated by readers")
+	mDecodeWorkers  = obs.NewGauge("lila_block_decode_workers", "workers of the most recent parallel v2 block decode")
+)
 
 // v2cur is a bounds-checked cursor over encoded bytes.
 type v2cur struct {
@@ -211,6 +226,9 @@ type V2BlockInfo struct {
 	Records int
 	// MinTime and MaxTime span the block's timed records.
 	MinTime, MaxTime trace.Time
+	// RawLen is the inflated payload length of a compressed block;
+	// 0 for blocks stored raw.
+	RawLen int64
 
 	threadBits uint64
 	flags      uint64
@@ -226,6 +244,10 @@ func (b *V2BlockInfo) HasGlobal() bool { return b.flags&v2FlagGlobal != 0 }
 func (b *V2BlockInfo) MayContainThread(id trace.ThreadID) bool {
 	return b.threadBits&threadBit(id) != 0
 }
+
+// Compressed reports whether the block's payload is stored as a
+// DEFLATE stream.
+func (b *V2BlockInfo) Compressed() bool { return b.flags&v2FlagCompressed != 0 }
 
 // parseV2Index recovers the block index from the footer trailer,
 // verifying its checksum and every entry's framing.
@@ -287,10 +309,31 @@ func parseV2Index(d *v2data) ([]V2BlockInfo, error) {
 			return nil, fmt.Errorf("lila: v2 index entry %d: frame out of bounds", i)
 		}
 		if b.flags&v2FlagCompressed != 0 {
-			return nil, fmt.Errorf("lila: v2 index entry %d: compressed blocks not supported", i)
+			// Compressed entries carry the inflated payload length after
+			// their flags; an entry that lacks it (or declares an absurd
+			// one) is index damage like any other.
+			rl, err := c.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("lila: v2 index entry %d: %w", i, err)
+			}
+			if rl == 0 || rl > maxInflatedLen(uint64(b.Length), d.limits) {
+				return nil, fmt.Errorf("lila: v2 index entry %d: implausible inflated length %d", i, rl)
+			}
+			b.RawLen = int64(rl)
 		}
 	}
 	return blocks, nil
+}
+
+// maxInflatedLen bounds a compressed block's declared inflated size
+// before any buffer is allocated for it: DEFLATE expands at most
+// ~1032:1, and nothing can exceed the whole-trace byte budget.
+func maxInflatedLen(storedLen uint64, limits Limits) uint64 {
+	bound := storedLen*1032 + 64
+	if m := uint64(limits.MaxTraceBytes); bound > m {
+		bound = m
+	}
+	return bound
 }
 
 // scanV2Blocks re-frames the block sequence from the self-describing
@@ -316,13 +359,34 @@ func scanV2Blocks(d *v2data) ([]V2BlockInfo, error) {
 		if err != nil {
 			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
 		}
+		flags := uint64(v2FlagGlobal)
+		var rawLen uint64
+		if count == 0 {
+			// Raw blocks never have zero records: this is the escape
+			// into the compressed framing (see the format comment in
+			// v2.go) — the true count and inflated length follow.
+			flags |= v2FlagCompressed
+			if count, err = c.uvarint(); err != nil {
+				return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+			}
+			if rawLen, err = c.uvarint(); err != nil {
+				return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
+			}
+		}
 		if _, err := c.varint(); err != nil { // baseTime
 			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
 		}
 		if _, err := c.bytes(4); err != nil { // crc
 			return blocks, fmt.Errorf("lila: v2 block %d framing: %w", len(blocks), err)
 		}
-		if plen > uint64(c.remaining()) || count == 0 || count > plen {
+		implausible := plen > uint64(c.remaining()) || count == 0
+		if flags&v2FlagCompressed != 0 {
+			implausible = implausible || rawLen == 0 || count > rawLen ||
+				rawLen > maxInflatedLen(plen, d.limits)
+		} else {
+			implausible = implausible || count > plen
+		}
+		if implausible {
 			return blocks, fmt.Errorf("lila: v2 block %d: implausible frame (payload %d, records %d)",
 				len(blocks), plen, count)
 		}
@@ -337,19 +401,56 @@ func scanV2Blocks(d *v2data) ([]V2BlockInfo, error) {
 			Records:    int(count),
 			MinTime:    math.MinInt64,
 			MaxTime:    math.MaxInt64,
+			RawLen:     int64(rawLen),
 			threadBits: ^uint64(0),
-			flags:      v2FlagGlobal,
+			flags:      flags,
 		})
 	}
 }
 
-// decodeV2Block decodes one block's records. The block header is
-// re-read from b's frame (it carries the base time); the payload
-// checksum is verified before any record is materialized.
+// v2scratch bundles the per-goroutine decode state: the record arena
+// plus the reusable inflate machinery for compressed blocks. Not safe
+// for concurrent use; every decoding goroutine owns one.
+type v2scratch struct {
+	arena    recArena
+	br       bytes.Reader
+	fr       io.ReadCloser // flate reader, Reset per block
+	inflated []byte        // reusable inflated-payload buffer
+}
+
+// inflate decompresses stored into the scratch buffer, insisting on
+// exactly rawLen bytes. The returned slice is valid until the next
+// call; record decode never retains payload bytes (strings and stacks
+// live in the up-front tables), so reuse is safe.
+func (s *v2scratch) inflate(stored []byte, rawLen int) ([]byte, error) {
+	s.br.Reset(stored)
+	if s.fr == nil {
+		s.fr = flate.NewReader(&s.br)
+	} else if err := s.fr.(flate.Resetter).Reset(&s.br, nil); err != nil {
+		return nil, fmt.Errorf("inflating block payload: %w", err)
+	}
+	if cap(s.inflated) < rawLen {
+		s.inflated = make([]byte, rawLen)
+	}
+	buf := s.inflated[:rawLen]
+	if _, err := io.ReadFull(s.fr, buf); err != nil {
+		return nil, fmt.Errorf("inflating block payload: %w", err)
+	}
+	var tail [1]byte
+	if n, _ := s.fr.Read(tail[:]); n != 0 {
+		return nil, fmt.Errorf("inflated payload exceeds declared length %d", rawLen)
+	}
+	return buf, nil
+}
+
 // decodeV2Block verifies and decodes one block, appending its records
-// to dst. On error dst is unchanged at its original length (appended
-// capacity may hold dead pointers; callers must not read past len).
-func (d *v2data) decodeV2Block(b *V2BlockInfo, arena *recArena, dst []*Record) ([]*Record, error) {
+// to dst. The block header is re-read from b's frame (it carries the
+// base time and, for compressed blocks, the inflated length); the
+// checksum over the stored bytes is verified before any inflation or
+// record materialization. On error dst is unchanged at its original
+// length (appended capacity may hold dead pointers; callers must not
+// read past len).
+func (d *v2data) decodeV2Block(b *V2BlockInfo, sc *v2scratch, dst []*Record) ([]*Record, error) {
 	c := &v2cur{data: d.data[:b.Offset+b.Length], off: int(b.Offset)}
 	plen, err := c.uvarint()
 	if err != nil {
@@ -359,6 +460,22 @@ func (d *v2data) decodeV2Block(b *V2BlockInfo, arena *recArena, dst []*Record) (
 	if err != nil {
 		return nil, err
 	}
+	compressed := false
+	rawLen := int(plen)
+	if count == 0 { // escape into the compressed framing
+		compressed = true
+		if count, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		rl, err := c.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rl == 0 || rl > maxInflatedLen(plen, d.limits) {
+			return nil, fmt.Errorf("implausible inflated length %d for %d stored bytes", rl, plen)
+		}
+		rawLen = int(rl)
+	}
 	base, err := c.varint()
 	if err != nil {
 		return nil, err
@@ -367,7 +484,7 @@ func (d *v2data) decodeV2Block(b *V2BlockInfo, arena *recArena, dst []*Record) (
 	if err != nil {
 		return nil, err
 	}
-	payload, err := c.bytes(int(plen))
+	stored, err := c.bytes(int(plen))
 	if err != nil {
 		return nil, err
 	}
@@ -375,14 +492,21 @@ func (d *v2data) decodeV2Block(b *V2BlockInfo, arena *recArena, dst []*Record) (
 		return nil, fmt.Errorf("block header disagrees with index (payload %d, records %d vs %d)",
 			plen, count, b.Records)
 	}
-	if crc32.Checksum(payload, v2CRC) != binary.LittleEndian.Uint32(crcb) {
+	if crc32.Checksum(stored, v2CRC) != binary.LittleEndian.Uint32(crcb) {
 		return nil, fmt.Errorf("block checksum mismatch (%d records lost)", count)
+	}
+	payload := stored
+	if compressed {
+		if payload, err = sc.inflate(stored, rawLen); err != nil {
+			return nil, fmt.Errorf("%w (%d records lost)", err, count)
+		}
+		mBlocksInflated.Inc()
 	}
 
 	pc := &v2cur{data: payload}
 	lastTime := trace.Time(base)
 	for i := 0; i < int(count); i++ {
-		rec, err := d.decodeRecord(pc, &lastTime, arena)
+		rec, err := d.decodeRecord(pc, &lastTime, &sc.arena)
 		if err != nil {
 			return nil, fmt.Errorf("record %d of block: %w", i, err)
 		}
@@ -605,6 +729,25 @@ func (v *V2File) Close() error {
 // report is non-nil exactly when salvage is true; its metrics are
 // flushed once per call.
 func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *SalvageReport, error) {
+	return v.RecordsJobs(filter, salvage, 1)
+}
+
+// v2blockResult is one speculatively decoded block.
+type v2blockResult struct {
+	recs []*Record
+	err  error
+	done bool // false = the pre-pass skipped this block
+}
+
+// RecordsJobs is Records with a bounded intra-file decode pool: up to
+// jobs workers (≤0 takes GOMAXPROCS, ≤1 decodes inline) verify,
+// inflate, and decode blocks concurrently, each with its own arena
+// and inflate scratch, while a sequential merge walks the blocks in
+// index order and applies the filter with its live call-depth state.
+// Records, salvage accounting, and errors are byte-identical at every
+// worker count: the merge is the one place that decides what a block
+// contributes, so parallelism only changes who ran the decode.
+func (v *V2File) RecordsJobs(filter *RecordFilter, salvage bool, jobs int) ([]*Record, *SalvageReport, error) {
 	var report *SalvageReport
 	if salvage {
 		report = &SalvageReport{}
@@ -620,7 +763,29 @@ func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *Salvag
 	if !filter.All() {
 		state = newFilterState(filter)
 	}
-	var arena recArena
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	scratch := &v2scratch{}
+	fetch := func(i int, dst []*Record) ([]*Record, error) {
+		return v.d.decodeV2Block(&v.blocks[i], scratch, dst)
+	}
+	if jobs > 1 && len(v.blocks) > 1 {
+		results := v.decodeBlocksParallel(state, jobs)
+		fetch = func(i int, dst []*Record) ([]*Record, error) {
+			r := &results[i]
+			if !r.done {
+				// The pre-pass skip set is provably a subset of the
+				// merge's (see decodeBlocksParallel); decode inline if
+				// that invariant ever broke rather than lose a block.
+				return v.d.decodeV2Block(&v.blocks[i], scratch, dst)
+			}
+			if r.err != nil {
+				return nil, r.err
+			}
+			return append(dst, r.recs...), nil
+		}
+	}
 	totalCap := 0
 	for i := range v.blocks {
 		totalCap += v.blocks[i].Records
@@ -637,10 +802,11 @@ func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *Salvag
 			return nil, report, limitErrf("lila: record limit %d exceeded", v.d.limits.MaxRecords)
 		}
 		if state != nil && !state.blockMayMatch(b) {
+			mBlocksSkipped.Inc()
 			continue
 		}
 		mark := len(out)
-		decoded, err := v.d.decodeV2Block(b, &arena, out)
+		decoded, err := fetch(i, out)
 		if err != nil {
 			err = fmt.Errorf("lila: v2 block %d: %w", i, err)
 			if !salvage {
@@ -685,6 +851,80 @@ func (v *V2File) Records(filter *RecordFilter, salvage bool) ([]*Record, *Salvag
 	return out, report, nil
 }
 
+// decodeBlocksParallel speculatively decodes every block an index-only
+// pre-pass cannot rule out, fanning them over min(jobs, candidates)
+// workers with per-worker scratch (arena + inflate state) and the same
+// work-stealing discipline as the directory loader's pool.
+//
+// The merge in RecordsJobs re-applies the exact skip rule with live
+// call-depth state, so a block decoded here but skipped there costs
+// only wasted work — never a changed output. What must not happen is
+// the converse: the pre-pass skipping a block the merge wants. The
+// exact rule decodes a non-global block when its thread bitmap matches
+// and either the window overlaps or a kept call is open; a kept call
+// open at block i implies an earlier block passed both the thread and
+// window tests, which is exactly when mayOpen is set below — so from
+// then on the pre-pass stops trusting window exclusions, and its
+// decode set is a superset of the merge's. Thread-bitmap misses stay
+// skippable throughout (see blockMayMatch).
+func (v *V2File) decodeBlocksParallel(state *filterState, jobs int) []v2blockResult {
+	want := make([]int, 0, len(v.blocks))
+	mayOpen := false
+	total := 0
+	for i := range v.blocks {
+		b := &v.blocks[i]
+		if total += b.Records; total > v.d.limits.MaxRecords {
+			break // the merge stops with a limit error at this block
+		}
+		dec, opens := true, true
+		if state != nil {
+			threadHit := state.blockThreadHit(b)
+			inWindow := !state.blockTimeExcluded(b)
+			opens = threadHit && inWindow
+			dec = b.HasGlobal() || (threadHit && (mayOpen || inWindow))
+		}
+		if dec {
+			want = append(want, i)
+		}
+		if opens {
+			mayOpen = true
+		}
+	}
+	results := make([]v2blockResult, len(v.blocks))
+	decodeOne := func(sc *v2scratch, bi int) {
+		r := &results[bi]
+		r.recs, r.err = v.d.decodeV2Block(&v.blocks[bi], sc, nil)
+		r.done = true
+	}
+	workers := min(jobs, len(want))
+	if workers <= 1 {
+		sc := &v2scratch{}
+		for _, bi := range want {
+			decodeOne(sc, bi)
+		}
+		return results
+	}
+	mDecodeWorkers.Set(int64(workers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &v2scratch{}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(want) {
+					return
+				}
+				decodeOne(sc, want[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
 // readAllLimited buffers r, refusing inputs beyond max bytes.
 func readAllLimited(r io.Reader, max int64) ([]byte, error) {
 	data, err := io.ReadAll(io.LimitReader(r, max+1))
@@ -714,7 +954,7 @@ type V2Reader struct {
 	scanErr error
 	report  *SalvageReport // nil outside salvage mode
 
-	arena   recArena
+	scratch v2scratch
 	queue   []*Record
 	qi      int
 	block   int
@@ -797,7 +1037,7 @@ func (vr *V2Reader) nextBlock() error {
 			vr.finishStream()
 			return limitErrf("lila: record limit %d exceeded", vr.d.limits.MaxRecords)
 		}
-		recs, err := vr.d.decodeV2Block(b, &vr.arena, vr.queue)
+		recs, err := vr.d.decodeV2Block(b, &vr.scratch, vr.queue)
 		if err != nil {
 			err = fmt.Errorf("lila: v2 block %d: %w", vr.block-1, err)
 			if vr.report == nil {

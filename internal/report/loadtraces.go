@@ -52,6 +52,13 @@ type LoadOptions struct {
 	// under Strict the error surfaced is always the path-order-first
 	// failure, exactly as a sequential scan would report.
 	Jobs int
+	// BlockJobs bounds how many blocks decode concurrently *within*
+	// one v2 file. 0 derives a per-file share of Jobs (a single-file
+	// load gets all of Jobs; with as many files as workers it stays 1,
+	// since the file pool already saturates the cores); 1 keeps
+	// intra-file decode sequential. Like Jobs, it never changes the
+	// result: the v2 block merge is byte-identical at any worker count.
+	BlockJobs int
 	// Paths, when non-empty, names the exact files to load (already
 	// sorted) instead of walking the directory — the hook distributed
 	// trace shards use to load their slice of a corpus. Paths outside
@@ -64,6 +71,19 @@ func (o LoadOptions) jobs() int {
 		return o.Jobs
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// blockJobs resolves the intra-file decode width for a load of files
+// trace files: the explicit BlockJobs if set, else each file's share
+// of the worker budget left over by the cross-file pool.
+func (o LoadOptions) blockJobs(files int) int {
+	if o.BlockJobs > 0 {
+		return o.BlockJobs
+	}
+	if j := o.jobs(); files > 0 && files < j {
+		return j / files
+	}
+	return 1
 }
 
 // LoadTraceDir reads every LiLa trace under dir (recursively; both
@@ -110,6 +130,7 @@ func LoadTraceDirContext(ctx context.Context, dir string, o LoadOptions) ([]*tra
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("report: no trace files under %s", dir)
 	}
+	o.BlockJobs = o.blockJobs(len(paths))
 
 	type loadedFile struct {
 		s  *trace.Session
@@ -299,7 +320,7 @@ func loadOneV2(f *os.File, path string, o LoadOptions) (*trace.Session, FileHeal
 	}
 	defer v.Close()
 	mTraceBytes.Add(v.Size())
-	recs, rep, err := v.Records(o.filterFor(v.Header()), o.Salvage)
+	recs, rep, err := v.RecordsJobs(o.filterFor(v.Header()), o.Salvage, max(1, o.BlockJobs))
 	if rep.Damaged() {
 		fh.Salvage = rep
 	}

@@ -12,19 +12,23 @@ import (
 	"lagalyzer/internal/trace"
 )
 
-// crossFormatCorpus writes the same simulated study three times — v1
-// text, v1 binary, and v2 — with identical file names, and returns the
-// three directory paths.
-func crossFormatCorpus(t *testing.T) (textDir, binDir, v2Dir string) {
+// crossFormatCorpus writes the same simulated study four times — v1
+// text, v1 binary, v2, and flate-compressed v2 — with identical file
+// names, and returns the four directory paths.
+func crossFormatCorpus(t *testing.T) (textDir, binDir, v2Dir, v2cDir string) {
 	t.Helper()
 	root := t.TempDir()
-	dirs := map[lila.Format]string{
-		lila.FormatText:   filepath.Join(root, "text"),
-		lila.FormatBinary: filepath.Join(root, "binary"),
-		lila.FormatV2:     filepath.Join(root, "v2"),
+	encodings := []struct {
+		opts lila.WriteOptions
+		dir  string
+	}{
+		{lila.WriteOptions{Format: lila.FormatText}, filepath.Join(root, "text")},
+		{lila.WriteOptions{Format: lila.FormatBinary}, filepath.Join(root, "binary")},
+		{lila.WriteOptions{Format: lila.FormatV2}, filepath.Join(root, "v2")},
+		{lila.WriteOptions{Format: lila.FormatV2, Compression: lila.CompressionFlate}, filepath.Join(root, "v2flate")},
 	}
-	for _, d := range dirs {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+	for _, e := range encodings {
+		if err := os.MkdirAll(e.dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -34,49 +38,89 @@ func crossFormatCorpus(t *testing.T) (textDir, binDir, v2Dir string) {
 			t.Fatal(err)
 		}
 		for id := 0; id < 2; id++ {
-			s, err := sim.Run(sim.Config{Profile: p, SessionID: id, Seed: 17, SessionSeconds: 10})
+			// 40-second sessions: long enough that record blocks (which
+			// compress) dominate the string/stack tables (which do not),
+			// giving the compression-ratio check a realistic corpus.
+			s, err := sim.Run(sim.Config{Profile: p, SessionID: id, Seed: 17, SessionSeconds: 40})
 			if err != nil {
 				t.Fatal(err)
 			}
 			name := filepath.Base(p.Name) + "_" + string(rune('0'+id)) + ".lila"
-			for f, d := range dirs {
+			for _, e := range encodings {
 				var buf bytes.Buffer
-				if err := lila.WriteSession(&buf, f, s); err != nil {
+				if err := lila.WriteSessionOptions(&buf, e.opts, s); err != nil {
 					t.Fatal(err)
 				}
-				if err := os.WriteFile(filepath.Join(d, name), buf.Bytes(), 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(e.dir, name), buf.Bytes(), 0o644); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
 	}
-	return dirs[lila.FormatText], dirs[lila.FormatBinary], dirs[lila.FormatV2]
+	return encodings[0].dir, encodings[1].dir, encodings[2].dir, encodings[3].dir
+}
+
+// dirSize sums the corpus bytes under dir.
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += info.Size()
+	}
+	return n
 }
 
 // TestCrossFormatByteIdenticalStudy pins the format-independence
 // guarantee end to end: the same study stored as v1 text, v1 binary,
-// and v2 must render byte-identical text and HTML reports.
+// v2, and compressed v2 must render byte-identical text and HTML
+// reports — and the compressed corpus must be at least 2x smaller than
+// the raw v2 one while doing so. The compressed directory additionally
+// loads with intra-file block workers, which must change nothing.
 func TestCrossFormatByteIdenticalStudy(t *testing.T) {
-	textDir, binDir, v2Dir := crossFormatCorpus(t)
+	textDir, binDir, v2Dir, v2cDir := crossFormatCorpus(t)
 
-	render := func(dir string) (string, string) {
+	render := func(dir string, o LoadOptions) (string, string) {
 		t.Helper()
-		suites, _, err := LoadTraceDirOptions(dir, LoadOptions{Jobs: 1})
+		suites, _, err := LoadTraceDirOptions(dir, o)
 		if err != nil {
 			t.Fatalf("load %s: %v", dir, err)
 		}
 		res := AnalyzeSuites(suites, 0)
 		return FormatAll(res), FormatHTML(res)
 	}
-	wantText, wantHTML := render(textDir)
-	for _, dir := range []string{binDir, v2Dir} {
-		gotText, gotHTML := render(dir)
+	wantText, wantHTML := render(textDir, LoadOptions{Jobs: 1})
+	for _, tc := range []struct {
+		dir  string
+		opts LoadOptions
+	}{
+		{binDir, LoadOptions{Jobs: 1}},
+		{v2Dir, LoadOptions{Jobs: 1}},
+		{v2cDir, LoadOptions{Jobs: 1}},
+		{v2cDir, LoadOptions{Jobs: 1, BlockJobs: 4}},
+	} {
+		gotText, gotHTML := render(tc.dir, tc.opts)
 		if gotText != wantText {
-			t.Errorf("%s text report differs from text-format baseline", filepath.Base(dir))
+			t.Errorf("%s (block jobs %d) text report differs from text-format baseline",
+				filepath.Base(tc.dir), tc.opts.BlockJobs)
 		}
 		if gotHTML != wantHTML {
-			t.Errorf("%s HTML report differs from text-format baseline", filepath.Base(dir))
+			t.Errorf("%s (block jobs %d) HTML report differs from text-format baseline",
+				filepath.Base(tc.dir), tc.opts.BlockJobs)
 		}
+	}
+
+	raw, compressed := dirSize(t, v2Dir), dirSize(t, v2cDir)
+	if compressed*2 > raw {
+		t.Errorf("compressed corpus %d bytes, raw v2 %d: ratio %.2fx < 2x",
+			compressed, raw, float64(raw)/float64(compressed))
 	}
 }
 
@@ -85,7 +129,7 @@ func TestCrossFormatByteIdenticalStudy(t *testing.T) {
 // results agree: episodes are built from GUI-thread dispatch intervals
 // alone, so skipping worker blocks must not change them.
 func TestV2GUIOnlySelectiveLoad(t *testing.T) {
-	_, _, v2Dir := crossFormatCorpus(t)
+	_, _, v2Dir, _ := crossFormatCorpus(t)
 
 	full, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{Jobs: 1})
 	if err != nil {
@@ -127,6 +171,12 @@ func TestV2GUIOnlySelectiveLoad(t *testing.T) {
 // block's records against exactly that file — per-block loss, not a
 // resync scan, not a dead file.
 func TestV2BlockLossItemizedInStudyHealth(t *testing.T) {
+	for _, comp := range []lila.Compression{lila.CompressionNone, lila.CompressionFlate} {
+		t.Run(comp.String(), func(t *testing.T) { testV2BlockLossItemized(t, comp) })
+	}
+}
+
+func testV2BlockLossItemized(t *testing.T, comp lila.Compression) {
 	dir := t.TempDir()
 	p, err := apps.ByName("CrosswordSage")
 	if err != nil {
@@ -138,7 +188,7 @@ func TestV2BlockLossItemizedInStudyHealth(t *testing.T) {
 	}
 	recs := lila.Flatten(s)
 	var buf bytes.Buffer
-	w, err := lila.NewV2WriterOptions(&buf, lila.HeaderOf(s), lila.V2WriterOptions{BlockRecords: 64})
+	w, err := lila.NewV2WriterOptions(&buf, lila.HeaderOf(s), lila.V2WriterOptions{BlockRecords: 64, Compression: comp})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +211,9 @@ func TestV2BlockLossItemizedInStudyHealth(t *testing.T) {
 		t.Fatalf("corpus too small: %d blocks", len(blocks))
 	}
 	target := blocks[len(blocks)/2]
+	if comp == lila.CompressionFlate && !target.Compressed() {
+		t.Fatal("target block did not compress; corpus too small for the test")
+	}
 	data[target.Offset+target.Length-1] ^= 0xff
 
 	goodPath := filepath.Join(dir, "a_good.lila")
@@ -217,7 +270,7 @@ func TestV2BlockLossItemizedInStudyHealth(t *testing.T) {
 // TestV2SelectWindowLoad drives the Select plumbing: a time-window
 // load must produce sessions whose episodes all overlap the window.
 func TestV2SelectWindowLoad(t *testing.T) {
-	_, _, v2Dir := crossFormatCorpus(t)
+	_, _, v2Dir, _ := crossFormatCorpus(t)
 	full, _, err := LoadTraceDirOptions(v2Dir, LoadOptions{Jobs: 1})
 	if err != nil {
 		t.Fatal(err)

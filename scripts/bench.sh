@@ -19,8 +19,14 @@ git_dirty=""
 [ -z "$(git status --porcelain 2>/dev/null)" ] || git_dirty="-dirty"
 
 raw=$(go test -run '^$' \
-	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd|LoadTraceDir|TraceDecode' \
+	-bench 'AnalyzeSuite|ClassifyParallel|Figure3_PatternCDF|TableIII_Overview|Study_EndToEnd|LoadTraceDir|TraceDecode_(Text|Binary|V2|V2Mmap|V2Compressed)$' \
 	-benchtime "$benchtime" .)
+
+# The intra-file parallel decode bench runs separately at -cpu 1,4 so
+# the baseline records both points of the scaling curve; the awk below
+# keeps the cpu count in the name instead of stripping it.
+rawp=$(go test -run '^$' -bench 'TraceDecode_V2ParallelBlocks' -cpu 1,4 -benchtime "$benchtime" .)
+raw=$(printf '%s\n%s' "$raw" "$rawp")
 
 printf '%s\n' "$raw"
 
@@ -44,7 +50,15 @@ BEGIN {
 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
-	name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+	name = $1
+	# go test suffixes bench names with the GOMAXPROCS used when it is
+	# not 1. For the intra-file parallel bench the cpu count IS the
+	# variable under test, so fold it into the name; everywhere else
+	# strip it so names stay stable across machines.
+	ncpu = 1
+	if (match(name, /-[0-9]+$/)) ncpu = substr(name, RSTART + 1)
+	sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+	if (name ~ /ParallelBlocks/) name = name "_cpu" ncpu
 	nsop = "null"; bop = "null"; allocs = "null"
 	for (i = 2; i < NF; i++) {
 		if ($(i+1) == "ns/op") nsop = $i

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Smoke-checks the v2 codec benchmarks against the pinned baselines in
+# BENCH_engine.json and fails on gross regressions. The threshold is
+# deliberately generous (default 8x, override with BENCH_TOLERANCE):
+# CI machines differ from the machine that wrote the baseline and the
+# run is short, so this catches accidental algorithmic regressions
+# (a quadratic loop, a lost fast path), not percent-level drift.
+# Usage: scripts/bench_check.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline="BENCH_engine.json"
+tolerance="${BENCH_TOLERANCE:-8}"
+benchtime="${1:-3x}"
+
+if [ ! -f "$baseline" ]; then
+	echo "bench_check: no $baseline baseline; nothing to compare"
+	exit 0
+fi
+
+raw=$(go test -run '^$' -bench 'TraceDecode_V2|LoadTraceDirV2' -benchtime "$benchtime" .)
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v tol="$tolerance" -v baseline="$baseline" '
+BEGIN {
+	# Pull the ns_per_op baselines out of BENCH_engine.json. The file
+	# is machine-written and flat, so field surgery is enough.
+	while ((getline line < baseline) > 0) {
+		if (line !~ /"name"/) continue
+		name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+		ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+		if (ns != "null") base[name] = ns + 0
+	}
+	close(baseline)
+}
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+	ns = ""
+	for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") ns = $i + 0
+	# Benches absent from the baseline (e.g. the -cpu variants, which
+	# the baseline stores under _cpuN names) are informational only.
+	if (ns == "" || !(name in base)) next
+	checked++
+	if (ns > base[name] * tol) {
+		printf "bench_check: REGRESSION %s: %.0f ns/op vs baseline %.0f (tolerance %gx)\n", name, ns, base[name], tol
+		bad++
+	} else {
+		printf "bench_check: %s ok: %.0f ns/op vs baseline %.0f\n", name, ns, base[name]
+	}
+}
+END {
+	if (!checked) print "bench_check: warning: no benchmarks overlapped the baseline"
+	if (bad) exit 1
+}
+'
+echo "bench_check: ok"
